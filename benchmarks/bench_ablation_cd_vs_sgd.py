@@ -1,0 +1,78 @@
+"""Ablation: the three optimizer families of Section VI, head to head.
+
+ColumnSGD (O(B) statistics), Hydra-style coordinate descent (O(N)
+residual sync over column partitions) and CoCoA-style SDCA (O(m) model
+sync over row partitions) solve the same ridge problem.  The bench
+surfaces the structural trade each family makes: what crosses the
+network per round, and how much progress a round buys.
+
+Wall-clock benchmark: one CD round.
+"""
+
+from repro.core import train_columnsgd
+from repro.datasets import make_regression
+from repro.extensions import CoCoATrainer, RidgeCDTrainer
+from repro.models import LeastSquares
+from repro.optim import SGD
+from repro.sim import CLUSTER1, SimulatedCluster
+from repro.utils import ascii_table, format_duration
+
+
+def run_cd(data, iterations):
+    trainer = RidgeCDTrainer(
+        SimulatedCluster(CLUSTER1), lam=0.0, iterations=iterations,
+        eval_every=5, seed=15,
+    )
+    trainer.load(data)
+    return trainer.fit()
+
+
+def run_cocoa(data, iterations):
+    trainer = CoCoATrainer(
+        SimulatedCluster(CLUSTER1), lam=1e-3, local_steps=800,
+        iterations=iterations, eval_every=5, seed=15,
+    )
+    trainer.load(data)
+    return trainer.fit()
+
+
+def run_sgd(data, iterations):
+    return train_columnsgd(
+        data, LeastSquares(), SGD(0.1), SimulatedCluster(CLUSTER1),
+        batch_size=1000, iterations=iterations, eval_every=5, seed=15,
+    )
+
+
+def comparison_table(data):
+    cd = run_cd(data, 40)
+    cocoa = run_cocoa(data, 40)
+    sgd = run_sgd(data, 200)
+    target = max(cd.final_loss(), cocoa.final_loss(), sgd.final_loss()) * 1.2
+    rows = []
+    for result in (cd, cocoa, sgd):
+        reached = result.time_to_loss(target)
+        rows.append(
+            (
+                result.system,
+                result.n_iterations,
+                "{:,}".format(result.records[-1].bytes_sent),
+                format_duration(reached) if reached else "never",
+                "{:.4f}".format(result.final_loss()),
+            )
+        )
+    return ascii_table(
+        ["system", "rounds", "bytes/round", "time to common loss", "final loss"],
+        rows,
+    )
+
+
+def test_ablation_cd_vs_sgd(benchmark, emit):
+    data = make_regression(8000, 20_000, nnz_per_row=12, noise_std=0.05, seed=15)
+    emit("ablation_cd_vs_sgd", comparison_table(data))
+
+    trainer = RidgeCDTrainer(
+        SimulatedCluster(CLUSTER1), lam=0.0, iterations=1, eval_every=0, seed=15
+    )
+    trainer.load(data)
+    counter = iter(range(10**9))
+    benchmark(lambda: trainer._run_round(next(counter)))

@@ -1,0 +1,89 @@
+"""Ablation: column-assignment scheme under skewed feature popularity.
+
+CTR data is Zipf-distributed, so *range* partitioning can hand one
+worker most of the non-zeros (hot features cluster in id space when ids
+are assigned by frequency), while round-robin and hash spread them.
+Imbalance directly stretches the BSP statistics phase — this ablation
+quantifies the choice DESIGN.md calls out (the paper uses round-robin
+as its example scheme in Algorithm 4).
+
+Wall-clock benchmark: one training iteration under the worst scheme.
+"""
+
+import numpy as np
+
+from repro.core import ColumnSGDConfig, ColumnSGDDriver
+from repro.datasets import Dataset, make_classification
+from repro.linalg import CSRMatrix
+from repro.models import LogisticRegression
+from repro.optim import SGD
+from repro.partition import dispatch_block_based, make_assignment
+from repro.sim import CLUSTER1, SimulatedCluster
+from repro.utils import ascii_table
+
+SCHEMES = ("round_robin", "range", "hash")
+
+
+def frequency_sorted_dataset(seed=12):
+    """Zipf data with feature ids sorted by popularity (hot ids first) —
+    the adversarial case for range partitioning."""
+    data = make_classification(6000, 4000, nnz_per_row=12, zipf_exponent=1.2, seed=seed)
+    counts = np.bincount(data.features.indices, minlength=data.n_features)
+    order = np.argsort(-counts)        # old id, most popular first
+    remap = np.empty_like(order)
+    remap[order] = np.arange(order.size)
+    relabeled = CSRMatrix(
+        data.features.indptr.copy(),
+        remap[data.features.indices],
+        data.features.data.copy(),
+        data.n_features,
+    )
+    return Dataset(relabeled, data.labels, name="zipf-sorted")
+
+
+def nnz_imbalance(data, scheme):
+    """max/mean of per-worker shard nnz after dispatch."""
+    asg = make_assignment(scheme, data.n_features, CLUSTER1.n_workers)
+    stores, _, _ = dispatch_block_based(
+        data, asg, SimulatedCluster(CLUSTER1), block_size=512
+    )
+    nnz = [s.nnz for s in stores]
+    return max(nnz) / (sum(nnz) / len(nnz))
+
+
+def iteration_time(data, scheme):
+    cluster = SimulatedCluster(CLUSTER1)
+    driver = ColumnSGDDriver(
+        LogisticRegression(), SGD(1.0), cluster,
+        config=ColumnSGDConfig(batch_size=1000, iterations=6, eval_every=0,
+                               seed=12, scheme=scheme, block_size=512),
+    )
+    driver.load(data)
+    return driver.fit().avg_iteration_seconds()
+
+
+def test_ablation_partition_scheme(benchmark, emit):
+    data = frequency_sorted_dataset()
+    rows = []
+    for scheme in SCHEMES:
+        rows.append(
+            (
+                scheme,
+                "{:.2f}".format(nnz_imbalance(data, scheme)),
+                "{:.4f}s".format(iteration_time(data, scheme)),
+            )
+        )
+    emit(
+        "ablation_partition_scheme",
+        ascii_table(["scheme", "shard nnz imbalance (max/mean)", "per-iteration"], rows),
+    )
+
+    cluster = SimulatedCluster(CLUSTER1)
+    driver = ColumnSGDDriver(
+        LogisticRegression(), SGD(1.0), cluster,
+        config=ColumnSGDConfig(batch_size=1000, iterations=1, eval_every=0,
+                               seed=12, scheme="range", block_size=512),
+    )
+    driver.load(data)
+    counter = iter(range(10**9))
+    benchmark(lambda: driver._run_iteration(next(counter)))

@@ -1,0 +1,76 @@
+"""Ablation: statistics width (Section III-C's "form of statistics").
+
+ColumnSGD's traffic is ``B * width`` values: width 1 for GLMs, C for
+MLR, F+1 for FM.  This ablation sweeps MLR class counts and FM factor
+counts and confirms per-iteration traffic and time scale with width and
+*only* width — never with model dimension.
+
+Wall-clock benchmark: one MLR iteration at C=10.
+"""
+
+from repro.core import ColumnSGDConfig, ColumnSGDDriver, train_columnsgd
+from repro.datasets import make_classification, make_multiclass
+from repro.models import FactorizationMachine, MultinomialLogisticRegression
+from repro.optim import SGD
+from repro.sim import CLUSTER1, SimulatedCluster
+from repro.utils import ascii_table
+
+
+def mlr_sweep():
+    rows = []
+    for n_classes in (2, 5, 10, 20):
+        data = make_multiclass(4000, 5000, n_classes=n_classes, nnz_per_row=10,
+                               seed=13)
+        cluster = SimulatedCluster(CLUSTER1)
+        result = train_columnsgd(
+            data, MultinomialLogisticRegression(n_classes=n_classes), SGD(0.5),
+            cluster, batch_size=500, iterations=5, eval_every=0, seed=13,
+        )
+        rows.append(
+            (
+                "MLR C={}".format(n_classes),
+                n_classes,
+                "{:,}".format(result.records[-1].bytes_sent),
+                "{:.4f}s".format(result.avg_iteration_seconds()),
+            )
+        )
+    return rows
+
+
+def fm_sweep():
+    data = make_classification(4000, 5000, nnz_per_row=10, binary_features=False,
+                               seed=13)
+    rows = []
+    for factors in (1, 5, 10, 20):
+        cluster = SimulatedCluster(CLUSTER1)
+        result = train_columnsgd(
+            data, FactorizationMachine(n_factors=factors), SGD(0.01), cluster,
+            batch_size=500, iterations=5, eval_every=0, seed=13,
+        )
+        rows.append(
+            (
+                "FM F={}".format(factors),
+                factors + 1,
+                "{:,}".format(result.records[-1].bytes_sent),
+                "{:.4f}s".format(result.avg_iteration_seconds()),
+            )
+        )
+    return rows
+
+
+def test_ablation_statistics_width(benchmark, emit):
+    table = ascii_table(
+        ["model", "statistics width", "bytes/iteration", "per-iteration"],
+        mlr_sweep() + fm_sweep(),
+    )
+    emit("ablation_statistics_width", table)
+
+    data = make_multiclass(4000, 5000, n_classes=10, nnz_per_row=10, seed=13)
+    cluster = SimulatedCluster(CLUSTER1)
+    driver = ColumnSGDDriver(
+        MultinomialLogisticRegression(n_classes=10), SGD(0.5), cluster,
+        config=ColumnSGDConfig(batch_size=500, iterations=1, eval_every=0, seed=13),
+    )
+    driver.load(data)
+    counter = iter(range(10**9))
+    benchmark(lambda: driver._run_iteration(next(counter)))

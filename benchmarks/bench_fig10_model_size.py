@@ -1,0 +1,66 @@
+"""Fig 10: ColumnSGD per-iteration time vs model size (10 ... 1 billion).
+
+The paper's criteo-derived synthetic sweep: nnz per row is held fixed
+while the feature space grows.  ColumnSGD's per-iteration time stays
+flat because only batch statistics move.  Simulated runs cover the
+laptop-feasible sizes; the analytic path (same cost model) extends to
+one billion dimensions.
+
+Wall-clock benchmark: one iteration at m = 1,000,000.
+"""
+
+from repro.core import ColumnSGDConfig, ColumnSGDDriver, predict_iteration_time, train_columnsgd
+from repro.datasets import make_classification
+from repro.models import LogisticRegression
+from repro.net import NetworkModel
+from repro.optim import SGD
+from repro.sim import CLUSTER1, SimulatedCluster
+from repro.utils import ascii_table, format_duration
+
+SIMULATED_SIZES = (100, 10_000, 1_000_000)
+ANALYTIC_SIZES = (10, 1000, 1_000_000, 1_000_000_000)
+
+
+def criteo_like(m):
+    return make_classification(
+        3000, m, nnz_per_row=min(30, m), zipf_exponent=0.0, seed=8,
+        name="criteo-synthetic-{}".format(m),
+    )
+
+
+def fig10_table():
+    rows = []
+    for m in SIMULATED_SIZES:
+        cluster = SimulatedCluster(CLUSTER1)
+        result = train_columnsgd(
+            criteo_like(m), LogisticRegression(), SGD(1.0), cluster,
+            batch_size=1000, iterations=6, eval_every=0, seed=8,
+        )
+        rows.append((
+            "{:,}".format(m),
+            format_duration(result.avg_iteration_seconds()),
+            "simulated",
+        ))
+    net = NetworkModel(bandwidth=CLUSTER1.bandwidth_bytes_per_s,
+                       latency=CLUSTER1.latency_s)
+    for m in ANALYTIC_SIZES:
+        seconds = predict_iteration_time(
+            "columnsgd", m=m, batch_size=1000, n_workers=8,
+            avg_nnz_per_row=min(30, m), network=net,
+        )
+        rows.append(("{:,}".format(m), format_duration(seconds), "analytic"))
+    return ascii_table(["model dimension", "per-iteration time", "source"], rows)
+
+
+def test_fig10(benchmark, emit):
+    emit("fig10_model_size", fig10_table())
+
+    data = criteo_like(1_000_000)
+    cluster = SimulatedCluster(CLUSTER1)
+    driver = ColumnSGDDriver(
+        LogisticRegression(), SGD(1.0), cluster,
+        config=ColumnSGDConfig(batch_size=1000, iterations=1, eval_every=0),
+    )
+    driver.load(data)
+    counter = iter(range(10**9))
+    benchmark(lambda: driver._run_iteration(next(counter)))

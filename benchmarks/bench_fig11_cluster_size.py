@@ -1,0 +1,63 @@
+"""Fig 11: scalability w.r.t. cluster size (WX stand-in, Cluster 2).
+
+(a) row-to-column transformation time falls as machines are added
+    (paper: 2.05x from 10 to 40 machines — sublinear because every block
+    is split and shuffled among all workers);
+(b) per-iteration time stays roughly flat — compute shrinks per worker
+    but the master's statistics fan-in grows, the scalability limit the
+    paper calls out.
+
+Wall-clock benchmark: the 40-machine dispatch.
+"""
+
+from repro.core import ColumnSGDConfig, ColumnSGDDriver
+from repro.datasets import load_profile
+from repro.models import LogisticRegression
+from repro.optim import SGD
+from repro.sim import CLUSTER2, SimulatedCluster
+from repro.utils import ascii_table, format_duration
+
+MACHINES = (10, 20, 30, 40)
+
+
+def run(data, n_workers):
+    cluster = SimulatedCluster(CLUSTER2.with_workers(n_workers))
+    config = ColumnSGDConfig(batch_size=1000, iterations=8, eval_every=0,
+                             seed=9, block_size=256)
+    driver = ColumnSGDDriver(LogisticRegression(), SGD(0.1), cluster, config=config)
+    load_report = driver.load(data)
+    result = driver.fit()
+    return load_report.seconds, result.avg_iteration_seconds()
+
+
+def fig11_table(data):
+    rows = []
+    base_load = None
+    for k in MACHINES:
+        load_s, iter_s = run(data, k)
+        base_load = base_load or load_s
+        rows.append(
+            (
+                k,
+                format_duration(load_s),
+                "{:.2f}x".format(base_load / load_s),
+                format_duration(iter_s),
+            )
+        )
+    return ascii_table(
+        ["machines", "transform time", "speedup vs 10", "per-iteration"], rows
+    )
+
+
+def test_fig11(benchmark, emit):
+    data = load_profile("wx").generate(seed=9, rows=40_000, features=100_000)
+    emit("fig11_cluster_size", fig11_table(data))
+
+    def load_on_40():
+        cluster = SimulatedCluster(CLUSTER2)
+        config = ColumnSGDConfig(batch_size=1000, iterations=1, eval_every=0,
+                                 block_size=256)
+        driver = ColumnSGDDriver(LogisticRegression(), SGD(0.1), cluster, config)
+        driver.load(data)
+
+    benchmark(load_on_40)

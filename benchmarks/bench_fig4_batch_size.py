@@ -1,0 +1,84 @@
+"""Fig 4: the batch-size study (SVM on the kddb stand-in).
+
+(a) convergence (loss vs iteration) for batch sizes 10 ... 10k — small
+batches thrash, large ones overlap;
+(b) per-iteration simulated time for batch sizes 100 ... 10m — flat until
+bandwidth takes over, then linear (paper: knee near 100k).
+
+Wall-clock benchmark: one iteration at the paper's default B = 1000.
+"""
+
+import numpy as np
+
+from repro.core import ColumnSGDConfig, ColumnSGDDriver, train_columnsgd
+from repro.datasets import load_profile
+from repro.experiments import render_curve
+from repro.models import LinearSVM
+from repro.optim import SGD
+from repro.sim import CLUSTER1, SimulatedCluster
+from repro.utils import ascii_table, format_duration
+
+BATCHES_4A = (10, 100, 1000, 10_000)
+BATCHES_4B = (100, 1000, 10_000, 100_000, 1_000_000, 10_000_000)
+
+
+def fig4a(data):
+    lines = []
+    curves = {}
+    for batch in BATCHES_4A:
+        cluster = SimulatedCluster(CLUSTER1)
+        result = train_columnsgd(
+            data, LinearSVM(), SGD(0.5), cluster,
+            batch_size=batch, iterations=100, eval_every=5, seed=1,
+        )
+        losses = [loss for _, _, loss in result.losses()]
+        curves[batch] = losses
+        thrash = float(np.mean(np.maximum(np.diff(losses), 0)))
+        lines.append((batch, "{:.4f}".format(losses[-1]), "{:.4f}".format(thrash)))
+    table = ascii_table(["batch size", "final loss", "thrash (mean loss increase)"], lines)
+    chart = render_curve(curves[10], width=50, height=8, label="B=10 loss curve (thrashy)")
+    chart2 = render_curve(curves[1000], width=50, height=8, label="B=1000 loss curve (smooth)")
+    return table + "\n\n" + chart + "\n\n" + chart2
+
+
+def fig4b(data):
+    """Per-iteration time vs batch size: simulated where the data allows,
+    analytic (same cost model) for batches beyond the dataset size."""
+    from repro.core import predict_iteration_time
+    from repro.net import NetworkModel
+
+    rows = []
+    profile = load_profile("kddb")
+    net = NetworkModel(bandwidth=CLUSTER1.bandwidth_bytes_per_s, latency=CLUSTER1.latency_s)
+    for batch in BATCHES_4B:
+        if batch <= data.n_rows:
+            cluster = SimulatedCluster(CLUSTER1)
+            result = train_columnsgd(
+                data, LinearSVM(), SGD(0.5), cluster,
+                batch_size=batch, iterations=5, eval_every=0, seed=1,
+            )
+            seconds = result.avg_iteration_seconds()
+            source = "simulated"
+        else:
+            seconds = predict_iteration_time(
+                "columnsgd", m=profile.paper_features, batch_size=batch,
+                n_workers=8, avg_nnz_per_row=profile.avg_nnz_per_row, network=net,
+            )
+            source = "analytic"
+        rows.append((batch, format_duration(seconds), source))
+    return ascii_table(["batch size", "per-iteration time", "source"], rows)
+
+
+def test_fig4(benchmark, emit):
+    data = load_profile("kddb").generate(seed=2, rows=8000, features=50_000)
+    emit("fig4a_convergence_vs_batch", fig4a(data))
+    emit("fig4b_time_vs_batch", fig4b(data))
+
+    cluster = SimulatedCluster(CLUSTER1)
+    driver = ColumnSGDDriver(
+        LinearSVM(), SGD(0.5), cluster,
+        config=ColumnSGDConfig(batch_size=1000, iterations=1, eval_every=0),
+    )
+    driver.load(data)
+    counter = iter(range(10**9))
+    benchmark(lambda: driver._run_iteration(next(counter)))

@@ -1,0 +1,62 @@
+"""Fig 7: time cost of data loading across four strategies x 3 datasets.
+
+Expected shape (paper): Naive-ColumnSGD slowest (2.1-4.7x slower than
+MLlib), MLlib-Repartition next, then MLlib, with block-based ColumnSGD
+fastest (1.5-1.7x faster than MLlib).
+
+Wall-clock benchmark: one block-based dispatch of the avazu stand-in.
+"""
+
+from repro.datasets import load_profile
+from repro.partition import (
+    dispatch_block_based,
+    dispatch_naive,
+    load_row_partitioned,
+    make_assignment,
+)
+from repro.sim import CLUSTER1, SimulatedCluster
+from repro.utils import ascii_table, format_duration
+
+
+def loading_times(data):
+    asg = make_assignment("round_robin", data.n_features, CLUSTER1.n_workers)
+    times = {}
+    _, _, report = dispatch_naive(data, asg, SimulatedCluster(CLUSTER1), block_size=512)
+    times["Naive-ColumnSGD"] = report.seconds
+    _, _, report = dispatch_block_based(data, asg, SimulatedCluster(CLUSTER1), block_size=512)
+    times["ColumnSGD"] = report.seconds
+    _, report = load_row_partitioned(data, SimulatedCluster(CLUSTER1), repartition=False)
+    times["MLlib"] = report.seconds
+    _, report = load_row_partitioned(data, SimulatedCluster(CLUSTER1), repartition=True)
+    times["MLlib-Repartition"] = report.seconds
+    return times
+
+
+def fig7_table():
+    rows = []
+    for name in ("avazu", "kddb", "kdd12"):
+        data = load_profile(name).generate(seed=3, rows=20_000)
+        times = loading_times(data)
+        mllib = times["MLlib"]
+        for strategy in ("Naive-ColumnSGD", "ColumnSGD", "MLlib", "MLlib-Repartition"):
+            rows.append(
+                (
+                    name,
+                    strategy,
+                    format_duration(times[strategy]),
+                    "{:.2f}x".format(times[strategy] / mllib),
+                )
+            )
+    return ascii_table(["dataset", "strategy", "sim time", "vs MLlib"], rows)
+
+
+def test_fig7(benchmark, emit):
+    emit("fig7_data_loading", fig7_table())
+
+    data = load_profile("avazu").generate(seed=3, rows=20_000)
+    asg = make_assignment("round_robin", data.n_features, CLUSTER1.n_workers)
+
+    def dispatch():
+        dispatch_block_based(data, asg, SimulatedCluster(CLUSTER1), block_size=512)
+
+    benchmark(dispatch)

@@ -1,0 +1,109 @@
+"""Fig 8: loss vs (simulated) time — 5 systems x {LR, SVM} x 3 datasets.
+
+Expected shape (paper): on large models ColumnSGD reaches any target
+loss far sooner than MLlib/MLlib*/Petuum; MXNet is competitive (and wins
+on small-model avazu).
+
+Wall-clock benchmark: one full ColumnSGD training run (LR, avazu
+stand-in, 20 iterations).
+"""
+
+from repro.datasets import load_profile
+from repro.experiments import ExperimentSpec, convergence_table, loss_series, run_comparison
+from repro.sim import CLUSTER1
+
+SYSTEMS = ["columnsgd", "mllib", "mllib*", "petuum", "mxnet"]
+DATASETS = ["avazu", "kddb", "kdd12"]
+MODELS = ["lr", "svm"]
+
+
+def run_panel(dataset, model, rows):
+    spec = ExperimentSpec(
+        dataset=dataset,
+        model=model,
+        systems=SYSTEMS,
+        batch_size=500,
+        iterations=40,
+        eval_every=4,
+        cluster=CLUSTER1,
+        seed=4,
+        learning_rate=1.0 if model == "lr" else 0.5,
+    )
+    spec.explicit_data = load_profile(dataset).generate(seed=4, rows=rows)
+    return run_comparison(spec)
+
+
+def panel_report(results, threshold, dataset):
+    report = convergence_table(results, threshold)
+    series = "\n".join(
+        "{:>10}: {}".format(r.system, loss_series(r, max_points=6))
+        for r in results.values()
+    )
+    projected = paper_scale_projection(results, threshold, dataset)
+    return (
+        report
+        + "\n\nloss-vs-time series (scaled models):\n"
+        + series
+        + "\n\npaper-scale projection (analytic per-iteration x iterations to target):\n"
+        + projected
+    )
+
+
+def paper_scale_projection(results, threshold, dataset):
+    """Reproject each curve onto the paper's true model dimensions.
+
+    The *statistical* trajectory (loss per iteration) is scale-faithful;
+    the *time axis* is not, because scaled models shrink RowSGD traffic.
+    Replaying iterations at the analytic per-iteration cost of the
+    paper-scale model recovers the paper's Fig 8 ordering (MLlib slowest
+    by orders of magnitude, ColumnSGD ahead of PS systems).
+    """
+    from repro.core import predict_iteration_time
+    from repro.net import NetworkModel
+    from repro.utils import ascii_table, format_duration
+
+    profile = load_profile(dataset)
+    net = NetworkModel(bandwidth=CLUSTER1.bandwidth_bytes_per_s,
+                       latency=CLUSTER1.latency_s)
+    rows = []
+    for key, result in results.items():
+        per_iter = predict_iteration_time(
+            key if key != "mllib*" else "mllib*",
+            m=profile.paper_features, batch_size=result.batch_size,
+            n_workers=8, avg_nnz_per_row=profile.avg_nnz_per_row, network=net,
+        )
+        iters_to_target = next(
+            (it for it, _, loss in result.losses() if loss <= threshold), None
+        )
+        projected = (
+            format_duration(per_iter * iters_to_target)
+            if iters_to_target and iters_to_target > 0
+            else "never"
+        )
+        rows.append((result.system, format_duration(per_iter), projected))
+    return ascii_table(
+        ["system", "paper-scale s/iter", "projected time to target"], rows
+    )
+
+
+def test_fig8(benchmark, emit):
+    for dataset in DATASETS:
+        for model in MODELS:
+            results = run_panel(dataset, model, rows=4000)
+            losses = [r.final_loss() for r in results.values() if r.final_loss()]
+            threshold = min(l for l in losses) * 1.15
+            emit(
+                "fig8_{}_{}".format(dataset, model),
+                panel_report(results, threshold, dataset),
+            )
+
+    spec = ExperimentSpec(
+        dataset="avazu", model="lr", systems=["columnsgd"],
+        batch_size=500, iterations=20, eval_every=0,
+        cluster=CLUSTER1, seed=4, learning_rate=1.0,
+    )
+    data = spec.materialize_data()
+
+    from repro.experiments import run_system
+
+    benchmark(lambda: run_system(spec, "columnsgd", data))

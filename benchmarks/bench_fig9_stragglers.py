@@ -1,0 +1,93 @@
+"""Fig 9: per-iteration time with stragglers, with and without backup.
+
+Expected shape (paper): SL1 ~2x and SL5 ~6x slower than pure;
+ColumnSGD-backup stays at the pure baseline.
+
+Wall-clock benchmark: one iteration under 1-backup computation.
+"""
+
+from repro.core import ColumnSGDConfig, ColumnSGDDriver
+from repro.datasets import load_profile
+from repro.models import LogisticRegression
+from repro.optim import SGD
+from repro.sim import CLUSTER1, SimulatedCluster, StragglerModel
+from repro.utils import ascii_table, format_duration
+
+
+def run(data, backup, straggler_level, seed=7):
+    cluster = SimulatedCluster(CLUSTER1)
+    straggler = (
+        StragglerModel(CLUSTER1.n_workers, level=straggler_level, seed=seed)
+        if straggler_level
+        else None
+    )
+    config = ColumnSGDConfig(
+        batch_size=500, iterations=10, eval_every=0, seed=seed, backup=backup
+    )
+    driver = ColumnSGDDriver(
+        LogisticRegression(), SGD(1.0), cluster, config=config, straggler=straggler
+    )
+    driver.load(data)
+    return driver.fit().avg_iteration_seconds()
+
+
+def fig9_table():
+    rows = []
+    for name in ("avazu", "kddb", "kdd12"):
+        data = load_profile(name).generate(seed=7, rows=3000)
+        pure = run(data, backup=0, straggler_level=0)
+        backed = run(data, backup=1, straggler_level=5.0)
+        sl1 = run(data, backup=0, straggler_level=1.0)
+        sl5 = run(data, backup=0, straggler_level=5.0)
+        for label, seconds in (
+            ("ColumnSGD-pure", pure),
+            ("ColumnSGD-backup", backed),
+            ("ColumnSGD-SL1", sl1),
+            ("ColumnSGD-SL5", sl5),
+        ):
+            rows.append(
+                (name, label, format_duration(seconds), "{:.2f}x".format(seconds / pure))
+            )
+    return ascii_table(["dataset", "setting", "per-iteration", "vs pure"], rows)
+
+
+def iteration_gantts():
+    """Worker-timeline view of one straggled iteration, w/ and w/o backup."""
+    from repro.core import ColumnSGDConfig, ColumnSGDDriver
+    from repro.experiments import render_iteration_gantt
+
+    data = load_profile("avazu").generate(seed=7, rows=2000)
+    blocks = []
+    for backup in (0, 1):
+        cluster = SimulatedCluster(CLUSTER1)
+        driver = ColumnSGDDriver(
+            LogisticRegression(), SGD(1.0), cluster,
+            config=ColumnSGDConfig(batch_size=500, iterations=1, eval_every=0,
+                                   seed=7, backup=backup),
+            straggler=StragglerModel(CLUSTER1.n_workers, level=5.0, seed=7),
+        )
+        driver.load(data)
+        driver._run_iteration(0)
+        blocks.append("backup S={}:\n{}".format(
+            backup,
+            render_iteration_gantt(driver.last_worker_seconds,
+                                   driver.last_phase_seconds,
+                                   driver.last_killed, width=64),
+        ))
+    return "\n\n".join(blocks)
+
+
+def test_fig9(benchmark, emit):
+    emit("fig9_stragglers", fig9_table())
+    emit("fig9_gantt", iteration_gantts())
+
+    data = load_profile("avazu").generate(seed=7, rows=3000)
+    cluster = SimulatedCluster(CLUSTER1)
+    driver = ColumnSGDDriver(
+        LogisticRegression(), SGD(1.0), cluster,
+        config=ColumnSGDConfig(batch_size=500, iterations=1, eval_every=0, backup=1),
+        straggler=StragglerModel(CLUSTER1.n_workers, level=5.0, seed=7),
+    )
+    driver.load(data)
+    counter = iter(range(10**9))
+    benchmark(lambda: driver._run_iteration(next(counter)))

@@ -1,0 +1,80 @@
+"""Table I: memory and communication overheads, RowSGD vs ColumnSGD.
+
+Prints the analytic element counts at paper scale and validates the
+communication entries against the simulator's measured bytes at small
+scale (headers subtracted).  The wall-clock benchmark times one full
+ColumnSGD iteration (statistics + reduce + update) on real data.
+"""
+
+from repro.core import (
+    ColumnSGDConfig,
+    ColumnSGDDriver,
+    columnsgd_overheads,
+    rowsgd_overheads,
+)
+from repro.datasets import load_profile, make_classification
+from repro.models import LogisticRegression
+from repro.net import MessageKind
+from repro.optim import SGD
+from repro.sim import CLUSTER1, SimulatedCluster
+from repro.storage.serialization import OBJECT_OVERHEAD_BYTES
+from repro.utils import ascii_table
+
+
+def paper_scale_table():
+    rows = []
+    for name in ("avazu", "kddb", "kdd12"):
+        profile = load_profile(name)
+        m = profile.paper_features
+        data_elements = profile.paper_instances * (1 + profile.avg_nnz_per_row)
+        for fn in (rowsgd_overheads, columnsgd_overheads):
+            est = fn(m, 1000, 8, profile.paper_sparsity, data_elements)
+            rows.append((name,) + est.as_row())
+    return ascii_table(
+        ["dataset", "system", "master mem", "worker mem", "master comm", "worker comm"],
+        rows,
+    )
+
+
+def measured_vs_formula():
+    """Small-scale validation: measured stats bytes == 2*K*B values."""
+    K, B, m = 4, 50, 400
+    data = make_classification(500, m, nnz_per_row=8, seed=0)
+    cluster = SimulatedCluster(CLUSTER1.with_workers(K))
+    driver = ColumnSGDDriver(
+        LogisticRegression(), SGD(0.5), cluster,
+        config=ColumnSGDConfig(batch_size=B, iterations=1, eval_every=0, block_size=64),
+    )
+    driver.load(data)
+    cluster.network.reset_counters()
+    driver.fit()
+    measured = (
+        cluster.network.bytes_of_kind(MessageKind.STATISTICS_PUSH)
+        + cluster.network.bytes_of_kind(MessageKind.STATISTICS_BCAST)
+        - 2 * K * OBJECT_OVERHEAD_BYTES
+    )
+    formula = columnsgd_overheads(m, B, K, data.sparsity(), data.nnz).master_communication
+    return ascii_table(
+        ["quantity", "measured", "Table I formula"],
+        [("master comm (elements)", measured // 8, int(formula))],
+    )
+
+
+def test_table1(benchmark, emit):
+    emit("table1_paper_scale", paper_scale_table())
+    emit("table1_validation", measured_vs_formula())
+
+    # wall-clock: one full ColumnSGD iteration at laptop scale
+    data = make_classification(5000, 10_000, nnz_per_row=15, seed=1)
+    cluster = SimulatedCluster(CLUSTER1)
+    driver = ColumnSGDDriver(
+        LogisticRegression(), SGD(1.0), cluster,
+        config=ColumnSGDConfig(batch_size=1000, iterations=1, eval_every=0),
+    )
+    driver.load(data)
+    counter = iter(range(10**9))
+
+    def one_iteration():
+        driver._run_iteration(next(counter))
+
+    benchmark(one_iteration)

@@ -1,0 +1,46 @@
+"""Table II: dataset statistics — paper scale and our scaled stand-ins.
+
+The wall-clock benchmark times synthetic generation of the kddb profile
+stand-in (the data-creation cost every other experiment pays).
+"""
+
+from repro.datasets import PROFILES, load_profile
+from repro.utils import ascii_table, format_bytes
+
+
+def paper_table():
+    rows = []
+    for name in ("avazu", "kddb", "kdd12", "criteo", "wx"):
+        p = PROFILES[name]
+        rows.append(
+            (
+                p.name,
+                "{:,}".format(p.paper_instances),
+                "{:,}".format(p.paper_features),
+                format_bytes(p.paper_size_bytes),
+                "{:.6f}".format(p.paper_sparsity),
+            )
+        )
+    return ascii_table(
+        ["dataset", "#instances (paper)", "#features (paper)", "size (paper)", "sparsity"],
+        rows,
+    )
+
+
+def scaled_table():
+    rows = []
+    for name in ("avazu", "kddb", "kdd12", "criteo", "wx"):
+        data = load_profile(name).generate(seed=0, rows=2000)
+        stats = data.stats()
+        rows.append(stats.as_row())
+    return ascii_table(
+        ["dataset", "#instances", "#features", "nnz", "sparsity", "size"], rows
+    )
+
+
+def test_table2(benchmark, emit):
+    emit("table2_paper", paper_table())
+    emit("table2_scaled", scaled_table())
+
+    profile = load_profile("kddb")
+    benchmark(lambda: profile.generate(seed=1, rows=2000))

@@ -1,0 +1,30 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every ``bench_*`` file regenerates one table or figure of the paper.
+Results are printed through :func:`emit` (bypassing pytest capture, so
+``pytest benchmarks/ --benchmark-only`` shows them inline) and appended
+to ``benchmarks/results/<name>.txt`` for the record.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a report block to the live terminal and persist it."""
+
+    def _emit(name: str, text: str):
+        block = "\n=== {} ===\n{}\n".format(name, text)
+        with capsys.disabled():
+            print(block)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / "{}.txt".format(name)
+        path.write_text(block)
+
+    return _emit

@@ -1,0 +1,54 @@
+"""Compare ColumnSGD against the four RowSGD baselines (a mini Fig 8).
+
+Trains LR on a kdd12-like sparse dataset with all five systems on the
+same simulated 8-machine cluster and prints per-iteration time, final
+loss, and the time each system needs to reach a common target loss.
+
+Run:  python examples/compare_systems.py
+"""
+
+from repro.datasets import load_profile
+from repro.experiments import (
+    ExperimentSpec,
+    convergence_table,
+    iteration_time_table,
+    run_comparison,
+)
+from repro.sim import CLUSTER1
+
+
+def main():
+    data = load_profile("kdd12").generate(seed=1, rows=6000)
+    print("dataset:", data)
+
+    spec = ExperimentSpec(
+        dataset="kdd12",
+        model="lr",
+        systems=["columnsgd", "mllib", "mllib*", "petuum", "mxnet"],
+        batch_size=500,
+        iterations=50,
+        eval_every=5,
+        cluster=CLUSTER1,
+        learning_rate=1.0,
+        seed=1,
+        explicit_data=data,
+    )
+    results = run_comparison(spec)
+
+    print("\nper-iteration time (simulated):")
+    print(iteration_time_table(results))
+
+    target = results["columnsgd"].final_loss() * 1.05
+    print("\ntime to reach loss <= {:.4f}:".format(target))
+    print(convergence_table(results, target))
+
+    print(
+        "\nNote: at this scaled-down model size the PS systems look fast "
+        "(the paper's avazu regime).  The gaps the paper reports for kdd12 "
+        "(930x over MLlib) appear at the true 54.7M-dimension scale — see "
+        "benchmarks/bench_table4_lr_iteration.py for the paper-scale table."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Coordinate descent vs ColumnSGD on the same column partitions.
+
+The paper's related work singles out coordinate descent (Hydra, CoCoA)
+as the optimizer family that is *naturally* column-oriented.  Both
+trainers here consume the identical column-partitioned worksets; they
+differ in what crosses the network per round:
+
+* RidgeCD synchronises an O(N) residual — few rounds, heavy messages;
+* ColumnSGD synchronises O(B) statistics — light messages, more rounds.
+
+Run:  python examples/coordinate_descent.py
+"""
+
+from repro import CLUSTER1, LeastSquares, SGD, SimulatedCluster, train_columnsgd
+from repro.datasets import make_regression
+from repro.extensions import RidgeCDTrainer
+
+
+def main():
+    data = make_regression(5000, 8000, nnz_per_row=10, noise_std=0.05, seed=7)
+    print("dataset:", data)
+
+    print("\n--- distributed coordinate descent (ridge, lam=0) ---")
+    cd = RidgeCDTrainer(
+        SimulatedCluster(CLUSTER1), lam=0.0, iterations=40, eval_every=5, seed=7
+    )
+    cd.load(data)
+    cd_result = cd.fit()
+    for iteration, sim_time, loss in cd_result.losses():
+        print("  round {:>3}  t={:6.3f}s  loss={:.4f}".format(iteration, sim_time, loss))
+
+    print("\n--- ColumnSGD (least squares) ---")
+    sgd_result = train_columnsgd(
+        data, LeastSquares(), SGD(0.1), SimulatedCluster(CLUSTER1),
+        batch_size=1000, iterations=200, eval_every=40, seed=7,
+    )
+    for iteration, sim_time, loss in sgd_result.losses():
+        print("  iter {:>4}  t={:6.3f}s  loss={:.4f}".format(iteration, sim_time, loss))
+
+    print("\nbytes per synchronisation:")
+    print("  CD (residual, O(N)):      {:,}".format(cd_result.records[-1].bytes_sent))
+    print("  ColumnSGD (stats, O(B)):  {:,}".format(sgd_result.records[-1].bytes_sent))
+    print(
+        "\nOn a quadratic objective CD's exact coordinate steps win; on "
+        "non-quadratic losses, streaming data, or when N dwarfs B, the "
+        "O(B) statistics exchange is the better trade — the design space "
+        "the paper's Section VI sketches."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Field-aware FM: the natural next step after the paper's FM.
+
+FFM (Juan et al., RecSys 2016) gives each feature one latent vector per
+*field* (user features vs ad features vs context features...).  It
+decomposes under ColumnSGD's statistics protocol exactly like FM does —
+field-pair partial sums are additive over column shards — so the same
+driver trains it unchanged, with statistics width 1 + A^2 F.
+
+This example builds a two-field dataset whose labels depend on a
+cross-field interaction, shows LR stall while FFM fits it, and prints
+the traffic arithmetic.
+
+Run:  python examples/field_aware_fm.py
+"""
+
+import numpy as np
+
+from repro import CLUSTER1, LogisticRegression, SGD, SimulatedCluster, train_columnsgd
+from repro.datasets import Dataset
+from repro.linalg import CSRMatrix
+from repro.models.ffm import FieldAwareFM
+
+
+def cross_field_dataset(n_rows=6000, per_field=10, seed=3):
+    """Two fields; the label is the sign of a product of one feature
+    from each field — invisible to any linear model."""
+    rng = np.random.default_rng(seed)
+    m = 2 * per_field
+    dense = rng.normal(size=(n_rows, m))
+    labels = np.where(dense[:, 0] * dense[:, per_field] > 0, 1.0, -1.0)
+    field_of = np.array([0] * per_field + [1] * per_field)
+    return Dataset(CSRMatrix.from_dense(dense), labels, name="cross-field"), field_of
+
+
+def main():
+    data, field_of = cross_field_dataset()
+    print("dataset:", data, "fields:", sorted(set(field_of.tolist())))
+
+    lr = train_columnsgd(
+        data, LogisticRegression(), SGD(0.5), SimulatedCluster(CLUSTER1),
+        batch_size=500, iterations=200, eval_every=50, seed=3,
+    )
+    print("\nLR  final loss: {:.4f} (chance = log 2 = 0.6931)".format(lr.final_loss()))
+
+    ffm_model = FieldAwareFM(field_of, n_factors=2)
+    ffm = train_columnsgd(
+        data, ffm_model, SGD(0.1), SimulatedCluster(CLUSTER1),
+        batch_size=500, iterations=200, eval_every=50, seed=3,
+    )
+    print("FFM final loss: {:.4f} (captures the cross-field product)".format(
+        ffm.final_loss()))
+
+    print("\nstatistics width: LR 1, FFM 1 + A^2 F = {} values per example".format(
+        ffm_model.statistics_width))
+    print("bytes/iteration: LR {:,}, FFM {:,} — still independent of the "
+          "model dimension".format(
+              lr.records[-1].bytes_sent, ffm.records[-1].bytes_sent))
+
+
+if __name__ == "__main__":
+    main()

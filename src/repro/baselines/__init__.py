@@ -1,0 +1,37 @@
+"""RowSGD baselines: the four systems the paper compares against.
+
+All four re-implement the *communication pattern and model management*
+of the original system on the same simulated cluster, sharing the exact
+numerical kernels with ColumnSGD — so relative comparisons isolate the
+partitioning strategy, which is the paper's analytical argument.
+
+* :class:`MLlibTrainer` — Spark MLlib: one master holds the model; full
+  dense model broadcast + dense gradient aggregation every iteration.
+* :class:`MLlibStarTrainer` — MLlib* (Zhang et al., ICDE 2019): model
+  averaging with an AllReduce; workers keep local model copies.
+* :class:`ParameterServerTrainer` — Petuum-style PS: the model is
+  sharded over S servers; workers pull *all* dimensions, push sparse
+  gradients.
+* :class:`SparsePSTrainer` — MXNet-style PS: like Petuum but workers
+  pull only the coordinates their batch touches ("sparse pull").
+"""
+
+from repro.baselines.base import BaselineTrainer, RowSGDConfig
+from repro.baselines.mllib import MLlibTrainer
+from repro.baselines.mllib_star import MLlibStarTrainer
+from repro.baselines.parameter_server import ParameterServerTrainer
+from repro.baselines.sparse_ps import SparsePSTrainer
+from repro.baselines.ssp import StaleSyncPSTrainer
+from repro.baselines.registry import make_trainer, TRAINER_REGISTRY
+
+__all__ = [
+    "BaselineTrainer",
+    "RowSGDConfig",
+    "MLlibTrainer",
+    "MLlibStarTrainer",
+    "ParameterServerTrainer",
+    "SparsePSTrainer",
+    "StaleSyncPSTrainer",
+    "make_trainer",
+    "TRAINER_REGISTRY",
+]

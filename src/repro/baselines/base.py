@@ -1,0 +1,258 @@
+"""Shared machinery of the RowSGD baselines.
+
+The trainers differ only in who stores the model and what crosses the
+network; the numerical loop (Algorithm 2) is shared here: workers sample
+``B/K`` rows from their horizontal shards, compute *sum* gradients
+against the current model, the center aggregates to the mean batch
+gradient, adds the regularization gradient once, and steps the
+optimizer.  With the same batch, every baseline's trajectory matches
+single-machine SGD exactly — the differences the paper measures are in
+time and memory, not math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.results import IterationRecord, TrainingResult
+from repro.datasets.dataset import Dataset
+from repro.errors import TrainingError
+from repro.linalg import CSRMatrix
+from repro.models.base import StatisticsModel
+from repro.optim.base import Optimizer
+from repro.errors import MasterFailedError
+from repro.partition.dispatch import load_row_partitioned
+from repro.partition.row import RowPartitioner
+from repro.sim.cluster import SimulatedCluster
+from repro.sim.failures import FailureInjector, FailureKind
+from repro.sim.straggler import StragglerModel
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class RowSGDConfig:
+    """Hyper-parameters shared by all RowSGD baselines."""
+
+    batch_size: int = 1000
+    iterations: int = 100
+    eval_every: int = 10
+    seed: int = 0
+    repartition: bool = False  # MLlib-Repartition loading for Fig 7
+
+    def __post_init__(self):
+        check_positive(self.batch_size, "batch_size")
+        check_positive(self.iterations, "iterations")
+        check_non_negative(self.eval_every, "eval_every")
+
+
+class BaselineTrainer:
+    """Template for the centralized RowSGD systems (Algorithm 2).
+
+    Subclasses define :meth:`_system_name`, the per-iteration
+    communication time (:meth:`_communication_seconds`) and setup memory
+    charges (:meth:`_charge_setup_memory`).  MLlib* overrides the whole
+    iteration because model averaging changes the math.
+    """
+
+    def __init__(
+        self,
+        model: StatisticsModel,
+        optimizer: Optimizer,
+        cluster: SimulatedCluster,
+        config: RowSGDConfig = None,
+        straggler: StragglerModel = None,
+        failures: FailureInjector = None,
+    ):
+        self.model = model
+        self.optimizer = optimizer.spawn()
+        self.cluster = cluster
+        self.config = config if config is not None else RowSGDConfig()
+        self.straggler = (
+            straggler if straggler is not None else StragglerModel.none(cluster.n_workers)
+        )
+        self.failures = failures if failures is not None else FailureInjector.none()
+        self._dataset: Optional[Dataset] = None
+        self._partitioner: Optional[RowPartitioner] = None
+        self._params: Optional[np.ndarray] = None
+        self.load_report = None
+
+    # ------------------------------------------------------------------
+    def _system_name(self) -> str:
+        raise NotImplementedError
+
+    def _communication_seconds(self, batch: Dataset) -> float:
+        """Per-iteration network time given the sampled global batch."""
+        raise NotImplementedError
+
+    def _center_update_seconds(self) -> float:
+        """Dense model-maintenance time at the master/servers."""
+        raise NotImplementedError
+
+    def _charge_setup_memory(self) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def load(self, dataset: Dataset):
+        """Row-partition the data and initialise the central model."""
+        self._dataset = dataset
+        self._partitioner, self.load_report = load_row_partitioned(
+            dataset,
+            self.cluster,
+            repartition=self.config.repartition,
+            seed=self.config.seed,
+        )
+        self._params = self.model.init_params(dataset.n_features, seed=self.config.seed)
+        self._charge_setup_memory()
+        return self.load_report
+
+    @property
+    def model_elements(self) -> int:
+        """Total scalars in the model (m * params_per_feature)."""
+        if self._dataset is None:
+            raise TrainingError("call load() first")
+        return int(self._dataset.n_features * self.model.params_per_feature())
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: Dataset = None, iterations: int = None) -> TrainingResult:
+        """Run Algorithm 2; returns the loss/time trace."""
+        if dataset is not None and self._dataset is None:
+            self.load(dataset)
+        if self._dataset is None:
+            raise TrainingError("call load() or pass a dataset to fit()")
+        iterations = iterations if iterations is not None else self.config.iterations
+        check_positive(iterations, "iterations")
+
+        result = TrainingResult(
+            system=self._system_name(),
+            model=self.model.name,
+            dataset=self._dataset.name,
+            batch_size=self.config.batch_size,
+            n_workers=self.cluster.n_workers,
+        )
+        if self.config.eval_every:
+            self._record(result, -1, 0.0, 0, evaluate=True)
+
+        for t in range(iterations):
+            bytes_before = self.cluster.network.total_bytes()
+            duration = self._handle_failures(t)
+            duration += self._run_iteration(t)
+            self.cluster.clock.advance(duration)
+            evaluate = bool(self.config.eval_every) and (
+                (t + 1) % self.config.eval_every == 0 or t == iterations - 1
+            )
+            self._record(
+                result,
+                t,
+                duration,
+                self.cluster.network.total_bytes() - bytes_before,
+                evaluate,
+            )
+
+        result.final_params = np.array(self._params, copy=True)
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_iteration(self, t: int) -> float:
+        """One Algorithm 2 iteration; returns its simulated duration."""
+        slowdowns = self.straggler.slowdowns(t)
+        width = self.model.statistics_width
+        grad_sum = np.zeros_like(self._params)
+        compute_times: List[float] = []
+        batch_parts: List[Dataset] = []
+        for w in range(self.cluster.n_workers):
+            local = self._partitioner.sample_local_batch(t, self.config.batch_size, w)
+            batch_parts.append(local)
+            if local.n_rows:
+                stats = self.model.compute_statistics(local.features, self._params)
+                # Passing zeros as the params makes the per-shard call
+                # contribute no regularization gradient (L1/L2/None all
+                # vanish at 0); the penalty is added exactly once below.
+                mean_grad = self.model.gradient_from_statistics(
+                    local.features, local.labels, stats, np.zeros_like(self._params)
+                )
+                grad_sum += mean_grad * local.n_rows
+            # StragglerLevel multiplies the whole task (launch + kernel),
+            # matching the ColumnSGD driver's convention.
+            task = self._task_overhead() + self.cluster.cost.sparse_work(
+                local.nnz, passes=2 * width
+            )
+            compute_times.append(task * slowdowns[w])
+
+        batch = _concat_batches(batch_parts, self._dataset.n_features)
+        gradient = grad_sum / max(batch.n_rows, 1) + self.model.regularizer.gradient(
+            self._params
+        )
+        self.optimizer.step(self._params, gradient, t)
+
+        return (
+            max(compute_times)
+            + self._communication_seconds(batch)
+            + self._center_update_seconds()
+        )
+
+    def _task_overhead(self) -> float:
+        return self.cluster.cost.task_overhead
+
+    def _handle_failures(self, t: int) -> float:
+        """RowSGD fault semantics: the model lives at the center, so a
+        worker crash costs only a shard reload (no numeric effect); a
+        master crash loses the model and aborts the job."""
+        extra = 0.0
+        for event in self.failures.events_at(t):
+            if event.kind == FailureKind.MASTER:
+                raise MasterFailedError(
+                    "master failed at iteration {} — the model is lost; "
+                    "RowSGD restarts from scratch".format(t)
+                )
+            if event.kind == FailureKind.TASK:
+                extra += self.cluster.cost.task_overhead
+                continue
+            shard = self._partitioner.shard(event.worker_id)
+            reload_bytes = shard.nnz * 12 + shard.n_rows * 8
+            extra += (
+                self.cluster.cost.task_overhead
+                + reload_bytes / self.cluster.spec.disk_bandwidth_bytes_per_s
+                + reload_bytes / self.cluster.network.bandwidth
+            )
+        return extra
+
+    # ------------------------------------------------------------------
+    def current_params(self) -> np.ndarray:
+        """The central model."""
+        if self._params is None:
+            raise TrainingError("call load() first")
+        return np.array(self._params, copy=True)
+
+    def evaluate_loss(self, dataset: Dataset = None) -> float:
+        """Full objective on the training set (not charged to sim time)."""
+        data = dataset if dataset is not None else self._dataset
+        return self.model.loss(data.features, data.labels, self._params)
+
+    def _record(self, result, iteration, duration, bytes_sent, evaluate) -> None:
+        loss = self.evaluate_loss() if evaluate else None
+        if loss is not None and not np.isfinite(loss):
+            raise TrainingError(
+                "training diverged at iteration {} (loss={})".format(iteration, loss)
+            )
+        result.add(
+            IterationRecord(
+                iteration=iteration,
+                sim_time=self.cluster.clock.now(),
+                duration=duration,
+                loss=loss,
+                bytes_sent=bytes_sent,
+            )
+        )
+
+
+def _concat_batches(parts: List[Dataset], n_features: int) -> Dataset:
+    """Stack per-worker batches into the logical global batch."""
+    nonempty = [p for p in parts if p.n_rows]
+    if not nonempty:
+        raise TrainingError("empty global batch")
+    features = CSRMatrix.vstack([p.features for p in nonempty])
+    labels = np.concatenate([p.labels for p in nonempty])
+    return Dataset(features, labels, name=nonempty[0].name)

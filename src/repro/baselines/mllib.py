@@ -1,0 +1,41 @@
+"""Spark MLlib baseline: single master, dense model traffic.
+
+Every iteration the master ships the full dense model to each of the K
+workers and aggregates K dense gradients back through its single NIC —
+the ``2 K m`` communication of Table I that makes per-iteration time
+linear in model size (Table IV's 55.8 s on kdd12).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineTrainer
+from repro.net.message import MessageKind
+from repro.storage.serialization import dense_vector_bytes
+
+
+class MLlibTrainer(BaselineTrainer):
+    """MLlib-style RowSGD (Algorithm 2 with a single master)."""
+
+    def _system_name(self) -> str:
+        return "MLlib"
+
+    def _communication_seconds(self, batch) -> float:
+        model_bytes = dense_vector_bytes(self.model_elements)
+        pull = self.cluster.topology.broadcast(MessageKind.MODEL_PULL, model_bytes)
+        push = self.cluster.topology.gather(
+            MessageKind.GRADIENT_PUSH, [model_bytes] * self.cluster.n_workers
+        )
+        return pull + push
+
+    def _center_update_seconds(self) -> float:
+        # aggregate K gradients + apply the update, all dense on the master
+        return self.cluster.cost.dense_work(2 * self.model_elements)
+
+    def _charge_setup_memory(self) -> None:
+        model_bytes = self.model_elements * 8
+        # Table I master memory: the model plus the aggregation buffer.
+        self.cluster.charge_memory(self.cluster.MASTER, 2 * model_bytes, "model+buffer")
+        shard_bytes = self._dataset.nnz * 12 // self.cluster.n_workers
+        for w in range(self.cluster.n_workers):
+            # shard + pulled model + computed gradient
+            self.cluster.charge_memory(w, shard_bytes + 2 * model_bytes, "shard+model")

@@ -1,0 +1,66 @@
+"""Petuum-style parameter server: sharded model, full pulls.
+
+The model lives in S = K server shards (servers colocated with
+workers, as the paper configures).  Workers pull *all* dimensions every
+iteration — "MLlib and Petuum have to pull all dimensions, which is
+apparently inefficient" — but pushes are sparse.  Total bytes match
+MLlib; they are merely spread over S NICs, which is the paper's point
+about PS architectures.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineTrainer
+from repro.core.analysis import SERVER_SCAN_SECONDS_PER_ELEMENT, SPARSE_PAIR_BYTES
+from repro.net.message import MessageKind
+from repro.storage.serialization import dense_vector_bytes
+
+
+class ParameterServerTrainer(BaselineTrainer):
+    """Petuum-style PS RowSGD (full pull, sparse push)."""
+
+    def __init__(self, *args, n_servers: int = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.n_servers = n_servers if n_servers is not None else self.cluster.n_workers
+
+    def _system_name(self) -> str:
+        return "Petuum"
+
+    def _task_overhead(self) -> float:
+        # PS runtimes keep workers hot; no Spark task launch per iteration.
+        from repro.sim.cost import PS_TASK_OVERHEAD
+
+        return PS_TASK_OVERHEAD
+
+    def _push_sizes(self, batch) -> list:
+        """Sparse gradient push bytes per worker (its batch share's nnz)."""
+        ppf = self.model.params_per_feature()
+        per_worker_nnz = batch.nnz / self.cluster.n_workers
+        return [int(per_worker_nnz * ppf * SPARSE_PAIR_BYTES)] * self.cluster.n_workers
+
+    def _communication_seconds(self, batch) -> float:
+        model_bytes = dense_vector_bytes(self.model_elements)
+        pull = self.cluster.topology.sharded_broadcast(
+            MessageKind.MODEL_PULL, model_bytes, self.n_servers
+        )
+        push = self.cluster.topology.sharded_gather(
+            MessageKind.GRADIENT_PUSH, self._push_sizes(batch), self.n_servers
+        )
+        return pull + push
+
+    def _center_update_seconds(self) -> float:
+        # per-iteration dense maintenance of each server's shard
+        return SERVER_SCAN_SECONDS_PER_ELEMENT * self.model_elements / self.n_servers
+
+    def _charge_setup_memory(self) -> None:
+        model_bytes = self.model_elements * 8
+        # PS init materialises the full dense model at the driver before
+        # sharding (plus a serialization buffer) — the OOM mechanism of
+        # Table V's FM F=50 run.
+        self.cluster.charge_memory(self.cluster.MASTER, 2 * model_bytes, "dense model init")
+        shard_bytes = self._dataset.nnz * 12 // self.cluster.n_workers
+        server_shard = 2 * model_bytes // self.n_servers
+        for w in range(self.cluster.n_workers):
+            self.cluster.charge_memory(
+                w, shard_bytes + 2 * model_bytes + server_shard, "shard+model+server"
+            )

@@ -1,0 +1,52 @@
+"""MXNet-style parameter server: sparse pulls.
+
+Like Petuum but workers pull only the coordinates their local batch
+touches, so the pull volume scales with ``B/K * nnz_per_row`` instead of
+``m``.  The per-iteration server-side dense scan remains — that is why
+MXNet's per-iteration time still grows with model size in Table IV, and
+why ColumnSGD overtakes it once models get large while losing to it on
+small-model avazu.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.parameter_server import ParameterServerTrainer
+from repro.core.analysis import SPARSE_PAIR_BYTES
+from repro.net.message import MessageKind
+
+
+class SparsePSTrainer(ParameterServerTrainer):
+    """MXNet-style PS RowSGD (sparse pull + sparse push)."""
+
+    def _system_name(self) -> str:
+        return "MXNet"
+
+    def _communication_seconds(self, batch) -> float:
+        sizes = self._push_sizes(batch)
+        pull = self.cluster.topology.sharded_gather(
+            MessageKind.MODEL_PULL, sizes, self.n_servers
+        )
+        push = self.cluster.topology.sharded_gather(
+            MessageKind.GRADIENT_PUSH, sizes, self.n_servers
+        )
+        return pull + push
+
+    def _charge_setup_memory(self) -> None:
+        model_bytes = self.model_elements * 8
+        # Same dense init at the driver as Petuum (KVStore init path);
+        # workers only buffer the sparse rows they pull.
+        self.cluster.charge_memory(self.cluster.MASTER, 2 * model_bytes, "dense model init")
+        shard_bytes = self._dataset.nnz * 12 // self.cluster.n_workers
+        ppf = self.model.params_per_feature()
+        batch_buffer = int(
+            2
+            * (self.config.batch_size / self.cluster.n_workers)
+            * max(self._dataset.nnz / max(self._dataset.n_rows, 1), 1.0)
+            * ppf
+            * SPARSE_PAIR_BYTES
+        )
+        server_shard = 2 * model_bytes // self.n_servers
+        for w in range(self.cluster.n_workers):
+            self.cluster.charge_memory(
+                w, shard_bytes + batch_buffer + server_shard, "shard+buffers+server"
+            )

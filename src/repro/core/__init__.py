@@ -1,0 +1,42 @@
+"""ColumnSGD — the paper's primary contribution.
+
+One master + K workers; training data *and* model are partitioned by
+columns with the same assignment, so each worker's (data shard, model
+partition) pair is collocated.  Per iteration (Algorithm 3): workers
+compute partial statistics, the master sums and broadcasts them, workers
+recover gradients locally and update their partitions.  Communication is
+``O(B * statistics_width)`` per worker — independent of model size.
+
+Entry points: :class:`ColumnSGDDriver` (full control) and
+:func:`train_columnsgd` (one-call convenience).
+"""
+
+from repro.core.results import IterationRecord, TrainingResult
+from repro.core.backup import BackupGroups
+from repro.core.worker import ColumnWorker, PartitionState
+from repro.core.master import ColumnMaster
+from repro.core.driver import ColumnSGDConfig, ColumnSGDDriver, train_columnsgd
+from repro.core.interface import UserDefinedModel
+from repro.core.analysis import (
+    OverheadEstimate,
+    rowsgd_overheads,
+    columnsgd_overheads,
+    predict_iteration_time,
+)
+
+__all__ = [
+    "IterationRecord",
+    "TrainingResult",
+    "BackupGroups",
+    "ColumnWorker",
+    "PartitionState",
+    "ColumnMaster",
+    "ColumnSGDConfig",
+    "ColumnSGDDriver",
+    "train_columnsgd",
+    "UserDefinedModel",
+    "OverheadEstimate",
+    "rowsgd_overheads",
+    "columnsgd_overheads",
+    "predict_iteration_time",
+]

@@ -1,0 +1,484 @@
+"""The ColumnSGD driver: load, partition, and run Algorithm 3.
+
+The driver executes the real numerics (statistics, gradients, updates)
+in-process while charging simulated time for compute (cost model x
+straggler slowdowns), network (statistics gather/broadcast through the
+master), and BSP barriers (two Spark-scheduled stages per iteration:
+computeStatistics and updateModel).
+
+Exactness invariant: with no failures, the parameter trajectory is
+identical (to float tolerance) to single-machine mini-batch SGD on the
+same draw sequence — tests assert this for every model and optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.backup import BackupGroups
+from repro.core.master import ColumnMaster
+from repro.core.results import IterationRecord, TrainingResult
+from repro.core.worker import ColumnWorker, PartitionState
+from repro.datasets.dataset import Dataset
+from repro.errors import MasterFailedError, TrainingError
+from repro.models.base import StatisticsModel
+from repro.net.message import MessageKind
+from repro.optim.base import Optimizer
+from repro.partition.column import make_assignment
+from repro.partition.dispatch import dispatch_block_based, dispatch_naive, LoadReport
+from repro.partition.indexing import TwoPhaseIndex
+from repro.sim.cluster import SimulatedCluster
+from repro.sim.failures import FailureInjector, FailureKind
+from repro.sim.straggler import StragglerModel
+from repro.storage.serialization import OBJECT_OVERHEAD_BYTES, dense_vector_bytes
+from repro.utils.validation import check_in, check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class ColumnSGDConfig:
+    """Hyper-parameters and protocol knobs of one ColumnSGD job."""
+
+    batch_size: int = 1000
+    iterations: int = 100
+    backup: int = 0          # S in S-backup computation
+    eval_every: int = 10     # full-train-loss cadence (0 = never)
+    seed: int = 0
+    block_size: int = 2048
+    scheme: str = "round_robin"
+    loader: str = "block"    # 'block' (Algorithm 4) or 'naive'
+    wire_precision: str = "fp64"  # 'fp32' halves statistics traffic
+                                  # (values are rounded through float32)
+    early_stop_patience: int = 0  # stop after this many consecutive
+                                  # evaluations without min_improvement
+                                  # (0 disables; needs eval_every > 0)
+    early_stop_min_improvement: float = 1e-4
+
+    def __post_init__(self):
+        check_positive(self.batch_size, "batch_size")
+        check_positive(self.iterations, "iterations")
+        check_non_negative(self.backup, "backup")
+        check_non_negative(self.eval_every, "eval_every")
+        check_positive(self.block_size, "block_size")
+        check_in(self.loader, ("block", "naive"), "loader")
+        check_in(self.wire_precision, ("fp64", "fp32"), "wire_precision")
+        check_non_negative(self.early_stop_patience, "early_stop_patience")
+        check_non_negative(self.early_stop_min_improvement, "early_stop_min_improvement")
+        if self.early_stop_patience and not self.eval_every:
+            raise ValueError("early stopping requires eval_every > 0")
+
+    @property
+    def wire_value_bytes(self) -> int:
+        """Bytes per statistics value on the wire."""
+        return 4 if self.wire_precision == "fp32" else 8
+
+
+class ColumnSGDDriver:
+    """One master + K workers running column-partitioned SGD."""
+
+    def __init__(
+        self,
+        model: StatisticsModel,
+        optimizer: Optimizer,
+        cluster: SimulatedCluster,
+        config: ColumnSGDConfig = None,
+        straggler: StragglerModel = None,
+        failures: FailureInjector = None,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.cluster = cluster
+        self.config = config if config is not None else ColumnSGDConfig()
+        self.straggler = (
+            straggler if straggler is not None else StragglerModel.none(cluster.n_workers)
+        )
+        self.failures = failures if failures is not None else FailureInjector.none()
+        self.groups = BackupGroups(cluster.n_workers, self.config.backup)
+        self.master = ColumnMaster(self.groups)
+
+        self._dataset: Optional[Dataset] = None
+        self._assignment = None
+        self._partitions: List[PartitionState] = []
+        self._workers: List[ColumnWorker] = []
+        self._index: Optional[TwoPhaseIndex] = None
+        self.load_report: Optional[LoadReport] = None
+        #: phase durations of the most recent iteration (seconds), keyed
+        #: by phase name — the input to time-breakdown analyses
+        self.last_phase_seconds: Dict[str, float] = {}
+        #: per-worker task times of the most recent iteration, keyed by
+        #: phase ('compute_statistics' / 'update_model'); killed or
+        #: failed workers are absent from 'update_model'
+        self.last_worker_seconds: Dict[str, Dict[int, float]] = {}
+        #: workers the master killed after recovery in the last iteration
+        self.last_killed: set = set()
+
+    # ------------------------------------------------------------------
+    # loading (Algorithm 3 lines 2-3 + Section IV transformation)
+    # ------------------------------------------------------------------
+    def load(self, dataset: Dataset) -> LoadReport:
+        """Transform row-stored data to column partitions and init models."""
+        K = self.cluster.n_workers
+        self._dataset = dataset
+        self._assignment = make_assignment(self.config.scheme, dataset.n_features, K)
+        dispatch = dispatch_block_based if self.config.loader == "block" else dispatch_naive
+        stores, block_sizes, report = dispatch(
+            dataset, self._assignment, self.cluster, block_size=self.config.block_size
+        )
+        self.load_report = report
+        self._index = TwoPhaseIndex(block_sizes, base_seed=self.config.seed)
+
+        # initModel: one global init, sliced per partition so distributed
+        # initialisation matches a single-machine init exactly.
+        full_init = self.model.init_params(dataset.n_features, seed=self.config.seed)
+        self._partitions = []
+        for p in range(K):
+            columns = self._assignment.columns_of(p)
+            self._partitions.append(
+                PartitionState(
+                    partition_id=p,
+                    store=stores[p],
+                    columns=columns,
+                    params=np.array(full_init[columns], dtype=np.float64, copy=True),
+                    optimizer=self.optimizer.spawn(),
+                )
+            )
+        self._workers = [
+            ColumnWorker(
+                w,
+                self.model,
+                [self._partitions[p] for p in self.groups.partitions_of_worker(w)],
+            )
+            for w in range(K)
+        ]
+        self._charge_setup_memory()
+        return report
+
+    def _charge_setup_memory(self) -> None:
+        """Table I memory shape: master holds B-sized buffers, workers
+        hold shard + model partition + two batch-sized temporaries."""
+        B, width = self.config.batch_size, self.model.statistics_width
+        stats_bytes = dense_vector_bytes(B * width)
+        self.cluster.charge_memory(self.cluster.MASTER, 2 * stats_bytes, "statistics buffers")
+        for worker in self._workers:
+            footprint = (
+                worker.stored_bytes()
+                + worker.model_elements() * 8
+                + 2 * stats_bytes
+            )
+            self.cluster.charge_memory(worker.worker_id, footprint, "shard+model")
+
+    # ------------------------------------------------------------------
+    # training loop (Algorithm 3 lines 4-8)
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        dataset: Dataset = None,
+        iterations: int = None,
+        eval_dataset: Dataset = None,
+    ) -> TrainingResult:
+        """Run SGD; returns the loss/time trace and final parameters.
+
+        ``eval_dataset`` enables held-out loss tracking: at every
+        evaluation point the record additionally carries the loss on
+        that dataset (``TrainingResult.eval_losses()``), without
+        charging simulated time.
+        """
+        if dataset is not None and self._dataset is None:
+            self.load(dataset)
+        if self._dataset is None:
+            raise TrainingError("call load() or pass a dataset to fit()")
+        self._eval_dataset = eval_dataset
+        iterations = iterations if iterations is not None else self.config.iterations
+        check_positive(iterations, "iterations")
+
+        result = TrainingResult(
+            system="ColumnSGD" if self.config.backup == 0 else
+            "ColumnSGD-backup{}".format(self.config.backup),
+            model=self.model.name,
+            dataset=self._dataset.name,
+            batch_size=self.config.batch_size,
+            n_workers=self.cluster.n_workers,
+        )
+        if self.config.eval_every:
+            self._record(result, iteration=-1, duration=0.0, bytes_sent=0, evaluate=True)
+
+        for t in range(iterations):
+            bytes_before = self.cluster.network.total_bytes()
+            duration = self._handle_failures(t)
+            duration += self._run_iteration(t)
+            self.cluster.clock.advance(duration)
+            bytes_sent = self.cluster.network.total_bytes() - bytes_before
+            evaluate = bool(self.config.eval_every) and (
+                (t + 1) % self.config.eval_every == 0 or t == iterations - 1
+            )
+            self._record(result, t, duration, bytes_sent, evaluate)
+            if evaluate and self._should_stop_early(result):
+                result.notes = "early stop at iteration {}".format(t)
+                break
+
+        result.final_params = self.current_params()
+        return result
+
+    def _should_stop_early(self, result: TrainingResult) -> bool:
+        """Plateau detection over the evaluated-loss series."""
+        patience = self.config.early_stop_patience
+        if not patience:
+            return False
+        losses = [loss for _, _, loss in result.losses()]
+        if len(losses) <= patience:
+            return False
+        best_before = min(losses[:-patience])
+        recent_best = min(losses[-patience:])
+        return recent_best > best_before - self.config.early_stop_min_improvement
+
+    def _run_iteration(self, t: int) -> float:
+        """One BSP iteration; returns its simulated duration."""
+        B, width = self.config.batch_size, self.model.statistics_width
+        draws = self._index.sample(t, B)
+        slowdowns = self.straggler.slowdowns(t)
+        cost = self.cluster.cost
+
+        # ---- Step 1: computeStatistics on every worker ----------------
+        # A worker's task time is task launch + kernel time; the paper's
+        # StragglerLevel is the ratio of a straggler's *whole task* time
+        # to a normal worker's, so the slowdown multiplies both.
+        stats_by_worker: Dict[int, Optional[np.ndarray]] = {}
+        finish: List[float] = []
+        for worker in self._workers:
+            if worker.failed:
+                stats_by_worker[worker.worker_id] = None
+                finish.append(float("inf"))
+                continue
+            stats, nnz = worker.compute_statistics(draws)
+            stats_by_worker[worker.worker_id] = self._through_wire(stats)
+            task = cost.task_overhead + cost.sparse_work(nnz, passes=width)
+            finish.append(task * slowdowns[worker.worker_id])
+
+        # ---- Step 2: gather, reduce, broadcast -------------------------
+        chosen = self.master.groups.fastest_per_group(finish)
+        chosen_set = set(chosen)
+        killed = set()
+        if self.config.backup > 0:
+            recovery_time = max(finish[w] for w in chosen)
+            killed = {
+                w
+                for w in range(self.cluster.n_workers)
+                if finish[w] > recovery_time and not self._workers[w].failed
+            }
+            phase1 = recovery_time
+        else:
+            phase1 = max(f for f in finish if f != float("inf"))
+
+        stats_size = OBJECT_OVERHEAD_BYTES + B * width * self.config.wire_value_bytes
+        gather_time = self.cluster.topology.gather(
+            MessageKind.STATISTICS_PUSH, [stats_size] * len(chosen_set)
+        )
+        reduced = self._through_wire(
+            self.master.reduce(stats_by_worker, finish_times=finish)
+        )
+        reduce_time = cost.dense_work(len(chosen_set) * B * width)
+        bcast_time = self.cluster.topology.broadcast(MessageKind.STATISTICS_BCAST, stats_size)
+
+        # ---- Step 3: updateModel ---------------------------------------
+        # Each partition is numerically updated exactly once, by its
+        # first live, non-killed replica; every live replica is charged
+        # the update time for the partitions it maintains.
+        updater_of: Dict[int, int] = {}
+        for p in range(self.cluster.n_workers):
+            for w in self.groups.replicas_of_partition(p):
+                if not self._workers[w].failed and w not in killed:
+                    updater_of[p] = w
+                    break
+            else:
+                raise TrainingError(
+                    "partition {} has no live replica to update".format(p)
+                )
+        update_times: Dict[int, float] = {}
+        for worker in self._workers:
+            if worker.failed or worker.worker_id in killed:
+                continue
+            mine = {p for p, w in updater_of.items() if w == worker.worker_id}
+            worker.update_model(reduced, t, only_partitions=mine)
+            # Time is charged for every replica the worker maintains (in
+            # the real system each group member updates all S+1 copies);
+            # numerically each partition was touched exactly once above
+            # because PartitionState objects are shared between replicas.
+            task = cost.task_overhead + cost.sparse_work(
+                worker.cached_batch_nnz(), passes=width
+            )
+            update_times[worker.worker_id] = task * slowdowns[worker.worker_id]
+        phase3 = max(update_times.values()) if update_times else 0.0
+
+        # Two Spark stages per iteration (computeStatistics, updateModel),
+        # each already carrying its task overhead inside the phase times.
+        self.last_phase_seconds = {
+            "compute_statistics": phase1,
+            "gather": gather_time,
+            "reduce": reduce_time,
+            "broadcast": bcast_time,
+            "update_model": phase3,
+        }
+        self.last_worker_seconds = {
+            "compute_statistics": {
+                w: finish[w] for w in range(self.cluster.n_workers)
+            },
+            "update_model": dict(update_times),
+        }
+        self.last_killed = set(killed)
+        return phase1 + gather_time + reduce_time + bcast_time + phase3
+
+    def _through_wire(self, statistics: np.ndarray) -> np.ndarray:
+        """Apply the configured wire precision to a statistics buffer.
+
+        ``fp32`` rounds values through float32 — an honest model of
+        lossy compression: the traffic halves *and* the numerics see the
+        rounding, so the exactness invariant intentionally weakens to
+        float32 resolution.
+        """
+        if self.config.wire_precision == "fp32":
+            return statistics.astype(np.float32).astype(np.float64)
+        return statistics
+
+    # ------------------------------------------------------------------
+    # manual worker control (the paper's footnote 6 scenario)
+    # ------------------------------------------------------------------
+    def kill_worker(self, worker_id: int) -> None:
+        """Permanently kill a worker without recovery.
+
+        Models the paper's footnote 6: "we just kill this worker and
+        continue the training without data re-distribution".  With
+        backup computation the group replicas keep the job exact; with
+        no backup the next iteration raises
+        :class:`~repro.errors.StatisticsRecoveryError` because the
+        worker's partition statistics are unrecoverable.
+        """
+        if not 0 <= worker_id < self.cluster.n_workers:
+            raise ValueError("unknown worker {}".format(worker_id))
+        self._workers[worker_id].fail()
+
+    # ------------------------------------------------------------------
+    # failures (Section X)
+    # ------------------------------------------------------------------
+    def _handle_failures(self, t: int) -> float:
+        """Apply scheduled failures; returns the extra recovery seconds."""
+        extra = 0.0
+        for event in self.failures.events_at(t):
+            if event.kind == FailureKind.MASTER:
+                raise MasterFailedError("master failed at iteration {}".format(t))
+            if event.kind == FailureKind.TASK:
+                # Spark relaunches the task; data and model are cached, so
+                # the cost is one extra task launch.
+                extra += self.cluster.cost.task_overhead
+                continue
+            extra += self._recover_worker(event.worker_id)
+        return extra
+
+    def _recover_worker(self, worker_id: int) -> float:
+        """Worker crash: reload the shard; model partition handling
+        depends on backup availability (replica copy vs zero re-init)."""
+        worker = self._workers[worker_id]
+        worker.fail()
+        reload_bytes = sum(
+            self._partitions[p].store.stored_bytes()
+            for p in self.groups.partitions_of_worker(worker_id)
+        )
+        seconds = (
+            self.cluster.cost.task_overhead
+            + reload_bytes / self.cluster.spec.disk_bandwidth_bytes_per_s
+            + reload_bytes / self.cluster.network.bandwidth
+        )
+        partitions = []
+        for p in self.groups.partitions_of_worker(worker_id):
+            state = self._partitions[p]
+            if self.config.backup == 0:
+                # No replica anywhere: the model partition is lost.  Re-init
+                # to zeros and rely on SGD's robustness (Section X).
+                state.params[...] = 0.0
+                state.optimizer.reset()
+            partitions.append(state)
+        worker.recover(partitions)
+        return seconds
+
+    # ------------------------------------------------------------------
+    # evaluation helpers
+    # ------------------------------------------------------------------
+    def current_params(self) -> np.ndarray:
+        """Assemble the full model from the column partitions."""
+        if self._dataset is None:
+            raise TrainingError("no model yet; call load() first")
+        full = np.zeros(
+            self.model.param_shape(self._dataset.n_features), dtype=np.float64
+        )
+        for state in self._partitions:
+            full[state.columns] = state.params
+        return full
+
+    def set_params(self, full_params: np.ndarray) -> None:
+        """Scatter a full parameter array into the column partitions.
+
+        Warm-starts training from a checkpoint (see :mod:`repro.io`).
+        Optimizer state (momenta, accumulators) is reset, matching what
+        restarting a job from a saved model does in practice.
+        """
+        if self._dataset is None:
+            raise TrainingError("call load() before set_params()")
+        full_params = np.asarray(full_params, dtype=np.float64)
+        expected = self.model.param_shape(self._dataset.n_features)
+        if full_params.shape != tuple(expected):
+            raise TrainingError(
+                "params shape {} does not match model shape {}".format(
+                    full_params.shape, tuple(expected)
+                )
+            )
+        for state in self._partitions:
+            state.params[...] = full_params[state.columns]
+            state.optimizer.reset()
+
+    def evaluate_loss(self, dataset: Dataset = None) -> float:
+        """Full objective on the (training) dataset — not charged to time."""
+        data = dataset if dataset is not None else self._dataset
+        return self.model.loss(data.features, data.labels, self.current_params())
+
+    def _record(
+        self,
+        result: TrainingResult,
+        iteration: int,
+        duration: float,
+        bytes_sent: int,
+        evaluate: bool,
+    ) -> None:
+        loss = self.evaluate_loss() if evaluate else None
+        if loss is not None and not np.isfinite(loss):
+            raise TrainingError(
+                "training diverged at iteration {} (loss={})".format(iteration, loss)
+            )
+        eval_loss = None
+        if evaluate and getattr(self, "_eval_dataset", None) is not None:
+            eval_loss = self.evaluate_loss(self._eval_dataset)
+        result.add(
+            IterationRecord(
+                iteration=iteration,
+                sim_time=self.cluster.clock.now(),
+                duration=duration,
+                loss=loss,
+                bytes_sent=bytes_sent,
+                eval_loss=eval_loss,
+            )
+        )
+
+
+def train_columnsgd(
+    dataset: Dataset,
+    model: StatisticsModel,
+    optimizer: Optimizer,
+    cluster: SimulatedCluster,
+    **config_kwargs,
+) -> TrainingResult:
+    """One-call convenience: load + fit with a fresh driver."""
+    driver = ColumnSGDDriver(
+        model, optimizer, cluster, config=ColumnSGDConfig(**config_kwargs)
+    )
+    driver.load(dataset)
+    return driver.fit()

@@ -1,0 +1,63 @@
+"""ColumnSGD master: statistics aggregation and recovery.
+
+The master is deliberately lightweight (the paper's headline design
+point): it never sees the model, only per-batch statistics buffers of
+shape ``(B, statistics_width)``.  With backup computation it additionally
+runs the recovery rule: inspect arrivals until every group is covered,
+then kill the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.backup import BackupGroups
+from repro.errors import SimulationError
+
+
+class ColumnMaster:
+    """Aggregates per-group statistics (Algorithm 3, reduceStatistics)."""
+
+    def __init__(self, groups: BackupGroups):
+        self.groups = groups
+
+    def reduce(
+        self,
+        stats_by_worker: Dict[int, Optional[np.ndarray]],
+        finish_times: Optional[Sequence[float]] = None,
+    ) -> np.ndarray:
+        """Sum one contribution per group into the complete statistics.
+
+        ``stats_by_worker[w]`` is worker w's aggregated group statistics,
+        or ``None`` for workers that never reported (killed stragglers,
+        crashes).  When ``finish_times`` is given, the earliest finisher
+        of each group is chosen (the paper's recovery rule); otherwise
+        the first live member wins.
+        """
+        if finish_times is not None:
+            adjusted = [
+                finish_times[w] if stats_by_worker.get(w) is not None else float("inf")
+                for w in range(self.groups.n_workers)
+            ]
+            chosen = self.groups.fastest_per_group(adjusted)
+        else:
+            dead = frozenset(
+                w
+                for w in range(self.groups.n_workers)
+                if stats_by_worker.get(w) is None
+            )
+            chosen = self.groups.select_survivors(dead)
+
+        total = None
+        for worker in chosen:
+            contribution = stats_by_worker[worker]
+            if contribution is None:
+                raise SimulationError(
+                    "chosen worker {} has no statistics".format(worker)
+                )
+            total = contribution.copy() if total is None else total + contribution
+        if total is None:
+            raise SimulationError("no statistics to reduce")
+        return total

@@ -1,0 +1,170 @@
+"""Training results shared by ColumnSGD and every baseline.
+
+A :class:`TrainingResult` is the uniform output of all trainers: the
+loss-versus-(iteration, simulated time) curve that regenerates Fig 4(a),
+Fig 8 and Fig 13, plus per-iteration timing and traffic for Table IV/V
+and Figs 9-11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One SGD iteration's bookkeeping."""
+
+    iteration: int
+    sim_time: float        # simulated clock *after* the iteration (s)
+    duration: float        # simulated length of this iteration (s)
+    loss: Optional[float]  # full-train loss, when evaluated this iteration
+    bytes_sent: int        # network bytes this iteration (all nodes)
+    eval_loss: Optional[float] = None  # held-out loss, when tracked
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one training run on one system."""
+
+    system: str
+    model: str
+    dataset: str
+    batch_size: int
+    n_workers: int
+    records: List[IterationRecord] = field(default_factory=list)
+    final_params: Optional[np.ndarray] = None
+    total_sim_time: float = 0.0
+    notes: str = ""
+
+    # ------------------------------------------------------------------
+    def add(self, record: IterationRecord) -> None:
+        """Append one iteration record."""
+        self.records.append(record)
+        self.total_sim_time = record.sim_time
+
+    @property
+    def n_iterations(self) -> int:
+        """Completed iterations."""
+        return len(self.records)
+
+    def losses(self) -> List[tuple]:
+        """``(iteration, sim_time, loss)`` for iterations with a loss eval."""
+        return [
+            (r.iteration, r.sim_time, r.loss) for r in self.records if r.loss is not None
+        ]
+
+    def final_loss(self) -> Optional[float]:
+        """Last evaluated training loss."""
+        evaluated = self.losses()
+        return evaluated[-1][2] if evaluated else None
+
+    def avg_iteration_seconds(self, skip_first: int = 1) -> float:
+        """Mean simulated per-iteration time (Table IV/V's metric).
+
+        Skips warm-up iterations (loading/first-touch effects), as the
+        paper's averages do.
+        """
+        durations = [r.duration for r in self.records[skip_first:]]
+        if not durations:
+            durations = [r.duration for r in self.records]
+        return float(np.mean(durations)) if durations else 0.0
+
+    def time_to_loss(self, threshold: float) -> Optional[float]:
+        """First simulated time at which train loss <= threshold.
+
+        This is the "horizontal line" comparison of Fig 8.  ``None`` when
+        the run never reached the threshold.
+        """
+        for _, sim_time, loss in self.losses():
+            if loss <= threshold:
+                return sim_time
+        return None
+
+    def eval_losses(self) -> List[tuple]:
+        """``(iteration, sim_time, held-out loss)`` where tracked."""
+        return [
+            (r.iteration, r.sim_time, r.eval_loss)
+            for r in self.records
+            if r.eval_loss is not None
+        ]
+
+    def total_bytes(self) -> int:
+        """Total network bytes over the run."""
+        return sum(r.bytes_sent for r in self.records)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_csv(self, path) -> None:
+        """Write the per-iteration trace as CSV (metadata in # comments).
+
+        Columns: iteration, sim_time, duration, loss, bytes_sent,
+        eval_loss.  Unevaluated losses are empty cells.
+        """
+        with open(str(path), "w", encoding="utf-8") as stream:
+            stream.write("# system={}\n# model={}\n# dataset={}\n".format(
+                self.system, self.model, self.dataset))
+            stream.write("# batch_size={}\n# n_workers={}\n".format(
+                self.batch_size, self.n_workers))
+            stream.write("iteration,sim_time,duration,loss,bytes_sent,eval_loss\n")
+            for r in self.records:
+                stream.write("{},{:.9f},{:.9f},{},{},{}\n".format(
+                    r.iteration, r.sim_time, r.duration,
+                    "" if r.loss is None else repr(r.loss),
+                    r.bytes_sent,
+                    "" if r.eval_loss is None else repr(r.eval_loss),
+                ))
+
+    @classmethod
+    def from_csv(cls, path) -> "TrainingResult":
+        """Reload a trace written by :meth:`to_csv` (no final_params)."""
+        meta = {}
+        records = []
+        with open(str(path), "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    key, _, value = line[1:].strip().partition("=")
+                    meta[key.strip()] = value.strip()
+                    continue
+                if line.startswith("iteration,"):
+                    continue
+                cells = line.split(",")
+                records.append(
+                    IterationRecord(
+                        iteration=int(cells[0]),
+                        sim_time=float(cells[1]),
+                        duration=float(cells[2]),
+                        loss=float(cells[3]) if cells[3] else None,
+                        bytes_sent=int(cells[4]),
+                        eval_loss=float(cells[5]) if len(cells) > 5 and cells[5] else None,
+                    )
+                )
+        result = cls(
+            system=meta.get("system", "?"),
+            model=meta.get("model", "?"),
+            dataset=meta.get("dataset", "?"),
+            batch_size=int(meta.get("batch_size", 0)),
+            n_workers=int(meta.get("n_workers", 0)),
+        )
+        for record in records:
+            result.add(record)
+        return result
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        loss = self.final_loss()
+        return "{} on {}/{}: {} iters, {:.3f}s sim, loss={}".format(
+            self.system,
+            self.model,
+            self.dataset,
+            self.n_iterations,
+            self.total_sim_time,
+            "{:.4f}".format(loss) if loss is not None else "n/a",
+        )

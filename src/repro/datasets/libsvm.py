@@ -1,0 +1,137 @@
+"""LIBSVM text format reader/writer.
+
+The format the paper's public datasets ship in: one example per line,
+
+    <label> <index>:<value> <index>:<value> ...
+
+with 1-based or 0-based indices (auto-detected on read; LIBSVM upstream is
+1-based).  Comments after ``#`` are ignored, as in the reference tools.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterator, Tuple, Union
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.errors import LibsvmFormatError
+from repro.linalg import CSRMatrix, SparseVector
+
+PathOrStream = Union[str, Path, io.TextIOBase]
+
+
+def iter_libsvm(source: PathOrStream) -> Iterator[Tuple[float, np.ndarray, np.ndarray]]:
+    """Yield ``(label, indices, values)`` per line, indices as given in the file.
+
+    Raises :class:`LibsvmFormatError` on malformed records.  Blank lines
+    are skipped.
+    """
+    close = False
+    if isinstance(source, (str, Path)):
+        stream = open(source, "r", encoding="utf-8")
+        close = True
+    else:
+        stream = source
+    try:
+        for line_no, raw in enumerate(stream, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            try:
+                label = float(parts[0])
+            except ValueError:
+                raise LibsvmFormatError(line_no, raw, "label is not a number") from None
+            indices = np.empty(len(parts) - 1, dtype=np.int64)
+            values = np.empty(len(parts) - 1, dtype=np.float64)
+            for j, token in enumerate(parts[1:]):
+                idx_str, sep, val_str = token.partition(":")
+                if not sep:
+                    raise LibsvmFormatError(line_no, raw, "feature token missing ':'")
+                try:
+                    indices[j] = int(idx_str)
+                    values[j] = float(val_str)
+                except ValueError:
+                    raise LibsvmFormatError(
+                        line_no, raw, "bad feature token {!r}".format(token)
+                    ) from None
+            if indices.size and np.any(indices < 0):
+                raise LibsvmFormatError(line_no, raw, "negative feature index")
+            yield label, indices, values
+    finally:
+        if close:
+            stream.close()
+
+
+def read_libsvm(
+    source: PathOrStream,
+    n_features: int = None,
+    zero_based: bool = None,
+    name: str = "libsvm",
+) -> Dataset:
+    """Read a whole LIBSVM file into a :class:`Dataset`.
+
+    Parameters
+    ----------
+    n_features:
+        Model dimension; inferred as ``max index + 1`` when omitted.
+    zero_based:
+        Index convention.  When ``None`` it is auto-detected: a file whose
+        minimum index is 0 is treated as zero-based, otherwise indices are
+        shifted down by one (LIBSVM's 1-based convention).
+    """
+    labels = []
+    rows = []
+    min_index = None
+    max_index = -1
+    for label, indices, values in iter_libsvm(source):
+        labels.append(label)
+        rows.append((indices, values))
+        if indices.size:
+            low = int(indices.min())
+            min_index = low if min_index is None else min(min_index, low)
+            max_index = max(max_index, int(indices.max()))
+
+    if zero_based is None:
+        zero_based = min_index == 0 if min_index is not None else True
+    shift = 0 if zero_based else 1
+    inferred_dim = max_index + 1 - shift if max_index >= 0 else 0
+    dim = n_features if n_features is not None else max(inferred_dim, 0)
+    if dim < inferred_dim:
+        raise ValueError(
+            "n_features={} is smaller than max index {} in file".format(dim, inferred_dim - 1)
+        )
+
+    vectors = [SparseVector(idx - shift, val, dim) for idx, val in rows]
+    features = (
+        CSRMatrix.from_rows(vectors, n_cols=dim)
+        if vectors
+        else CSRMatrix.empty(0, dim)
+    )
+    return Dataset(features, np.asarray(labels, dtype=np.float64), name=name)
+
+
+def write_libsvm(dataset: Dataset, target: PathOrStream, zero_based: bool = False) -> None:
+    """Write a dataset in LIBSVM text format (1-based indices by default)."""
+    close = False
+    if isinstance(target, (str, Path)):
+        stream = open(target, "w", encoding="utf-8")
+        close = True
+    else:
+        stream = target
+    shift = 0 if zero_based else 1
+    try:
+        for i in range(dataset.n_rows):
+            row = dataset.features.row(i)
+            tokens = ["{:g}".format(dataset.labels[i])]
+            tokens.extend(
+                "{}:{:g}".format(int(idx) + shift, val) for idx, val in row.items()
+            )
+            stream.write(" ".join(tokens))
+            stream.write("\n")
+    finally:
+        if close:
+            stream.close()

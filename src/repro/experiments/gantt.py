@@ -1,0 +1,93 @@
+"""ASCII Gantt rendering of one BSP iteration's worker timeline.
+
+Feeds on :attr:`ColumnSGDDriver.last_worker_seconds`: per-worker task
+times of the statistics and update phases, plus the master's
+gather/reduce/broadcast interlude.  The rendering makes straggler and
+backup dynamics visible at a glance::
+
+    worker 0 |############|--------|############|
+    worker 1 |############|--------|############|
+    worker 2 |############################################################| (straggler, killed)
+    worker 3 |############|--------|############|
+              computeStats  master   updateModel
+
+``#`` = worker busy, ``-`` = waiting on the master interlude, blank =
+killed / not participating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.utils.format import format_duration
+
+
+def render_iteration_gantt(
+    worker_seconds: Dict[str, Dict[int, float]],
+    phase_seconds: Dict[str, float],
+    killed: Set[int] = frozenset(),
+    width: int = 72,
+) -> str:
+    """Render one iteration as a fixed-width ASCII Gantt chart.
+
+    Parameters
+    ----------
+    worker_seconds:
+        ``{'compute_statistics': {worker: seconds}, 'update_model': ...}``
+        (the driver's ``last_worker_seconds``).  ``inf`` entries (failed
+        workers) render as an empty lane.
+    phase_seconds:
+        The driver's ``last_phase_seconds`` (for the master interlude and
+        the phase boundaries).
+    killed:
+        Workers killed after statistics recovery (backup computation) —
+        their lane stops at their own statistics finish time.
+    """
+    stats = worker_seconds.get("compute_statistics", {})
+    updates = worker_seconds.get("update_model", {})
+    finite_stats = {w: s for w, s in stats.items() if s != float("inf")}
+    if not finite_stats:
+        return "(no live workers)"
+    interlude = (
+        phase_seconds.get("gather", 0.0)
+        + phase_seconds.get("reduce", 0.0)
+        + phase_seconds.get("broadcast", 0.0)
+    )
+    # With backup computation the statistics phase ends at recovery time
+    # (first finisher per group), not at the straggler's finish — use the
+    # driver's actual phase length, falling back to the slowest worker.
+    phase1_end = phase_seconds.get(
+        "compute_statistics", max(finite_stats.values())
+    )
+    duration = phase1_end + interlude + (max(updates.values()) if updates else 0.0)
+    if duration <= 0:
+        return "(zero-length iteration)"
+    # killed stragglers may have run past the iteration end before the
+    # master killed them; scale so their bar still fits the width
+    total = max([duration] + [finite_stats[w] for w in killed if w in finite_stats])
+    scale = (width - 1) / total
+
+    def bar(length: float) -> int:
+        return max(1, int(round(length * scale)))
+
+    lines: List[str] = []
+    for worker in sorted(stats):
+        if stats[worker] == float("inf"):
+            lines.append("worker {:>2} | (failed)".format(worker))
+            continue
+        segments = "#" * bar(stats[worker])
+        if worker in killed:
+            label = "  <- straggler, killed after recovery"
+            lines.append("worker {:>2} |{}{}".format(worker, segments, label))
+            continue
+        # idle until the slowest statistics task + master interlude end
+        idle = (phase1_end - stats[worker]) + interlude
+        segments += "-" * bar(idle) if idle > 0 else ""
+        if worker in updates:
+            segments += "#" * bar(updates[worker])
+        lines.append("worker {:>2} |{}".format(worker, segments))
+    lines.append(
+        "legend: # busy, - waiting (slowest peer + master "
+        "gather/reduce/broadcast); iteration = {}".format(format_duration(duration))
+    )
+    return "\n".join(lines)

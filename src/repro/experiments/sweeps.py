@@ -1,0 +1,88 @@
+"""Parameter sweeps over the uniform trainer interface.
+
+Small helpers the ablation benches (and users exploring the design
+space) share: run one system across a grid of one knob and collect
+(value -> TrainingResult) maps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from repro.core.results import TrainingResult
+from repro.datasets.dataset import Dataset
+from repro.experiments.runner import ExperimentSpec, run_system
+
+
+def sweep(
+    spec: ExperimentSpec,
+    system: str,
+    values: Iterable,
+    apply: Callable[[ExperimentSpec, object], ExperimentSpec],
+    data: Dataset = None,
+) -> Dict[object, TrainingResult]:
+    """Generic sweep: for each value, derive a spec and run ``system``.
+
+    ``apply(spec, value)`` must return a *new* spec (specs are mutable
+    dataclasses; copy before editing).  The same dataset is reused
+    across the sweep unless a value changes what data means.
+    """
+    data = data if data is not None else spec.materialize_data()
+    results: Dict[object, TrainingResult] = {}
+    for value in values:
+        results[value] = run_system(apply(spec, value), system, data)
+    return results
+
+
+def _copy(spec: ExperimentSpec, **overrides) -> ExperimentSpec:
+    from dataclasses import replace
+
+    return replace(spec, **overrides)
+
+
+def sweep_batch_sizes(
+    spec: ExperimentSpec, system: str, batch_sizes: List[int], data: Dataset = None
+) -> Dict[int, TrainingResult]:
+    """Fig 4 style: same data and budget, varying batch size."""
+    return sweep(
+        spec, system, batch_sizes,
+        lambda s, b: _copy(s, batch_size=int(b)),
+        data=data,
+    )
+
+
+def sweep_workers(
+    spec: ExperimentSpec, system: str, worker_counts: List[int], data: Dataset = None
+) -> Dict[int, TrainingResult]:
+    """Fig 11 style: same workload across cluster widths."""
+    return sweep(
+        spec, system, worker_counts,
+        lambda s, k: _copy(s, cluster=s.cluster.with_workers(int(k))),
+        data=data,
+    )
+
+
+def sweep_learning_rates(
+    spec: ExperimentSpec, system: str, rates: List[float], data: Dataset = None
+) -> Dict[float, TrainingResult]:
+    """Grid search in the paper's Table III spirit."""
+    return sweep(
+        spec, system, rates,
+        lambda s, lr: _copy(s, learning_rate=float(lr)),
+        data=data,
+    )
+
+
+def best_learning_rate(
+    spec: ExperimentSpec, system: str, rates: List[float], data: Dataset = None
+) -> float:
+    """The rate with the lowest final training loss (ties: first)."""
+    results = sweep_learning_rates(spec, system, rates, data=data)
+    finite = {
+        lr: r.final_loss()
+        for lr, r in results.items()
+        if r.final_loss() is not None
+    }
+    if not finite:
+        raise ValueError("no sweep run evaluated a loss; set eval_every > 0")
+    return min(finite, key=finite.get)

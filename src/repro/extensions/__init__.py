@@ -1,0 +1,28 @@
+"""Extensions beyond the paper's core evaluation.
+
+The paper's Section III-C sketches how ColumnSGD can support neural
+networks whose first layer is fully connected: partition the FC weight
+matrix by input columns and synchronise per-layer statistics.
+:mod:`repro.extensions.mlp` implements that sketch for a one-hidden-
+layer binary classifier.
+"""
+
+from repro.extensions.mlp import ColumnMLP, MLPColumnTrainer, SequentialMLP
+from repro.extensions.coordinate_descent import RidgeCDTrainer
+from repro.extensions.cocoa import CoCoATrainer
+from repro.extensions.deep_mlp import (
+    DeepColumnMLP,
+    DeepMLPColumnTrainer,
+    SequentialDeepMLP,
+)
+
+__all__ = [
+    "ColumnMLP",
+    "MLPColumnTrainer",
+    "SequentialMLP",
+    "RidgeCDTrainer",
+    "CoCoATrainer",
+    "DeepColumnMLP",
+    "DeepMLPColumnTrainer",
+    "SequentialDeepMLP",
+]

@@ -1,0 +1,332 @@
+"""Deeper column-partitioned networks: one partitioned embedding layer,
+an arbitrary replicated tail.
+
+Generalises :mod:`repro.extensions.mlp` the way production sparse
+models are actually built: the *first* layer (m x H1, the only tensor
+that scales with the feature dimension) is column-partitioned and
+synchronised through one ``B x H1`` statistics round, while the deeper
+layers (H1 x H2 x ... x 1, all small) are replicated on every worker
+and updated identically from the broadcast pre-activations — zero extra
+communication, exactly the paper's Section III-C argument that "the
+width of each individual layer in DNN is usually not large in
+practice".
+
+Architecture: ``score = tail(tanh(W1^T x + b1))`` where ``tail`` is a
+stack of tanh layers ending in a scalar logistic output; labels in
+{-1, +1}.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.linalg import CSRMatrix, row_dots
+from repro.linalg.ops import accumulate_rows
+from repro.utils.rng import rng_from_seed
+from repro.utils.validation import check_positive
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+class DeepColumnMLP:
+    """Model math for the deep column-partitioned network.
+
+    ``hidden_sizes = [H1, H2, ...]``: H1 is the partitioned embedding
+    width (the statistics width); the rest are replicated tail layers.
+    """
+
+    def __init__(self, hidden_sizes: List[int], init_std: float = 0.5):
+        if not hidden_sizes:
+            raise ValueError("need at least one hidden layer")
+        for h in hidden_sizes:
+            check_positive(h, "hidden size")
+        check_positive(init_std, "init_std")
+        self.hidden_sizes = [int(h) for h in hidden_sizes]
+        self.init_std = float(init_std)
+
+    @property
+    def statistics_width(self) -> int:
+        """Values synchronised per example: the first hidden width."""
+        return self.hidden_sizes[0]
+
+    # -- initialisation ---------------------------------------------------
+    def init_w1(self, n_features: int, seed=None) -> np.ndarray:
+        rng = rng_from_seed(seed)
+        return rng.normal(0.0, self.init_std, size=(n_features, self.hidden_sizes[0]))
+
+    def init_tail(self, seed=None) -> Dict[str, np.ndarray]:
+        """Replicated parameters: per tail layer a weight matrix and
+        bias, plus the scalar output head."""
+        rng = rng_from_seed(None if seed is None else seed + 1)
+        tail: Dict[str, np.ndarray] = {"b1": np.zeros(self.hidden_sizes[0])}
+        widths = self.hidden_sizes
+        for layer in range(1, len(widths)):
+            fan_in = widths[layer - 1]
+            tail["W{}".format(layer + 1)] = rng.normal(
+                0.0, self.init_std / np.sqrt(fan_in), size=(fan_in, widths[layer])
+            )
+            tail["b{}".format(layer + 1)] = np.zeros(widths[layer])
+        fan_in = widths[-1]
+        tail["w_out"] = rng.normal(0.0, self.init_std / np.sqrt(fan_in), size=fan_in)
+        tail["b_out"] = np.zeros(1)
+        return tail
+
+    # -- forward / backward -------------------------------------------------
+    def partial_statistics(self, shard: CSRMatrix, w1_part: np.ndarray) -> np.ndarray:
+        """Shard's contribution to ``Z = X W1`` (additive)."""
+        return np.column_stack(
+            [row_dots(shard, w1_part[:, h]) for h in range(self.hidden_sizes[0])]
+        )
+
+    def forward(self, z: np.ndarray, tail: Dict[str, np.ndarray]):
+        """Activations per layer and scalar scores, from complete Z."""
+        activations = [np.tanh(np.asarray(z) + tail["b1"])]
+        for layer in range(2, len(self.hidden_sizes) + 1):
+            pre = activations[-1] @ tail["W{}".format(layer)] + tail["b{}".format(layer)]
+            activations.append(np.tanh(pre))
+        scores = activations[-1] @ tail["w_out"] + tail["b_out"][0]
+        return activations, scores
+
+    def loss_from_statistics(self, z, labels, tail) -> float:
+        _, scores = self.forward(z, tail)
+        margins = np.asarray(labels) * scores
+        stable = np.where(
+            margins > 0,
+            np.log1p(np.exp(-np.abs(margins))),
+            -margins + np.log1p(np.exp(-np.abs(margins))),
+        )
+        return float(np.mean(stable)) if stable.size else 0.0
+
+    def backward(
+        self, z: np.ndarray, labels: np.ndarray, tail: Dict[str, np.ndarray]
+    ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        """Gradients of the replicated tail and the delta feeding W1.
+
+        Returns ``(tail_grads, delta1)`` where ``delta1`` (B x H1) is
+        d(loss)/d(Z): every worker computes the identical values from
+        the broadcast Z, then its own ``dW1_k = X_k^T delta1 / B``.
+        """
+        labels = np.asarray(labels, dtype=np.float64)
+        batch = max(labels.size, 1)
+        activations, scores = self.forward(z, tail)
+        c = -labels * _sigmoid(-labels * scores)  # dl/dscore, logistic
+
+        grads: Dict[str, np.ndarray] = {
+            "w_out": activations[-1].T @ c / batch,
+            "b_out": np.array([c.sum() / batch]),
+        }
+        # delta at the top tail activation
+        delta = (c[:, None] * tail["w_out"][None, :]) * (1.0 - activations[-1] ** 2)
+        for layer in range(len(self.hidden_sizes), 1, -1):
+            w_key = "W{}".format(layer)
+            grads[w_key] = activations[layer - 2].T @ delta / batch
+            grads["b{}".format(layer)] = delta.sum(axis=0) / batch
+            delta = (delta @ tail[w_key].T) * (1.0 - activations[layer - 2] ** 2)
+        grads["b1"] = delta.sum(axis=0) / batch
+        return grads, delta
+
+    def w1_gradient(self, shard: CSRMatrix, delta1: np.ndarray, batch: int) -> np.ndarray:
+        """Local embedding gradient ``X_k^T delta1 / B``."""
+        b = max(batch, 1)
+        return np.column_stack(
+            [accumulate_rows(shard, delta1[:, h]) for h in range(self.hidden_sizes[0])]
+        ) / b
+
+
+class SequentialDeepMLP:
+    """Single-machine reference used by the exactness tests."""
+
+    def __init__(self, model: DeepColumnMLP, optimizer, n_features: int, seed=0):
+        self.model = model
+        self.w1 = model.init_w1(n_features, seed=seed)
+        self.tail = model.init_tail(seed=seed)
+        self._opt_w1 = optimizer.spawn()
+        self._opt_tail = {k: optimizer.spawn() for k in self.tail}
+
+    def loss(self, features: CSRMatrix, labels) -> float:
+        z = self.model.partial_statistics(features, self.w1)
+        return self.model.loss_from_statistics(z, labels, self.tail)
+
+    def step(self, features: CSRMatrix, labels, iteration: int) -> None:
+        z = self.model.partial_statistics(features, self.w1)
+        tail_grads, delta1 = self.model.backward(z, labels, self.tail)
+        grad_w1 = self.model.w1_gradient(features, delta1, features.n_rows)
+        self._opt_w1.step(self.w1, grad_w1, iteration)
+        for key, grad in tail_grads.items():
+            self._opt_tail[key].step(self.tail[key], grad, iteration)
+
+    def predict_proba(self, features: CSRMatrix) -> np.ndarray:
+        z = self.model.partial_statistics(features, self.w1)
+        _, scores = self.model.forward(z, self.tail)
+        return _sigmoid(scores)
+
+
+class DeepMLPColumnTrainer:
+    """Distributed training of :class:`DeepColumnMLP` on the simulator.
+
+    One ``B x H1`` statistics round per iteration; the replicated tail
+    is updated identically on every worker from the broadcast Z (a
+    single logical copy stands in for the replicas, as in
+    :class:`~repro.extensions.mlp.MLPColumnTrainer`).
+    """
+
+    def __init__(
+        self,
+        model: DeepColumnMLP,
+        optimizer,
+        cluster,
+        batch_size: int = 1000,
+        iterations: int = 100,
+        eval_every: int = 10,
+        seed: int = 0,
+        block_size: int = 2048,
+    ):
+        check_positive(batch_size, "batch_size")
+        check_positive(iterations, "iterations")
+        self.model = model
+        self.optimizer = optimizer
+        self.cluster = cluster
+        self.batch_size = int(batch_size)
+        self.iterations = int(iterations)
+        self.eval_every = int(eval_every)
+        self.seed = int(seed)
+        self.block_size = int(block_size)
+        self._dataset = None
+        self._assignment = None
+        self._stores = None
+        self._index = None
+        self._w1_parts: List[np.ndarray] = []
+        self._w1_optimizers = []
+        self._tail: Dict[str, np.ndarray] = {}
+        self._tail_optimizers: Dict[str, object] = {}
+
+    def load(self, dataset):
+        """Column-partition the data and W1; replicate the tail."""
+        from repro.partition.column import make_assignment
+        from repro.partition.dispatch import dispatch_block_based
+        from repro.partition.indexing import TwoPhaseIndex
+
+        K = self.cluster.n_workers
+        self._dataset = dataset
+        self._assignment = make_assignment("round_robin", dataset.n_features, K)
+        self._stores, block_sizes, report = dispatch_block_based(
+            dataset, self._assignment, self.cluster, block_size=self.block_size
+        )
+        self._index = TwoPhaseIndex(block_sizes, base_seed=self.seed)
+        full_w1 = self.model.init_w1(dataset.n_features, seed=self.seed)
+        self._w1_parts = [
+            np.array(full_w1[self._assignment.columns_of(k)], copy=True)
+            for k in range(K)
+        ]
+        self._w1_optimizers = [self.optimizer.spawn() for _ in range(K)]
+        self._tail = self.model.init_tail(seed=self.seed)
+        self._tail_optimizers = {k: self.optimizer.spawn() for k in self._tail}
+        return report
+
+    def fit(self, dataset=None):
+        """Train; returns the usual loss/time trace."""
+        from repro.core.results import IterationRecord, TrainingResult
+        from repro.errors import TrainingError
+
+        if dataset is not None and self._dataset is None:
+            self.load(dataset)
+        if self._dataset is None:
+            raise TrainingError("call load() or pass a dataset to fit()")
+        result = TrainingResult(
+            system="ColumnSGD-DeepMLP",
+            model="mlp-{}".format("x".join(map(str, self.model.hidden_sizes))),
+            dataset=self._dataset.name,
+            batch_size=self.batch_size,
+            n_workers=self.cluster.n_workers,
+        )
+
+        def record(iteration, duration, bytes_sent, evaluate):
+            loss = self.evaluate_loss() if evaluate else None
+            if loss is not None and not np.isfinite(loss):
+                raise TrainingError(
+                    "training diverged at iteration {}".format(iteration)
+                )
+            result.add(IterationRecord(iteration, self.cluster.clock.now(),
+                                       duration, loss, bytes_sent))
+
+        if self.eval_every:
+            record(-1, 0.0, 0, True)
+        for t in range(self.iterations):
+            bytes_before = self.cluster.network.total_bytes()
+            duration = self._run_iteration(t)
+            self.cluster.clock.advance(duration)
+            evaluate = bool(self.eval_every) and (
+                (t + 1) % self.eval_every == 0 or t == self.iterations - 1
+            )
+            record(t, duration, self.cluster.network.total_bytes() - bytes_before,
+                   evaluate)
+        return result
+
+    def _run_iteration(self, t: int) -> float:
+        from repro.net.message import MessageKind
+        from repro.storage.serialization import dense_vector_bytes
+
+        K = self.cluster.n_workers
+        cost = self.cluster.cost
+        width = self.model.statistics_width
+        draws = self._index.sample(t, self.batch_size)
+
+        shards = []
+        labels = None
+        z_total = None
+        compute = []
+        for k in range(K):
+            shard, shard_labels = self._stores[k].assemble_batch(draws)
+            shards.append(shard)
+            labels = shard_labels
+            part = self.model.partial_statistics(shard, self._w1_parts[k])
+            z_total = part if z_total is None else z_total + part
+            compute.append(cost.task_overhead + cost.sparse_work(shard.nnz, passes=width))
+        phase1 = max(compute)
+
+        stats_size = dense_vector_bytes(self.batch_size * width)
+        gather = self.cluster.topology.gather(
+            MessageKind.STATISTICS_PUSH, [stats_size] * K
+        )
+        reduce_time = cost.dense_work(K * self.batch_size * width)
+        bcast = self.cluster.topology.broadcast(
+            MessageKind.STATISTICS_BCAST, stats_size
+        )
+
+        tail_grads, delta1 = self.model.backward(z_total, labels, self._tail)
+        update = []
+        for k in range(K):
+            grad = self.model.w1_gradient(shards[k], delta1, self.batch_size)
+            self._w1_optimizers[k].step(self._w1_parts[k], grad, t)
+            update.append(cost.task_overhead + cost.sparse_work(shards[k].nnz, passes=width))
+        for key, grad in tail_grads.items():
+            self._tail_optimizers[key].step(self._tail[key], grad, t)
+        tail_elements = sum(v.size for v in self._tail.values())
+        phase2 = max(update) + cost.dense_work(tail_elements)
+        return phase1 + gather + reduce_time + bcast + phase2
+
+    def current_w1(self) -> np.ndarray:
+        """Reassemble the full embedding matrix."""
+        full = np.zeros((self._dataset.n_features, self.model.hidden_sizes[0]))
+        for k in range(self.cluster.n_workers):
+            full[self._assignment.columns_of(k)] = self._w1_parts[k]
+        return full
+
+    def tail(self) -> Dict[str, np.ndarray]:
+        """The replicated tail parameters."""
+        return {k: v.copy() for k, v in self._tail.items()}
+
+    def evaluate_loss(self, dataset=None) -> float:
+        """Full-train loss (not charged to simulated time)."""
+        data = dataset if dataset is not None else self._dataset
+        z = self.model.partial_statistics(data.features, self.current_w1())
+        return self.model.loss_from_statistics(z, data.labels, self._tail)

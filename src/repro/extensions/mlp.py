@@ -1,0 +1,338 @@
+"""Column-partitioned multi-layer perceptron (Section III-C sketch).
+
+Architecture: one hidden layer of width ``H`` with tanh activation and a
+scalar logistic head — ``score(x) = w2 . tanh(W1^T x + b1) + b2`` with
+labels in {-1, +1}.
+
+Distribution strategy, following the paper's FC-layer discussion:
+
+* ``W1`` (m x H) is the large tensor — partitioned by *input feature*
+  (rows of W1), collocated with the column-partitioned data, exactly
+  like a GLM model;
+* the per-example hidden pre-activations ``Z = X W1`` are additive over
+  column shards, so they are the *statistics* — ``B * H`` values per
+  iteration, independent of m;
+* the head ``(w2, b1, b2)`` is tiny (2H + 1 scalars) and *replicated* on
+  every worker.  Given the broadcast ``Z``, every worker computes the
+  identical head gradient locally, so the replicas stay bit-identical
+  with no extra communication — the reason the paper deems FC layers
+  supportable but conv/pool layers not.
+
+Backward pass, all local given complete ``Z``::
+
+    A      = tanh(Z + b1)
+    s_i    = A_i . w2 + b2
+    c_i    = -y_i / (1 + exp(y_i s_i))         # logistic, as LR
+    delta  = (c  outer w2) * (1 - A^2)          # B x H
+    dW1_k  = X_k^T delta / B                    # local shard gradient
+    dw2    = A^T c / B ;  db1 = sum(delta)/B ;  db2 = sum(c)/B
+
+:class:`MLPColumnTrainer` runs this on the simulated cluster with the
+same loading, indexing, timing, and straggler machinery as the GLM
+driver; :class:`SequentialMLP` is the single-machine reference the
+exactness tests compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.results import IterationRecord, TrainingResult
+from repro.datasets.dataset import Dataset
+from repro.errors import TrainingError
+from repro.linalg import CSRMatrix, row_dots
+from repro.linalg.ops import accumulate_rows
+from repro.net.message import MessageKind
+from repro.optim.base import Optimizer
+from repro.partition.column import make_assignment
+from repro.partition.dispatch import dispatch_block_based
+from repro.partition.indexing import TwoPhaseIndex
+from repro.sim.cluster import SimulatedCluster
+from repro.storage.serialization import dense_vector_bytes
+from repro.utils.rng import rng_from_seed
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ColumnMLP:
+    """Model hyper-parameters and the shared math of the column MLP."""
+
+    hidden: int
+    init_std: float = 0.5
+
+    def __post_init__(self):
+        check_positive(self.hidden, "hidden")
+        check_positive(self.init_std, "init_std")
+
+    # -- initialisation -------------------------------------------------
+    def init_w1(self, n_features: int, seed=None) -> np.ndarray:
+        rng = rng_from_seed(seed)
+        return rng.normal(0.0, self.init_std, size=(n_features, self.hidden))
+
+    def init_head(self, seed=None) -> Dict[str, np.ndarray]:
+        rng = rng_from_seed(None if seed is None else seed + 1)
+        return {
+            "w2": rng.normal(0.0, self.init_std, size=self.hidden),
+            "b1": np.zeros(self.hidden),
+            "b2": np.zeros(1),
+        }
+
+    # -- forward/backward given complete statistics ----------------------
+    def partial_statistics(self, shard: CSRMatrix, w1_part: np.ndarray) -> np.ndarray:
+        """Shard's contribution to Z = X W1 (additive across shards)."""
+        return np.column_stack(
+            [row_dots(shard, w1_part[:, h]) for h in range(self.hidden)]
+        )
+
+    def forward(self, z: np.ndarray, head: Dict[str, np.ndarray]):
+        """Hidden activations and scalar scores from complete Z."""
+        a = np.tanh(z + head["b1"])
+        scores = a @ head["w2"] + head["b2"][0]
+        return a, scores
+
+    def loss_from_statistics(self, z, labels, head) -> float:
+        _, scores = self.forward(np.asarray(z), head)
+        margins = np.asarray(labels) * scores
+        stable = np.where(
+            margins > 0,
+            np.log1p(np.exp(-np.abs(margins))),
+            -margins + np.log1p(np.exp(-np.abs(margins))),
+        )
+        return float(np.mean(stable)) if stable.size else 0.0
+
+    def backward(self, z, labels, head):
+        """Per-example coefficients and hidden deltas (identical on all
+        workers given the broadcast Z)."""
+        labels = np.asarray(labels)
+        a, scores = self.forward(np.asarray(z), head)
+        margins = labels * scores
+        c = -labels * _sigmoid(-margins)
+        delta = (c[:, None] * head["w2"][None, :]) * (1.0 - a ** 2)
+        return a, c, delta
+
+    def head_gradients(self, a, c, delta, batch_size):
+        """Gradients of the replicated head — no communication needed."""
+        b = max(batch_size, 1)
+        return {
+            "w2": a.T @ c / b,
+            "b1": delta.sum(axis=0) / b,
+            "b2": np.array([c.sum() / b]),
+        }
+
+    def w1_gradient(self, shard: CSRMatrix, delta: np.ndarray, batch_size: int):
+        """Local W1-partition gradient: X_k^T delta / B."""
+        b = max(batch_size, 1)
+        return np.column_stack(
+            [accumulate_rows(shard, delta[:, h]) for h in range(self.hidden)]
+        ) / b
+
+
+class SequentialMLP:
+    """Single-machine reference implementation (exactness baseline)."""
+
+    def __init__(self, model: ColumnMLP, optimizer: Optimizer, n_features: int, seed=0):
+        self.model = model
+        self.w1 = model.init_w1(n_features, seed=seed)
+        self.head = model.init_head(seed=seed)
+        self._opt_w1 = optimizer.spawn()
+        self._opt_head = {k: optimizer.spawn() for k in self.head}
+
+    def loss(self, features: CSRMatrix, labels) -> float:
+        z = self.model.partial_statistics(features, self.w1)
+        return self.model.loss_from_statistics(z, labels, self.head)
+
+    def step(self, features: CSRMatrix, labels, iteration: int) -> None:
+        z = self.model.partial_statistics(features, self.w1)
+        a, c, delta = self.model.backward(z, labels, self.head)
+        grad_w1 = self.model.w1_gradient(features, delta, features.n_rows)
+        head_grads = self.model.head_gradients(a, c, delta, features.n_rows)
+        self._opt_w1.step(self.w1, grad_w1, iteration)
+        for key, grad in head_grads.items():
+            self._opt_head[key].step(self.head[key], grad, iteration)
+
+    def predict_proba(self, features: CSRMatrix) -> np.ndarray:
+        z = self.model.partial_statistics(features, self.w1)
+        _, scores = self.model.forward(z, self.head)
+        return _sigmoid(scores)
+
+
+class MLPColumnTrainer:
+    """ColumnSGD-style distributed training of :class:`ColumnMLP`.
+
+    Statistics per iteration: ``B * hidden`` values gathered and
+    broadcast once (one synchronisation per layer, as Section III-C
+    prescribes for FC layers).  The head is replicated; every worker
+    applies the identical head update, so replicas never diverge.
+    """
+
+    def __init__(
+        self,
+        model: ColumnMLP,
+        optimizer: Optimizer,
+        cluster: SimulatedCluster,
+        batch_size: int = 1000,
+        iterations: int = 100,
+        eval_every: int = 10,
+        seed: int = 0,
+        block_size: int = 2048,
+    ):
+        check_positive(batch_size, "batch_size")
+        check_positive(iterations, "iterations")
+        self.model = model
+        self.optimizer = optimizer
+        self.cluster = cluster
+        self.batch_size = int(batch_size)
+        self.iterations = int(iterations)
+        self.eval_every = int(eval_every)
+        self.seed = int(seed)
+        self.block_size = int(block_size)
+
+        self._dataset: Optional[Dataset] = None
+        self._assignment = None
+        self._stores = None
+        self._index: Optional[TwoPhaseIndex] = None
+        self._w1_parts: List[np.ndarray] = []
+        self._w1_optimizers: List[Optimizer] = []
+        self._head: Dict[str, np.ndarray] = {}
+        self._head_optimizers: Dict[str, Optimizer] = {}
+
+    # ------------------------------------------------------------------
+    def load(self, dataset: Dataset):
+        """Column-partition the data and W1; replicate the head."""
+        K = self.cluster.n_workers
+        self._dataset = dataset
+        self._assignment = make_assignment("round_robin", dataset.n_features, K)
+        self._stores, block_sizes, report = dispatch_block_based(
+            dataset, self._assignment, self.cluster, block_size=self.block_size
+        )
+        self._index = TwoPhaseIndex(block_sizes, base_seed=self.seed)
+        full_w1 = self.model.init_w1(dataset.n_features, seed=self.seed)
+        self._w1_parts = [
+            np.array(full_w1[self._assignment.columns_of(k)], copy=True)
+            for k in range(K)
+        ]
+        self._w1_optimizers = [self.optimizer.spawn() for _ in range(K)]
+        # One logical head; replicas would stay identical, so a single
+        # array stands in for all of them (same trick as model replicas
+        # in backup computation).
+        self._head = self.model.init_head(seed=self.seed)
+        self._head_optimizers = {k: self.optimizer.spawn() for k in self._head}
+        return report
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: Dataset = None) -> TrainingResult:
+        """Train; returns the usual loss/time trace."""
+        if dataset is not None and self._dataset is None:
+            self.load(dataset)
+        if self._dataset is None:
+            raise TrainingError("call load() or pass a dataset to fit()")
+        result = TrainingResult(
+            system="ColumnSGD-MLP",
+            model="mlp{}".format(self.model.hidden),
+            dataset=self._dataset.name,
+            batch_size=self.batch_size,
+            n_workers=self.cluster.n_workers,
+        )
+        if self.eval_every:
+            self._record(result, -1, 0.0, 0)
+
+        for t in range(self.iterations):
+            bytes_before = self.cluster.network.total_bytes()
+            duration = self._run_iteration(t)
+            self.cluster.clock.advance(duration)
+            evaluate = bool(self.eval_every) and (
+                (t + 1) % self.eval_every == 0 or t == self.iterations - 1
+            )
+            self._record(
+                result, t, duration,
+                self.cluster.network.total_bytes() - bytes_before,
+                evaluate=evaluate,
+            )
+        return result
+
+    def _run_iteration(self, t: int) -> float:
+        K = self.cluster.n_workers
+        cost = self.cluster.cost
+        draws = self._index.sample(t, self.batch_size)
+        H = self.model.hidden
+
+        # Phase 1: each worker's partial Z over its shard.
+        shards = []
+        labels = None
+        z_total = None
+        compute = []
+        for k in range(K):
+            shard, shard_labels = self._stores[k].assemble_batch(draws)
+            shards.append(shard)
+            labels = shard_labels
+            part = self.model.partial_statistics(shard, self._w1_parts[k])
+            z_total = part if z_total is None else z_total + part
+            compute.append(cost.task_overhead + cost.sparse_work(shard.nnz, passes=H))
+        phase1 = max(compute)
+
+        stats_size = dense_vector_bytes(self.batch_size * H)
+        gather = self.cluster.topology.gather(
+            MessageKind.STATISTICS_PUSH, [stats_size] * K
+        )
+        reduce_time = cost.dense_work(K * self.batch_size * H)
+        bcast = self.cluster.topology.broadcast(MessageKind.STATISTICS_BCAST, stats_size)
+
+        # Phase 2: local backward; W1 partitions and the replicated head.
+        a, c, delta = self.model.backward(z_total, labels, self._head)
+        update = []
+        for k in range(K):
+            grad = self.model.w1_gradient(shards[k], delta, self.batch_size)
+            self._w1_optimizers[k].step(self._w1_parts[k], grad, t)
+            update.append(cost.task_overhead + cost.sparse_work(shards[k].nnz, passes=H))
+        head_grads = self.model.head_gradients(a, c, delta, self.batch_size)
+        for key, grad in head_grads.items():
+            self._head_optimizers[key].step(self._head[key], grad, t)
+        phase2 = max(update) + cost.dense_work(2 * H + 1)
+
+        return phase1 + gather + reduce_time + bcast + phase2
+
+    # ------------------------------------------------------------------
+    def current_w1(self) -> np.ndarray:
+        """Reassemble the full W1 from the partitions."""
+        full = np.zeros((self._dataset.n_features, self.model.hidden))
+        for k in range(self.cluster.n_workers):
+            full[self._assignment.columns_of(k)] = self._w1_parts[k]
+        return full
+
+    def head(self) -> Dict[str, np.ndarray]:
+        """The replicated head parameters."""
+        return {k: v.copy() for k, v in self._head.items()}
+
+    def evaluate_loss(self, dataset: Dataset = None) -> float:
+        """Full-train loss (not charged to simulated time)."""
+        data = dataset if dataset is not None else self._dataset
+        z = self.model.partial_statistics(data.features, self.current_w1())
+        return self.model.loss_from_statistics(z, data.labels, self._head)
+
+    def _record(self, result, iteration, duration, bytes_sent, evaluate=True):
+        loss = self.evaluate_loss() if evaluate else None
+        if loss is not None and not np.isfinite(loss):
+            raise TrainingError(
+                "training diverged at iteration {} (loss={})".format(iteration, loss)
+            )
+        result.add(
+            IterationRecord(
+                iteration=iteration,
+                sim_time=self.cluster.clock.now(),
+                duration=duration,
+                loss=loss,
+                bytes_sent=bytes_sent,
+            )
+        )
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out

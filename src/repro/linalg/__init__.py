@@ -1,0 +1,34 @@
+"""Sparse linear algebra substrate.
+
+The whole reproduction runs on two structures implemented here from
+scratch on top of numpy arrays:
+
+* :class:`SparseVector` — an (indices, values, dim) triple used for single
+  examples and for sparse gradients;
+* :class:`CSRMatrix` — Compressed Sparse Row storage for datasets, data
+  shards, and worksets (the paper uses CSR for shipped worksets too).
+
+Kernels needed by SGD (per-row dot products against a dense model,
+gradient accumulation ``X^T c``, FM's per-factor statistics) live in
+:mod:`repro.linalg.ops`.
+"""
+
+from repro.linalg.sparse_vector import SparseVector
+from repro.linalg.csr import CSRMatrix
+from repro.linalg.ops import (
+    row_dots,
+    accumulate_rows,
+    accumulate_rows_squared,
+    row_dots_squared,
+    column_scale,
+)
+
+__all__ = [
+    "SparseVector",
+    "CSRMatrix",
+    "row_dots",
+    "accumulate_rows",
+    "accumulate_rows_squared",
+    "row_dots_squared",
+    "column_scale",
+]

@@ -1,0 +1,281 @@
+"""Compressed Sparse Row matrix built on three numpy arrays.
+
+``indptr`` (n_rows + 1), ``indices`` (nnz, column ids sorted within each
+row) and ``data`` (nnz, float64).  The class supports exactly the
+operations the reproduction needs: row slicing/gathering for mini-batch
+sampling, column-subset projection for column partitioning, horizontal
+stitching for reassembly tests, and the SGD kernels in
+:mod:`repro.linalg.ops`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+from repro.linalg.sparse_vector import SparseVector
+
+
+class CSRMatrix:
+    """CSR matrix with float64 data and int64 indices.
+
+    Rows keep their column indices sorted; explicit zeros are allowed in
+    ``data`` only if the caller constructs the arrays directly (the
+    higher-level constructors drop them).
+    """
+
+    __slots__ = ("indptr", "indices", "data", "n_rows", "n_cols")
+
+    def __init__(self, indptr, indices, data, n_cols: int):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data, dtype=np.float64)
+        if indptr.ndim != 1 or indices.ndim != 1 or data.ndim != 1:
+            raise ValueError("indptr, indices, data must be 1-D arrays")
+        if indptr.size == 0 or indptr[0] != 0:
+            raise ValueError("indptr must start with 0")
+        if indices.shape != data.shape:
+            raise DimensionMismatchError(indices.shape, data.shape, "indices/data length")
+        if indptr[-1] != indices.size:
+            raise ValueError(
+                "indptr[-1]={} does not match nnz={}".format(indptr[-1], indices.size)
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if n_cols < 0:
+            raise ValueError("n_cols must be >= 0")
+        if indices.size and (indices.min() < 0 or indices.max() >= n_cols):
+            raise ValueError(
+                "column indices must lie in [0, {}), got [{}, {}]".format(
+                    n_cols, indices.min(), indices.max()
+                )
+            )
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self.n_rows = int(indptr.size - 1)
+        self.n_cols = int(n_cols)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, rows: Sequence[SparseVector], n_cols: int = None) -> "CSRMatrix":
+        """Stack sparse vectors as matrix rows.
+
+        All rows must share one dimension; ``n_cols`` overrides it (useful
+        for an empty row list).
+        """
+        if n_cols is None:
+            if not rows:
+                raise ValueError("n_cols is required for an empty row list")
+            n_cols = rows[0].dim
+        counts = np.zeros(len(rows) + 1, dtype=np.int64)
+        for i, row in enumerate(rows):
+            if row.dim != n_cols:
+                raise DimensionMismatchError(n_cols, row.dim, "row dimension")
+            counts[i + 1] = row.nnz
+        indptr = np.cumsum(counts)
+        nnz = int(indptr[-1])
+        indices = np.empty(nnz, dtype=np.int64)
+        data = np.empty(nnz, dtype=np.float64)
+        for i, row in enumerate(rows):
+            indices[indptr[i]:indptr[i + 1]] = row.indices
+            data[indptr[i]:indptr[i + 1]] = row.values
+        return cls(indptr, indices, data, n_cols)
+
+    @classmethod
+    def from_dense(cls, dense) -> "CSRMatrix":
+        """Build from a dense 2-D array, keeping non-zero entries."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("dense input must be 2-D")
+        rows, cols = np.nonzero(dense)
+        indptr = np.zeros(dense.shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        indptr = np.cumsum(indptr)
+        return cls(indptr, cols, dense[rows, cols], dense.shape[1])
+
+    @classmethod
+    def empty(cls, n_rows: int, n_cols: int) -> "CSRMatrix":
+        """An all-zero matrix of the given shape."""
+        return cls(
+            np.zeros(n_rows + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            n_cols,
+        )
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(n_rows, n_cols)``."""
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self) -> int:
+        """Total number of stored entries."""
+        return int(self.indices.size)
+
+    def row(self, i: int) -> SparseVector:
+        """Return row ``i`` as a :class:`SparseVector`."""
+        if not 0 <= i < self.n_rows:
+            raise IndexError("row index {} out of range [0, {})".format(i, self.n_rows))
+        start, stop = self.indptr[i], self.indptr[i + 1]
+        return SparseVector(self.indices[start:stop], self.data[start:stop], self.n_cols)
+
+    def row_nnz(self) -> np.ndarray:
+        """nnz of every row as an int64 array."""
+        return np.diff(self.indptr)
+
+    def iter_rows(self) -> Iterable[SparseVector]:
+        """Iterate rows lazily as sparse vectors."""
+        for i in range(self.n_rows):
+            yield self.row(i)
+
+    def density(self) -> float:
+        """Fraction of stored entries: ``nnz / (n_rows * n_cols)``."""
+        cells = self.n_rows * self.n_cols
+        return self.nnz / cells if cells else 0.0
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense 2-D float64 array."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        rows = np.repeat(np.arange(self.n_rows), self.row_nnz())
+        out[rows, self.indices] = self.data
+        return out
+
+    # ------------------------------------------------------------------
+    # row operations
+    # ------------------------------------------------------------------
+    def take_rows(self, row_ids) -> "CSRMatrix":
+        """Gather rows (with repetition allowed) into a new matrix.
+
+        This is the mini-batch sampling primitive: sampling ``B`` rows out
+        of a shard is one ``take_rows`` call.
+        """
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if row_ids.size and (row_ids.min() < 0 or row_ids.max() >= self.n_rows):
+            raise IndexError(
+                "row ids must lie in [0, {}), got [{}, {}]".format(
+                    self.n_rows, row_ids.min(), row_ids.max()
+                )
+            )
+        lengths = self.indptr[row_ids + 1] - self.indptr[row_ids]
+        indptr = np.zeros(row_ids.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        nnz = int(indptr[-1])
+        indices = np.empty(nnz, dtype=np.int64)
+        data = np.empty(nnz, dtype=np.float64)
+        for out_i, row_i in enumerate(row_ids):
+            src0, src1 = self.indptr[row_i], self.indptr[row_i + 1]
+            dst0, dst1 = indptr[out_i], indptr[out_i + 1]
+            indices[dst0:dst1] = self.indices[src0:src1]
+            data[dst0:dst1] = self.data[src0:src1]
+        return CSRMatrix(indptr, indices, data, self.n_cols)
+
+    def slice_rows(self, start: int, stop: int) -> "CSRMatrix":
+        """Contiguous row slice ``[start, stop)`` without copying per row."""
+        if not (0 <= start <= stop <= self.n_rows):
+            raise IndexError(
+                "bad row slice [{}:{}) for {} rows".format(start, stop, self.n_rows)
+            )
+        lo, hi = self.indptr[start], self.indptr[stop]
+        indptr = self.indptr[start:stop + 1] - lo
+        return CSRMatrix(indptr, self.indices[lo:hi], self.data[lo:hi], self.n_cols)
+
+    @classmethod
+    def vstack(cls, parts: Sequence["CSRMatrix"]) -> "CSRMatrix":
+        """Stack matrices vertically; all must share ``n_cols``."""
+        if not parts:
+            raise ValueError("vstack needs at least one matrix")
+        n_cols = parts[0].n_cols
+        for part in parts:
+            if part.n_cols != n_cols:
+                raise DimensionMismatchError(n_cols, part.n_cols, "n_cols")
+        indptr_parts: List[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+        offset = 0
+        for part in parts:
+            indptr_parts.append(part.indptr[1:] + offset)
+            offset += part.nnz
+        return cls(
+            np.concatenate(indptr_parts),
+            np.concatenate([p.indices for p in parts]) if parts else np.empty(0),
+            np.concatenate([p.data for p in parts]) if parts else np.empty(0),
+            n_cols,
+        )
+
+    # ------------------------------------------------------------------
+    # column operations (the column-partitioning primitives)
+    # ------------------------------------------------------------------
+    def select_columns(self, global_indices) -> "CSRMatrix":
+        """Project onto a column subset, re-indexing to local coordinates.
+
+        ``global_indices`` maps local column -> global column and must be
+        sorted ascending and unique.  The result has
+        ``n_cols == len(global_indices)`` and the same number of rows;
+        entries outside the subset are dropped.  This is the core primitive
+        behind column-wise data partitioning.
+        """
+        global_indices = np.asarray(global_indices, dtype=np.int64)
+        if global_indices.size and np.any(np.diff(global_indices) <= 0):
+            raise ValueError("global_indices must be sorted ascending and unique")
+        if global_indices.size == 0:
+            return CSRMatrix.empty(self.n_rows, 0)
+        pos = np.searchsorted(global_indices, self.indices)
+        pos_clipped = np.minimum(pos, global_indices.size - 1)
+        hit = global_indices[pos_clipped] == self.indices
+        # new per-row lengths after filtering
+        row_of = np.repeat(np.arange(self.n_rows), self.row_nnz())
+        kept_rows = row_of[hit]
+        lengths = np.zeros(self.n_rows, dtype=np.int64)
+        np.add.at(lengths, kept_rows, 1)
+        indptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        return CSRMatrix(indptr, pos_clipped[hit], self.data[hit], global_indices.size)
+
+    def hstack_from_partitions(
+        self, parts: Sequence["CSRMatrix"], assignments: Sequence[np.ndarray], n_cols: int
+    ) -> "CSRMatrix":
+        """Reassemble column partitions back into global coordinates.
+
+        Inverse of ``select_columns`` applied per partition: ``parts[k]``
+        holds local columns whose global ids are ``assignments[k]``.  Exists
+        mainly to state the round-trip invariant in tests.  ``self`` is the
+        template for the row count.
+        """
+        if len(parts) != len(assignments):
+            raise ValueError("parts and assignments must align")
+        dense = np.zeros((self.n_rows, n_cols), dtype=np.float64)
+        for part, mapping in zip(parts, assignments):
+            mapping = np.asarray(mapping, dtype=np.int64)
+            if part.n_rows != self.n_rows:
+                raise DimensionMismatchError(self.n_rows, part.n_rows, "row count")
+            rows = np.repeat(np.arange(part.n_rows), part.row_nnz())
+            dense[rows, mapping[part.indices]] = part.data
+        return CSRMatrix.from_dense(dense)
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.data, other.data)
+        )
+
+    def __hash__(self):
+        raise TypeError("CSRMatrix is unhashable")
+
+    def __repr__(self) -> str:
+        return "CSRMatrix(shape={}, nnz={}, density={:.4g})".format(
+            self.shape, self.nnz, self.density()
+        )

@@ -1,0 +1,116 @@
+"""Vectorised kernels shared by every trainer.
+
+These four kernels are the entire compute inner loop of the paper's
+workloads:
+
+* :func:`row_dots` — per-row dot products ``X w`` (the GLM "statistics");
+* :func:`row_dots_squared` — per-row ``sum_j x_ij^2 * w_j`` (FM needs the
+  square term of equation 10);
+* :func:`accumulate_rows` — ``X^T c``: linear combination of rows, which is
+  exactly the gradient of every GLM (``g = X^T coefficients``);
+* :func:`column_scale` — scale each column by a dense factor (FM's
+  per-factor statistics reuse this).
+
+All take a :class:`~repro.linalg.csr.CSRMatrix` plus dense numpy arrays and
+return dense numpy arrays; no Python-level per-row loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+from repro.linalg.csr import CSRMatrix
+
+
+def _check_model(matrix: CSRMatrix, model: np.ndarray) -> np.ndarray:
+    model = np.asarray(model, dtype=np.float64)
+    if model.shape != (matrix.n_cols,):
+        raise DimensionMismatchError((matrix.n_cols,), model.shape, "model shape")
+    return model
+
+
+def row_dots(matrix: CSRMatrix, model: np.ndarray) -> np.ndarray:
+    """Return ``X @ w`` as a dense array of length ``n_rows``.
+
+    In ColumnSGD each worker calls this on its column shard against its
+    model partition, yielding the *partial statistics* that the master
+    sums (Section III-A, Step 1).
+    """
+    model = _check_model(matrix, model)
+    if matrix.nnz == 0:
+        return np.zeros(matrix.n_rows, dtype=np.float64)
+    products = matrix.data * model[matrix.indices]
+    return _reduce_rows(matrix, products)
+
+
+def row_dots_squared(matrix: CSRMatrix, model: np.ndarray) -> np.ndarray:
+    """Return per-row ``sum_j x_ij^2 * w_j`` (dense, length ``n_rows``).
+
+    Factorization machines need ``sum_j v_{jf}^2 x_{ij}^2`` per row and
+    factor (equation 10's second-order correction); callers pass
+    ``model = v_f**2`` to get it.
+    """
+    model = _check_model(matrix, model)
+    if matrix.nnz == 0:
+        return np.zeros(matrix.n_rows, dtype=np.float64)
+    products = (matrix.data ** 2) * model[matrix.indices]
+    return _reduce_rows(matrix, products)
+
+
+def accumulate_rows(matrix: CSRMatrix, coefficients: np.ndarray) -> np.ndarray:
+    """Return ``X^T c`` as a dense array of length ``n_cols``.
+
+    This is the gradient kernel: for GLMs the batch gradient is
+    ``sum_i c_i * x_i`` where ``c_i`` depends only on the statistics
+    (equation 2).  Each ColumnSGD worker calls it on its shard to get the
+    gradient of *its own* model partition — no communication needed.
+    """
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.shape != (matrix.n_rows,):
+        raise DimensionMismatchError((matrix.n_rows,), coefficients.shape, "coefficients shape")
+    out = np.zeros(matrix.n_cols, dtype=np.float64)
+    if matrix.nnz == 0:
+        return out
+    per_entry = matrix.data * np.repeat(coefficients, matrix.row_nnz())
+    np.add.at(out, matrix.indices, per_entry)
+    return out
+
+
+def accumulate_rows_squared(matrix: CSRMatrix, coefficients: np.ndarray) -> np.ndarray:
+    """Return ``(X**2)^T c`` — like :func:`accumulate_rows` with squared data.
+
+    FM's factor gradient (equation 13) contains a ``v_{if} x_i^2`` term;
+    this kernel provides the ``x^2``-weighted accumulation.
+    """
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.shape != (matrix.n_rows,):
+        raise DimensionMismatchError((matrix.n_rows,), coefficients.shape, "coefficients shape")
+    out = np.zeros(matrix.n_cols, dtype=np.float64)
+    if matrix.nnz == 0:
+        return out
+    per_entry = (matrix.data ** 2) * np.repeat(coefficients, matrix.row_nnz())
+    np.add.at(out, matrix.indices, per_entry)
+    return out
+
+
+def column_scale(matrix: CSRMatrix, factors: np.ndarray) -> CSRMatrix:
+    """Return a copy of ``matrix`` with column ``j`` scaled by ``factors[j]``."""
+    factors = _check_model(matrix, factors)
+    return CSRMatrix(
+        matrix.indptr.copy(),
+        matrix.indices.copy(),
+        matrix.data * factors[matrix.indices],
+        matrix.n_cols,
+    )
+
+
+def _reduce_rows(matrix: CSRMatrix, per_entry: np.ndarray) -> np.ndarray:
+    """Sum ``per_entry`` (aligned with matrix.data) within each row."""
+    out = np.zeros(matrix.n_rows, dtype=np.float64)
+    nonempty = np.flatnonzero(np.diff(matrix.indptr))
+    if nonempty.size:
+        starts = matrix.indptr[nonempty]
+        sums = np.add.reduceat(per_entry, starts)
+        out[nonempty] = sums
+    return out

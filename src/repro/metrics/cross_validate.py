@@ -1,0 +1,52 @@
+"""K-fold cross-validation over the uniform trainer interface."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.metrics.split import k_fold
+from repro.models.base import StatisticsModel
+
+
+def cross_validate(
+    dataset: Dataset,
+    train_fn: Callable[[Dataset], np.ndarray],
+    model: StatisticsModel,
+    score_fn: Callable[[StatisticsModel, np.ndarray, Dataset], Dict[str, float]],
+    k: int = 5,
+    seed=0,
+) -> Dict[str, Dict[str, float]]:
+    """Run K-fold CV and aggregate per-metric mean and std.
+
+    Parameters
+    ----------
+    train_fn:
+        ``train_fn(train_split) -> trained params`` — typically a lambda
+        closing over a trainer factory, so any of the five systems works.
+    model:
+        The (stateless) model used for scoring with the trained params.
+    score_fn:
+        ``score_fn(model, params, validation_split) -> {metric: value}``,
+        e.g. :func:`repro.metrics.evaluate_classifier`.
+
+    Returns
+    -------
+    ``{metric: {"mean": ..., "std": ..., "folds": [...]}}``
+    """
+    per_metric: Dict[str, List[float]] = {}
+    for train_split, validation_split in k_fold(dataset, k=k, seed=seed):
+        params = train_fn(train_split)
+        scores = score_fn(model, params, validation_split)
+        for metric, value in scores.items():
+            per_metric.setdefault(metric, []).append(float(value))
+    return {
+        metric: {
+            "mean": float(np.mean(values)),
+            "std": float(np.std(values)),
+            "folds": values,
+        }
+        for metric, values in per_metric.items()
+    }

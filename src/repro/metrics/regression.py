@@ -1,0 +1,49 @@
+"""Regression metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def _check_pair(labels, predictions):
+    labels = np.asarray(labels, dtype=np.float64)
+    predictions = np.asarray(predictions, dtype=np.float64)
+    if labels.shape != predictions.shape or labels.ndim != 1:
+        raise DataError(
+            "labels {} and predictions {} must be matching 1-D arrays".format(
+                labels.shape, predictions.shape
+            )
+        )
+    if labels.size == 0:
+        raise DataError("cannot score an empty batch")
+    return labels, predictions
+
+
+def mean_squared_error(labels, predictions) -> float:
+    """Mean of squared residuals."""
+    labels, predictions = _check_pair(labels, predictions)
+    return float(np.mean((labels - predictions) ** 2))
+
+
+def rmse(labels, predictions) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mean_squared_error(labels, predictions)))
+
+
+def mean_absolute_error(labels, predictions) -> float:
+    """Mean of absolute residuals."""
+    labels, predictions = _check_pair(labels, predictions)
+    return float(np.mean(np.abs(labels - predictions)))
+
+
+def r2_score(labels, predictions) -> float:
+    """Coefficient of determination; 1 is perfect, 0 matches the mean
+    predictor, negative is worse than the mean predictor."""
+    labels, predictions = _check_pair(labels, predictions)
+    total = float(np.sum((labels - labels.mean()) ** 2))
+    residual = float(np.sum((labels - predictions) ** 2))
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total

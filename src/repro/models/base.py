@@ -1,0 +1,131 @@
+"""The statistics-model interface — the paper's programming framework.
+
+A :class:`StatisticsModel` captures the vertical-parallel decomposition
+(Section II-C): per-example *statistics* that are (a) computable from any
+column shard against the matching model partition and (b) additive
+across shards, plus a gradient that is recoverable from the *complete*
+statistics using only local data.  Formally, for column shards
+``X = [X_1 | ... | X_K]`` and model partitions ``w = (w_1, ..., w_K)``::
+
+    compute_statistics(X, w) == sum_k compute_statistics(X_k, w_k)
+
+and the full-data batch gradient restricted to partition k equals
+``gradient_from_statistics(X_k, y, S, w_k)`` where ``S`` is the summed
+statistics.  Every concrete model's tests assert both identities.
+
+Models are *stateless*: parameters travel as plain numpy arrays whose
+first axis indexes features, so slicing rows of the array partitions the
+model by columns of the data — the collocation trick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg import CSRMatrix
+from repro.models.regularizers import NoRegularizer, Regularizer
+from repro.utils.rng import rng_from_seed
+
+
+class StatisticsModel:
+    """Interface of the paper's computation framework (Algorithm 3).
+
+    Attributes
+    ----------
+    name:
+        Registry key ('lr', 'svm', ...).
+    statistics_width:
+        Statistics per example (1 for GLMs, n_classes for MLR, F+1 for
+        FM).  Determines ColumnSGD's communication volume ``B * width``.
+    """
+
+    name = "abstract"
+    statistics_width = 1
+
+    def __init__(self, regularizer: Regularizer = None):
+        self.regularizer = regularizer if regularizer is not None else NoRegularizer()
+
+    # ------------------------------------------------------------------
+    # model parameter layout
+    # ------------------------------------------------------------------
+    def param_shape(self, n_features: int) -> tuple:
+        """Shape of the parameter array for ``n_features`` columns.
+
+        The first axis is always the feature axis, so a column partition
+        owning ``d`` features holds an array of shape
+        ``(d,) + param_shape(m)[1:]``.
+        """
+        raise NotImplementedError
+
+    def init_params(self, n_features: int, seed=None) -> np.ndarray:
+        """Fresh parameters (zeros unless the model needs symmetry breaking)."""
+        raise NotImplementedError
+
+    def params_per_feature(self) -> int:
+        """Scalars stored per feature (1 for GLMs, F+1 for FM, C for MLR)."""
+        shape = self.param_shape(1)
+        return int(np.prod(shape))
+
+    # ------------------------------------------------------------------
+    # the two-step decomposition
+    # ------------------------------------------------------------------
+    def compute_statistics(self, features: CSRMatrix, params: np.ndarray) -> np.ndarray:
+        """Partial statistics of shape ``(n_rows, statistics_width)``.
+
+        Must be additive across column shards.
+        """
+        raise NotImplementedError
+
+    def gradient_from_statistics(
+        self,
+        features: CSRMatrix,
+        labels: np.ndarray,
+        statistics: np.ndarray,
+        params: np.ndarray,
+    ) -> np.ndarray:
+        """Mean batch gradient of the local partition.
+
+        ``statistics`` must be the *complete* (summed) statistics;
+        ``features``/``params`` are the local shard and partition.  The
+        regularizer's gradient is included.
+        """
+        raise NotImplementedError
+
+    def loss_from_statistics(self, statistics: np.ndarray, labels: np.ndarray) -> float:
+        """Mean data loss of the batch given complete statistics.
+
+        Excludes the regularization penalty (callers add
+        ``regularizer.penalty`` over the full model when reporting
+        f(w, X); the paper's plots report training loss the same way).
+        """
+        raise NotImplementedError
+
+    def predict_from_statistics(self, statistics: np.ndarray) -> np.ndarray:
+        """Point predictions (labels or scores) from complete statistics."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # convenience single-machine paths (used by tests and examples)
+    # ------------------------------------------------------------------
+    def gradient(
+        self, features: CSRMatrix, labels: np.ndarray, params: np.ndarray
+    ) -> np.ndarray:
+        """Single-machine mean batch gradient (statistics folded in)."""
+        stats = self.compute_statistics(features, params)
+        return self.gradient_from_statistics(features, labels, stats, params)
+
+    def loss(self, features: CSRMatrix, labels: np.ndarray, params: np.ndarray) -> float:
+        """Full objective f(w, X): mean data loss + regularization penalty."""
+        stats = self.compute_statistics(features, params)
+        return self.loss_from_statistics(stats, labels) + self.regularizer.penalty(params)
+
+    def predict(self, features: CSRMatrix, params: np.ndarray) -> np.ndarray:
+        """Point predictions on a feature matrix."""
+        return self.predict_from_statistics(self.compute_statistics(features, params))
+
+    # ------------------------------------------------------------------
+    def _rng(self, seed):
+        return rng_from_seed(seed)
+
+    def __repr__(self) -> str:
+        return "{}(regularizer={})".format(type(self).__name__, self.regularizer.name)

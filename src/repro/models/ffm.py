@@ -1,0 +1,170 @@
+"""Field-aware Factorization Machine (Juan et al., RecSys 2016).
+
+FFM extends the paper's FM (Appendix VIII-D): each feature carries one
+latent vector *per field*, and the pair (i, j) interacts through
+``<v_{i, field(j)}, v_{j, field(i)}>``.  It decomposes under the
+statistics protocol just like FM does, with field-pair partial sums as
+the statistics:
+
+    T_{a->b,f} = sum_{j in field a} v_{j,b,f} x_j      (additive!)
+    Q_{a,f}    = sum_{j in field a} v_{j,a,f}^2 x_j^2  (additive!)
+
+    y(x) = x.w
+         + sum_f sum_{a<b} T_{a->b,f} T_{b->a,f}            (cross-field)
+         + 1/2 sum_f sum_a (T_{a->a,f}^2 - Q_{a,f})          (within-field)
+
+so the statistics per example are ``s0 = x.w - 1/2 sum Q`` plus the
+``A^2 F`` values ``T_{a->b,f}`` — width ``1 + A^2 F``, independent of m.
+
+Collocation trick: each feature's *field id* is stored as a frozen
+extra parameter column riding with its latent vectors, so a worker can
+compute field-restricted sums from its shard + partition alone and the
+:class:`~repro.models.base.StatisticsModel` interface stays unchanged.
+The field column receives a zero gradient (and is masked out of the
+regularizer), so no optimizer ever moves it.
+
+Parameter layout per feature: ``[field_id, w, v_{.,0,0..F-1}, ...,
+v_{.,A-1,0..F-1}]`` — shape ``(m, 2 + A*F)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg import CSRMatrix, accumulate_rows, accumulate_rows_squared, row_dots, row_dots_squared
+from repro.models.base import StatisticsModel
+from repro.models.losses import LogisticLoss, _sigmoid
+from repro.models.regularizers import Regularizer
+from repro.utils.validation import check_positive
+
+
+class FieldAwareFM(StatisticsModel):
+    """Degree-2 FFM with logistic loss and labels in {-1, +1}.
+
+    Parameters
+    ----------
+    field_of:
+        Global map feature id -> field id in ``[0, n_fields)``.
+    n_factors:
+        Latent dimensions per (feature, field) pair.
+    """
+
+    name = "ffm"
+
+    def __init__(
+        self,
+        field_of,
+        n_factors: int = 4,
+        init_std: float = 0.05,
+        regularizer: Regularizer = None,
+    ):
+        super().__init__(regularizer)
+        check_positive(n_factors, "n_factors")
+        check_positive(init_std, "init_std")
+        field_of = np.asarray(field_of, dtype=np.int64)
+        if field_of.ndim != 1 or field_of.size == 0:
+            raise ValueError("field_of must be a non-empty 1-D array")
+        if field_of.min() < 0:
+            raise ValueError("field ids must be >= 0")
+        self.field_of = field_of
+        self.n_fields = int(field_of.max()) + 1
+        self.n_factors = int(n_factors)
+        self.init_std = float(init_std)
+        self.statistics_width = 1 + self.n_fields ** 2 * self.n_factors
+        self._loss = LogisticLoss()
+
+    # -- parameter layout -------------------------------------------------
+    def param_shape(self, n_features: int) -> tuple:
+        return (n_features, 2 + self.n_fields * self.n_factors)
+
+    def init_params(self, n_features: int, seed=None) -> np.ndarray:
+        if n_features != self.field_of.size:
+            raise ValueError(
+                "model built for {} features, got {}".format(self.field_of.size, n_features)
+            )
+        rng = self._rng(seed)
+        params = np.zeros(self.param_shape(n_features), dtype=np.float64)
+        params[:, 0] = self.field_of.astype(np.float64)  # frozen metadata
+        params[:, 2:] = rng.normal(
+            0.0, self.init_std, size=(n_features, self.n_fields * self.n_factors)
+        )
+        return params
+
+    def _v_column(self, params: np.ndarray, field_b: int, factor: int) -> np.ndarray:
+        return params[:, 2 + field_b * self.n_factors + factor]
+
+    def _t_index(self, a: int, b: int, f: int) -> int:
+        return 1 + (a * self.n_fields + b) * self.n_factors + f
+
+    # -- decomposition ------------------------------------------------------
+    def compute_statistics(self, features: CSRMatrix, params: np.ndarray) -> np.ndarray:
+        fields = params[:, 0].astype(np.int64)
+        w = params[:, 1]
+        stats = np.zeros((features.n_rows, self.statistics_width), dtype=np.float64)
+        s0 = row_dots(features, w)
+        for a in range(self.n_fields):
+            mask = (fields == a).astype(np.float64)
+            for f in range(self.n_factors):
+                q_col = (self._v_column(params, a, f) ** 2) * mask
+                s0 -= 0.5 * row_dots_squared(features, q_col)
+                for b in range(self.n_fields):
+                    t_col = self._v_column(params, b, f) * mask
+                    stats[:, self._t_index(a, b, f)] = row_dots(features, t_col)
+        stats[:, 0] = s0
+        return stats
+
+    def _raw_scores(self, statistics: np.ndarray) -> np.ndarray:
+        stats = np.asarray(statistics, dtype=np.float64)
+        scores = stats[:, 0].copy()
+        A, F = self.n_fields, self.n_factors
+        for f in range(F):
+            for a in range(A):
+                t_aa = stats[:, self._t_index(a, a, f)]
+                scores += 0.5 * t_aa ** 2
+                for b in range(a + 1, A):
+                    scores += (
+                        stats[:, self._t_index(a, b, f)]
+                        * stats[:, self._t_index(b, a, f)]
+                    )
+        return scores
+
+    def gradient_from_statistics(self, features, labels, statistics, params):
+        stats = np.asarray(statistics, dtype=np.float64)
+        scores = self._raw_scores(stats)
+        c = self._loss.derivative(scores, labels)
+        batch = max(len(labels), 1)
+        fields = params[:, 0].astype(np.int64)
+        grad = np.zeros_like(params)
+        grad[:, 1] = accumulate_rows(features, c)
+        sq_acc = accumulate_rows_squared(features, c)  # sum_i c_i x_i^2
+        for a in range(self.n_fields):
+            mask = fields == a
+            if not mask.any():
+                continue
+            for f in range(self.n_factors):
+                for b in range(self.n_fields):
+                    # d y / d v_{j,b,f} for j in field a is
+                    # x_j * T_{b->a,f}   (+ the within-field correction
+                    # -v_{j,a,f} x_j^2 when b == a)
+                    coeff = c * stats[:, self._t_index(b, a, f)]
+                    col = 2 + b * self.n_factors + f
+                    grad[mask, col] = accumulate_rows(features, coeff)[mask]
+                    if b == a:
+                        grad[mask, col] -= (
+                            self._v_column(params, a, f)[mask] * sq_acc[mask]
+                        )
+        grad /= batch
+        reg = self.regularizer.gradient(params)
+        reg[:, 0] = 0.0  # never touch the frozen field-id column
+        grad[:, 0] = 0.0
+        return grad + reg
+
+    def loss_from_statistics(self, statistics, labels) -> float:
+        labels = np.asarray(labels, dtype=np.float64)
+        if labels.size == 0:
+            return 0.0
+        return float(np.mean(self._loss.loss(self._raw_scores(statistics), labels)))
+
+    def predict_from_statistics(self, statistics) -> np.ndarray:
+        """P(y = +1 | x)."""
+        return _sigmoid(self._raw_scores(statistics))

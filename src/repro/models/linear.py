@@ -1,0 +1,126 @@
+"""Generalized linear models: LR, SVM, Least Squares.
+
+For GLMs the statistics are a single dot product per example
+(Appendix VIII-A/B): ``s_i = x_i . w``, trivially additive across column
+shards.  Given the complete dots, the mean batch gradient of any shard is
+``X_k^T c / B`` where ``c_i`` is the loss derivative at ``(s_i, y_i)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg import CSRMatrix, accumulate_rows, row_dots
+from repro.models.base import StatisticsModel
+from repro.models.losses import (
+    HingeLoss,
+    HuberLoss,
+    LogisticLoss,
+    PointwiseLoss,
+    SquaredHingeLoss,
+    SquaredLoss,
+    _sigmoid,
+)
+from repro.models.regularizers import Regularizer
+
+
+class GeneralizedLinearModel(StatisticsModel):
+    """A GLM parameterised by a pointwise loss."""
+
+    statistics_width = 1
+
+    def __init__(self, loss: PointwiseLoss, regularizer: Regularizer = None):
+        super().__init__(regularizer)
+        self.loss_fn = loss
+
+    # -- layout ---------------------------------------------------------
+    def param_shape(self, n_features: int) -> tuple:
+        return (n_features,)
+
+    def init_params(self, n_features: int, seed=None) -> np.ndarray:
+        return np.zeros(n_features, dtype=np.float64)
+
+    # -- decomposition ----------------------------------------------------
+    def compute_statistics(self, features: CSRMatrix, params: np.ndarray) -> np.ndarray:
+        dots = row_dots(features, params)
+        return dots.reshape(-1, 1)
+
+    def gradient_from_statistics(self, features, labels, statistics, params):
+        scores = np.asarray(statistics)[:, 0]
+        coefficients = self.loss_fn.derivative(scores, labels)
+        batch = max(len(labels), 1)
+        grad = accumulate_rows(features, coefficients) / batch
+        return grad + self.regularizer.gradient(params)
+
+    def loss_from_statistics(self, statistics, labels) -> float:
+        scores = np.asarray(statistics)[:, 0]
+        if scores.size == 0:
+            return 0.0
+        return float(np.mean(self.loss_fn.loss(scores, labels)))
+
+    def predict_from_statistics(self, statistics) -> np.ndarray:
+        return np.asarray(statistics)[:, 0]
+
+
+class LogisticRegression(GeneralizedLinearModel):
+    """Binary LR with labels in {-1, +1} (Appendix VIII-B)."""
+
+    name = "lr"
+
+    def __init__(self, regularizer: Regularizer = None):
+        super().__init__(LogisticLoss(), regularizer)
+
+    def predict_from_statistics(self, statistics) -> np.ndarray:
+        """Class probabilities P(y = +1 | x)."""
+        return _sigmoid(np.asarray(statistics)[:, 0])
+
+    def predict_labels(self, features, params) -> np.ndarray:
+        """Hard {-1, +1} labels."""
+        return np.where(self.predict(features, params) >= 0.5, 1.0, -1.0)
+
+
+class LinearSVM(GeneralizedLinearModel):
+    """Linear SVM via hinge loss (Appendix VIII-A)."""
+
+    name = "svm"
+
+    def __init__(self, regularizer: Regularizer = None):
+        super().__init__(HingeLoss(), regularizer)
+
+    def predict_labels(self, features, params) -> np.ndarray:
+        """Hard {-1, +1} labels from the margin sign."""
+        margins = self.predict(features, params)
+        return np.where(margins >= 0.0, 1.0, -1.0)
+
+
+class LeastSquares(GeneralizedLinearModel):
+    """Linear regression with squared loss."""
+
+    name = "least_squares"
+
+    def __init__(self, regularizer: Regularizer = None):
+        super().__init__(SquaredLoss(), regularizer)
+
+
+class SmoothSVM(GeneralizedLinearModel):
+    """L2-SVM: squared hinge loss, differentiable at the margin."""
+
+    name = "smooth_svm"
+
+    def __init__(self, regularizer: Regularizer = None):
+        super().__init__(SquaredHingeLoss(), regularizer)
+
+    def predict_labels(self, features, params) -> np.ndarray:
+        """Hard {-1, +1} labels from the margin sign."""
+        margins = self.predict(features, params)
+        return np.where(margins >= 0.0, 1.0, -1.0)
+
+
+class HuberRegression(GeneralizedLinearModel):
+    """Outlier-robust linear regression with the Huber loss."""
+
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0, regularizer: Regularizer = None):
+        super().__init__(HuberLoss(delta), regularizer)
+        self.delta = float(delta)

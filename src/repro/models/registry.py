@@ -1,0 +1,42 @@
+"""Name-based model factory used by benches and examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.models.base import StatisticsModel
+from repro.models.ffm import FieldAwareFM
+from repro.models.fm import FactorizationMachine
+from repro.models.linear import (
+    HuberRegression,
+    LeastSquares,
+    LinearSVM,
+    LogisticRegression,
+    SmoothSVM,
+)
+from repro.models.mlr import MultinomialLogisticRegression
+
+MODEL_REGISTRY: Dict[str, Callable[..., StatisticsModel]] = {
+    "lr": LogisticRegression,
+    "svm": LinearSVM,
+    "least_squares": LeastSquares,
+    "smooth_svm": SmoothSVM,
+    "huber": HuberRegression,
+    "mlr": MultinomialLogisticRegression,
+    "fm": FactorizationMachine,
+    "ffm": FieldAwareFM,
+}
+
+
+def make_model(name: str, **kwargs) -> StatisticsModel:
+    """Instantiate a model by registry name.
+
+    Extra keyword arguments go to the constructor (e.g.
+    ``make_model('fm', n_factors=10)``).
+    """
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(
+            "unknown model {!r}; available: {}".format(name, sorted(MODEL_REGISTRY))
+        )
+    return MODEL_REGISTRY[key](**kwargs)

@@ -1,0 +1,20 @@
+"""Network cost model: messages, links, and collective operations.
+
+All "time" in the reproduction's distributed experiments comes from this
+package plus the compute cost model in :mod:`repro.sim.cost`.  A
+:class:`NetworkModel` turns byte counts into seconds using the classic
+latency + size/bandwidth model; :class:`Topology` composes link transfers
+into the gather/broadcast/AllReduce patterns the five systems use.
+"""
+
+from repro.net.message import Message, MessageKind
+from repro.net.network import NetworkModel
+from repro.net.topology import StarTopology, allreduce_time
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "NetworkModel",
+    "StarTopology",
+    "allreduce_time",
+]

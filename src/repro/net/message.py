@@ -1,0 +1,51 @@
+"""Typed messages with explicit payload sizes.
+
+Every transfer in the simulator is a :class:`Message`; the event log
+records them so tests can assert *exactly* which bytes each system moved
+— that is how we validate Table I's communication formulas.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+class MessageKind(enum.Enum):
+    """What a message carries, following the paper's vocabulary."""
+
+    MODEL_PULL = "model_pull"            # RowSGD: worker pulls model w
+    GRADIENT_PUSH = "gradient_push"      # RowSGD: worker pushes gradient g
+    STATISTICS_PUSH = "statistics_push"  # ColumnSGD: worker pushes partial stats
+    STATISTICS_BCAST = "statistics_bcast"  # ColumnSGD: master broadcasts summed stats
+    MODEL_AVG = "model_average"          # MLlib*: AllReduce of averaged models
+    WORKSET = "workset"                  # data loading: column workset shipment
+    BLOCK_ASSIGN = "block_assign"        # data loading: block id assignment
+    CONTROL = "control"                  # scheduling / barrier control
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single directed transfer.
+
+    ``src``/``dst`` are node ids: worker indices ``0..K-1``, or the
+    symbolic ``Message.MASTER`` (= -1) for the master/driver.  ``payload``
+    is optional; the simulator only needs ``size_bytes``.
+    """
+
+    kind: MessageKind
+    src: int
+    dst: int
+    size_bytes: int
+    payload: Optional[Any] = None
+
+    MASTER = -1
+
+    def __post_init__(self):
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0, got {}".format(self.size_bytes))
+
+    def involves_master(self) -> bool:
+        """True when one endpoint is the master."""
+        return self.src == Message.MASTER or self.dst == Message.MASTER

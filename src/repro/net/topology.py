@@ -1,0 +1,95 @@
+"""Communication patterns composed from point-to-point transfers.
+
+The five systems use three patterns:
+
+* star gather/broadcast between master and K workers (MLlib, ColumnSGD);
+* sharded gather/broadcast against S parameter servers (Petuum, MXNet) —
+  modelled as a star where each server handles 1/S of the bytes;
+* ring AllReduce (MLlib*'s model averaging), for which we use the classic
+  2(K-1)/K * size bandwidth term.
+
+Times assume the master's NIC is the bottleneck for star patterns (it
+sends/receives K messages serially over one link), matching the paper's
+argument that multiple PS simply spread the same bytes over more NICs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.net.message import Message, MessageKind
+from repro.net.network import NetworkModel
+from repro.utils.validation import check_positive
+
+
+class StarTopology:
+    """Master-centred gather and broadcast over a :class:`NetworkModel`."""
+
+    def __init__(self, network: NetworkModel, n_workers: int):
+        check_positive(n_workers, "n_workers")
+        self.network = network
+        self.n_workers = int(n_workers)
+
+    # ------------------------------------------------------------------
+    def gather(self, kind: MessageKind, sizes: Sequence[int]) -> float:
+        """Workers -> master; returns time until the *last* byte arrives.
+
+        ``sizes[k]`` is worker k's message size.  Worker uplinks run in
+        parallel but the master's downlink serialises the receives, so the
+        gather takes ``latency + sum(sizes)/bandwidth`` — the paper's
+        ``K * (message)`` master-side cost.
+        """
+        total = 0
+        for worker_id, size in enumerate(sizes):
+            self.network.send(Message(kind, worker_id, Message.MASTER, int(size)))
+            total += int(size)
+        return self.network.latency + total / self.network.bandwidth
+
+    def broadcast(self, kind: MessageKind, size: int) -> float:
+        """Master -> all workers; time until the last worker has the data.
+
+        The master pushes K copies through its single uplink.
+        """
+        for worker_id in range(self.n_workers):
+            self.network.send(Message(kind, Message.MASTER, worker_id, int(size)))
+        return self.network.latency + self.n_workers * int(size) / self.network.bandwidth
+
+    def sharded_gather(self, kind: MessageKind, sizes: Sequence[int], n_servers: int) -> float:
+        """Workers -> S parameter servers, bytes split evenly across servers.
+
+        Total bytes are unchanged (the paper's point), but the per-NIC
+        serialisation is divided by S.
+        """
+        check_positive(n_servers, "n_servers")
+        total = 0
+        for worker_id, size in enumerate(sizes):
+            self.network.send(Message(kind, worker_id, Message.MASTER, int(size)))
+            total += int(size)
+        return self.network.latency + total / (n_servers * self.network.bandwidth)
+
+    def sharded_broadcast(self, kind: MessageKind, size: int, n_servers: int) -> float:
+        """S servers -> all workers, each server pushing its model shard."""
+        check_positive(n_servers, "n_servers")
+        for worker_id in range(self.n_workers):
+            self.network.send(Message(kind, Message.MASTER, worker_id, int(size)))
+        return self.network.latency + self.n_workers * int(size) / (
+            n_servers * self.network.bandwidth
+        )
+
+
+def allreduce_time(network: NetworkModel, size_bytes: int, n_workers: int) -> float:
+    """Ring AllReduce of ``size_bytes`` across ``n_workers`` nodes.
+
+    Classic cost: ``2 (K-1) steps of latency + 2 (K-1)/K * size / bandwidth``
+    (reduce-scatter + all-gather).  Used by the MLlib* baseline.
+    """
+    check_positive(n_workers, "n_workers")
+    if n_workers == 1:
+        return 0.0
+    steps = 2 * (n_workers - 1)
+    per_step_bytes = size_bytes / n_workers
+    for step in range(steps):
+        src = step % n_workers
+        dst = (step + 1) % n_workers
+        network.send(Message(MessageKind.MODEL_AVG, src, dst, int(per_step_bytes)))
+    return steps * network.latency + steps * per_step_bytes / network.bandwidth

@@ -1,0 +1,34 @@
+"""Optimizers and learning-rate schedules.
+
+All updates are coordinate-wise, which is what lets ColumnSGD run an
+independent optimizer instance per model partition and still reproduce
+the single-machine trajectory exactly (the paper's Section III-A remark
+that Adam/AdaGrad work "by tweaking the implementation of model update").
+"""
+
+from repro.optim.schedules import (
+    Schedule,
+    ConstantSchedule,
+    InverseScalingSchedule,
+    StepDecaySchedule,
+    WarmupSchedule,
+)
+from repro.optim.base import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adagrad import AdaGrad
+from repro.optim.adam import Adam
+from repro.optim.registry import make_optimizer, OPTIMIZER_REGISTRY
+
+__all__ = [
+    "Schedule",
+    "ConstantSchedule",
+    "InverseScalingSchedule",
+    "StepDecaySchedule",
+    "WarmupSchedule",
+    "Optimizer",
+    "SGD",
+    "AdaGrad",
+    "Adam",
+    "make_optimizer",
+    "OPTIMIZER_REGISTRY",
+]

@@ -1,0 +1,36 @@
+"""AdaGrad (Duchi et al., 2011) — the paper cites it as a supported variant."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+from repro.optim.schedules import Schedule
+from repro.utils.validation import check_positive
+
+
+class AdaGrad(Optimizer):
+    """``w <- w - eta * g / (sqrt(sum g^2) + eps)`` per coordinate."""
+
+    name = "adagrad"
+
+    def __init__(self, learning_rate: float, epsilon: float = 1e-8, schedule: Schedule = None):
+        super().__init__(learning_rate, schedule)
+        check_positive(epsilon, "epsilon")
+        self.epsilon = float(epsilon)
+        self._accumulator = None
+
+    def step(self, params, gradient, iteration):
+        self._check_shapes(params, gradient)
+        if self._accumulator is None:
+            self._accumulator = np.zeros_like(params)
+        self._accumulator += gradient ** 2
+        rate = self.effective_rate(iteration)
+        params -= rate * gradient / (np.sqrt(self._accumulator) + self.epsilon)
+        return params
+
+    def spawn(self):
+        return AdaGrad(self.learning_rate, epsilon=self.epsilon, schedule=self.schedule)
+
+    def reset(self):
+        self._accumulator = None

@@ -1,0 +1,26 @@
+"""Name-based optimizer factory."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.optim.adagrad import AdaGrad
+from repro.optim.adam import Adam
+from repro.optim.base import Optimizer
+from repro.optim.sgd import SGD
+
+OPTIMIZER_REGISTRY: Dict[str, Callable[..., Optimizer]] = {
+    "sgd": SGD,
+    "adagrad": AdaGrad,
+    "adam": Adam,
+}
+
+
+def make_optimizer(name: str, learning_rate: float, **kwargs) -> Optimizer:
+    """Instantiate an optimizer by registry name."""
+    key = name.lower()
+    if key not in OPTIMIZER_REGISTRY:
+        raise KeyError(
+            "unknown optimizer {!r}; available: {}".format(name, sorted(OPTIMIZER_REGISTRY))
+        )
+    return OPTIMIZER_REGISTRY[key](learning_rate, **kwargs)

@@ -1,0 +1,75 @@
+"""Learning-rate schedules, pure functions of the iteration number.
+
+Being stateless functions of ``t`` keeps distributed instances in sync
+for free: every worker evaluates the same schedule at the same t.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class Schedule:
+    """Interface: learning-rate multiplier at iteration ``t`` (0-based)."""
+
+    def factor(self, iteration: int) -> float:
+        """Multiplier applied to the base learning rate."""
+        raise NotImplementedError
+
+
+class ConstantSchedule(Schedule):
+    """Always 1.0 — the paper's setting (fixed grid-searched rates)."""
+
+    def factor(self, iteration: int) -> float:
+        return 1.0
+
+
+class InverseScalingSchedule(Schedule):
+    """``1 / (1 + decay * t) ** power`` — classic SGD decay."""
+
+    def __init__(self, decay: float = 0.01, power: float = 0.5):
+        check_non_negative(decay, "decay")
+        check_non_negative(power, "power")
+        self.decay = float(decay)
+        self.power = float(power)
+
+    def factor(self, iteration: int) -> float:
+        return 1.0 / (1.0 + self.decay * iteration) ** self.power
+
+
+class WarmupSchedule(Schedule):
+    """Linear ramp from ``start_factor`` to 1.0 over ``warmup_iterations``,
+    then delegate to ``after`` (constant by default).
+
+    Useful for large-batch runs where the first steps at the full rate
+    overshoot (the thrash regime of Fig 4(a) at small batches has the
+    same cure).
+    """
+
+    def __init__(self, warmup_iterations: int, start_factor: float = 0.1,
+                 after: "Schedule" = None):
+        check_positive(warmup_iterations, "warmup_iterations")
+        if not 0.0 < start_factor <= 1.0:
+            raise ValueError("start_factor must lie in (0, 1]")
+        self.warmup_iterations = int(warmup_iterations)
+        self.start_factor = float(start_factor)
+        self.after = after if after is not None else ConstantSchedule()
+
+    def factor(self, iteration: int) -> float:
+        if iteration < self.warmup_iterations:
+            progress = iteration / self.warmup_iterations
+            return self.start_factor + (1.0 - self.start_factor) * progress
+        return self.after.factor(iteration - self.warmup_iterations)
+
+
+class StepDecaySchedule(Schedule):
+    """Multiply by ``gamma`` every ``step_size`` iterations."""
+
+    def __init__(self, step_size: int, gamma: float = 0.5):
+        check_positive(step_size, "step_size")
+        check_positive(gamma, "gamma")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def factor(self, iteration: int) -> float:
+        return self.gamma ** (iteration // self.step_size)

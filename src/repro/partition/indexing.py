@@ -1,0 +1,91 @@
+"""Two-phase mini-batch sampling index (Section IV-A2).
+
+Sampling a row happens in two draws sharing a deterministic per-iteration
+seed: first a block id (weighted by block size so rows stay uniform),
+then an ordinal offset inside that block.  Because the seed is a pure
+function of (base seed, iteration), every worker — and the master —
+materialises the identical draw sequence without any communication,
+which is what lets column shards of the same logical row line up across
+the cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.utils.rng import iteration_seed
+from repro.utils.validation import check_positive
+
+
+class TwoPhaseIndex:
+    """Deterministic (block id, offset) sampler over a block layout.
+
+    Parameters
+    ----------
+    block_sizes:
+        ``{block_id: n_rows}`` — must agree across all workers (they all
+        received worksets of the same blocks).
+    base_seed:
+        Job-level seed; combined with the iteration number via SplitMix64.
+    """
+
+    def __init__(self, block_sizes: Dict[int, int], base_seed: int = 0):
+        if not block_sizes:
+            raise PartitionError("cannot index an empty block layout")
+        self._block_ids = np.asarray(sorted(block_sizes), dtype=np.int64)
+        self._sizes = np.asarray(
+            [block_sizes[int(b)] for b in self._block_ids], dtype=np.int64
+        )
+        if np.any(self._sizes <= 0):
+            raise PartitionError("all blocks must have at least one row")
+        self._weights = self._sizes / self._sizes.sum()
+        self._cum_sizes = np.concatenate([[0], np.cumsum(self._sizes)])
+        self.base_seed = int(base_seed)
+
+    @property
+    def n_rows(self) -> int:
+        """Total rows across all blocks."""
+        return int(self._sizes.sum())
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of indexed blocks."""
+        return int(self._block_ids.size)
+
+    def sample(self, iteration: int, batch_size: int) -> List[Tuple[int, int]]:
+        """Draw ``batch_size`` (block id, offset) pairs for ``iteration``.
+
+        Deterministic: the same (base_seed, iteration) yields the same
+        draws on every caller.  Rows are sampled with replacement,
+        uniformly over the logical dataset.
+        """
+        check_positive(batch_size, "batch_size")
+        rng = np.random.default_rng(iteration_seed(self.base_seed, iteration))
+        block_pos = rng.choice(self.n_blocks, size=batch_size, p=self._weights)
+        offsets = rng.integers(0, self._sizes[block_pos])
+        return [
+            (int(self._block_ids[b]), int(o)) for b, o in zip(block_pos, offsets)
+        ]
+
+    def to_global_rows(self, draws: List[Tuple[int, int]]) -> np.ndarray:
+        """Convert draws into global row ids (blocks laid out in id order).
+
+        Only valid when block ids map to contiguous ranges of the source
+        dataset in ascending order — true for the dispatcher's layout.
+        Used by equivalence tests and by the driver's loss evaluation.
+        """
+        rows = np.empty(len(draws), dtype=np.int64)
+        id_to_pos = {int(b): i for i, b in enumerate(self._block_ids)}
+        for i, (block_id, offset) in enumerate(draws):
+            pos = id_to_pos.get(block_id)
+            if pos is None:
+                raise PartitionError("unknown block id {}".format(block_id))
+            if not 0 <= offset < self._sizes[pos]:
+                raise PartitionError(
+                    "offset {} out of range for block {}".format(offset, block_id)
+                )
+            rows[i] = self._cum_sizes[pos] + offset
+        return rows

@@ -1,0 +1,152 @@
+"""Worksets: the unit of column-partitioned storage on each worker.
+
+A :class:`Workset` is what one dispatch message carries (Fig 5, Step 3):
+the column-projection of one block's rows for one destination worker,
+in CSR with local column ids, plus the rows' labels and the originating
+block id.  A :class:`WorksetStore` is the per-worker "hash map of
+received worksets" (Algorithm 4, line 7) that the two-phase index
+samples from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.linalg import CSRMatrix
+from repro.storage.serialization import workset_bytes
+
+
+@dataclass
+class Workset:
+    """Column shard of one block: local-id CSR + labels + provenance."""
+
+    block_id: int
+    features: CSRMatrix  # n_cols == owner's local dim
+    labels: np.ndarray
+
+    def __post_init__(self):
+        self.labels = np.asarray(self.labels, dtype=np.float64)
+        if self.labels.ndim != 1 or self.labels.size != self.features.n_rows:
+            raise PartitionError(
+                "workset labels ({}) do not match rows ({})".format(
+                    self.labels.size, self.features.n_rows
+                )
+            )
+
+    @property
+    def n_rows(self) -> int:
+        """Rows in the originating block."""
+        return self.features.n_rows
+
+    def serialized_bytes(self) -> int:
+        """Wire size of this workset (CSR-compressed, one object)."""
+        return workset_bytes(self.features.n_rows, self.features.nnz)
+
+
+class WorksetStore:
+    """Per-worker map ``block_id -> Workset`` with batch assembly.
+
+    ``local_dim`` pins the column dimension every stored workset must
+    share (the worker's model partition width).
+    """
+
+    def __init__(self, worker_id: int, local_dim: int):
+        self.worker_id = int(worker_id)
+        self.local_dim = int(local_dim)
+        self._worksets: Dict[int, Workset] = {}
+
+    def put(self, workset: Workset) -> None:
+        """Insert a received workset; block ids must be unique."""
+        if workset.features.n_cols != self.local_dim:
+            raise PartitionError(
+                "workset has {} columns but worker {} owns {}".format(
+                    workset.features.n_cols, self.worker_id, self.local_dim
+                )
+            )
+        if workset.block_id in self._worksets:
+            raise PartitionError(
+                "duplicate workset for block {} on worker {}".format(
+                    workset.block_id, self.worker_id
+                )
+            )
+        self._worksets[workset.block_id] = workset
+
+    def get(self, block_id: int) -> Workset:
+        """Look up one workset by block id."""
+        if block_id not in self._worksets:
+            raise PartitionError(
+                "worker {} has no workset for block {}".format(self.worker_id, block_id)
+            )
+        return self._worksets[block_id]
+
+    def block_ids(self) -> list:
+        """Sorted block ids present in the store."""
+        return sorted(self._worksets)
+
+    def block_sizes(self) -> Dict[int, int]:
+        """Rows per stored block (two-phase index input)."""
+        return {bid: ws.n_rows for bid, ws in self._worksets.items()}
+
+    @property
+    def n_rows(self) -> int:
+        """Total logical rows across all worksets."""
+        return sum(ws.n_rows for ws in self._worksets.values())
+
+    @property
+    def nnz(self) -> int:
+        """Total stored non-zeros in this shard."""
+        return sum(ws.features.nnz for ws in self._worksets.values())
+
+    def stored_bytes(self) -> int:
+        """Memory footprint of the shard (CSR + labels)."""
+        return sum(ws.serialized_bytes() for ws in self._worksets.values())
+
+    def assemble_batch(
+        self, draws: Iterable[Tuple[int, int]]
+    ) -> Tuple[CSRMatrix, np.ndarray]:
+        """Gather the rows named by ``(block_id, offset)`` draws.
+
+        Returns a local-dimension CSR batch plus the labels, in draw
+        order.  Every worker calling this with the same draws gets
+        row-aligned shards of the same logical mini-batch — the point of
+        the two-phase index.
+        """
+        draws = list(draws)
+        if not draws:
+            return CSRMatrix.empty(0, self.local_dim), np.empty(0, dtype=np.float64)
+        block_ids = np.asarray([b for b, _ in draws], dtype=np.int64)
+        offsets = np.asarray([o for _, o in draws], dtype=np.int64)
+        # Group draws by block so each block contributes one take_rows call,
+        # then restore draw order with a final gather.
+        order = np.argsort(block_ids, kind="stable")
+        parts = []
+        labels = []
+        pos = 0
+        while pos < order.size:
+            block_id = int(block_ids[order[pos]])
+            end = pos
+            while end < order.size and block_ids[order[end]] == block_id:
+                end += 1
+            workset = self.get(block_id)
+            offs = offsets[order[pos:end]]
+            if offs.size and (offs.min() < 0 or offs.max() >= workset.n_rows):
+                raise PartitionError(
+                    "offset out of range for block {} ({} rows)".format(
+                        block_id, workset.n_rows
+                    )
+                )
+            parts.append(workset.features.take_rows(offs))
+            labels.append(workset.labels[offs])
+            pos = end
+        stacked = CSRMatrix.vstack(parts)
+        inverse = np.empty(order.size, dtype=np.int64)
+        inverse[order] = np.arange(order.size)
+        return stacked.take_rows(inverse), np.concatenate(labels)[inverse]
+
+    def clear(self) -> None:
+        """Drop all worksets (worker failure simulation)."""
+        self._worksets.clear()

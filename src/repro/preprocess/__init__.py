@@ -1,0 +1,22 @@
+"""Preprocessing transforms for sparse datasets.
+
+The paper's CTR datasets arrive pre-hashed into fixed dimensions; this
+package provides the matching tooling for users bringing raw data:
+
+* :func:`hash_features` — the hashing trick: fold arbitrary feature ids
+  into ``n_buckets`` dimensions with a sign hash (Weinberger et al.),
+  so any LIBSVM file can target a chosen model size;
+* :func:`normalize_rows` — L2 row normalisation (standard for
+  hinge/logistic training on count features);
+* :func:`binarize` — clamp non-zero values to 1.0 (one-hot semantics);
+* :func:`scale_features` — per-column scaling by max |value|.
+"""
+
+from repro.preprocess.transforms import (
+    hash_features,
+    normalize_rows,
+    binarize,
+    scale_features,
+)
+
+__all__ = ["hash_features", "normalize_rows", "binarize", "scale_features"]

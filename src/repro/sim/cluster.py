@@ -1,0 +1,150 @@
+"""Cluster specification and the simulated-cluster bundle.
+
+A :class:`ClusterSpec` captures the paper's hardware tables; a
+:class:`SimulatedCluster` instantiates the clock, network, compute model
+and per-node memory ledgers that every trainer runs against.  ``CLUSTER1``
+and ``CLUSTER2`` are the two testbeds of Section V-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.errors import OutOfMemoryError
+from repro.net.network import NetworkModel, gbps
+from repro.net.topology import StarTopology
+from repro.sim.clock import SimClock
+from repro.sim.cost import ComputeCostModel
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Hardware description of one testbed."""
+
+    name: str
+    n_workers: int
+    cores_per_worker: int
+    memory_bytes_per_node: float
+    bandwidth_bytes_per_s: float
+    latency_s: float = 0.5e-3
+    disk_bandwidth_bytes_per_s: float = 400e6
+
+    def __post_init__(self):
+        check_positive(self.n_workers, "n_workers")
+        check_positive(self.cores_per_worker, "cores_per_worker")
+        check_positive(self.memory_bytes_per_node, "memory_bytes_per_node")
+        check_positive(self.bandwidth_bytes_per_s, "bandwidth_bytes_per_s")
+
+    def with_workers(self, n_workers: int) -> "ClusterSpec":
+        """Same hardware, different node count (scalability sweeps)."""
+        return replace(self, n_workers=n_workers)
+
+
+#: Section V-A, Cluster 1: 8 machines, 2 CPUs, 32 GB, 1 Gbps.
+CLUSTER1 = ClusterSpec(
+    name="cluster1",
+    n_workers=8,
+    cores_per_worker=2,
+    memory_bytes_per_node=32e9,
+    bandwidth_bytes_per_s=gbps(1.0),
+)
+
+#: Section V-A, Cluster 2: 40 machines, 8 CPUs, 50 GB, 10 Gbps.
+CLUSTER2 = ClusterSpec(
+    name="cluster2",
+    n_workers=40,
+    cores_per_worker=8,
+    memory_bytes_per_node=50e9,
+    bandwidth_bytes_per_s=gbps(10.0),
+)
+
+
+class SimulatedCluster:
+    """One master + K workers with shared clock, network, and cost model.
+
+    Node ids: workers are ``0..K-1``; the master is
+    :attr:`~repro.net.message.Message.MASTER` (-1).  Memory is tracked as a
+    high-water ledger per node; exceeding a node's capacity raises
+    :class:`~repro.errors.OutOfMemoryError` — that is how Table V's MXNet
+    OOM reproduces.
+    """
+
+    MASTER = -1
+
+    def __init__(self, spec: ClusterSpec, cost: ComputeCostModel = None):
+        self.spec = spec
+        self.clock = SimClock()
+        self.network = NetworkModel(
+            bandwidth=spec.bandwidth_bytes_per_s, latency=spec.latency_s
+        )
+        self.topology = StarTopology(self.network, spec.n_workers)
+        self.cost = cost if cost is not None else ComputeCostModel()
+        self._memory: Dict[int, float] = {self.MASTER: 0.0}
+        self._memory.update({w: 0.0 for w in range(spec.n_workers)})
+        self._memory_peak: Dict[int, float] = dict(self._memory)
+
+    @property
+    def n_workers(self) -> int:
+        """Number of workers K."""
+        return self.spec.n_workers
+
+    def workers(self) -> range:
+        """Iterable of worker ids."""
+        return range(self.n_workers)
+
+    # ------------------------------------------------------------------
+    # memory ledger
+    # ------------------------------------------------------------------
+    def charge_memory(self, node: int, num_bytes: float, what: str = "allocation") -> None:
+        """Allocate ``num_bytes`` on ``node``; raise on exceeding capacity."""
+        if node not in self._memory:
+            raise ValueError("unknown node id {}".format(node))
+        if num_bytes < 0:
+            raise ValueError("cannot charge negative memory")
+        new_level = self._memory[node] + num_bytes
+        if new_level > self.spec.memory_bytes_per_node:
+            label = "master" if node == self.MASTER else "worker {}".format(node)
+            raise OutOfMemoryError(
+                "{} ({})".format(label, what),
+                required_bytes=int(new_level),
+                capacity_bytes=int(self.spec.memory_bytes_per_node),
+            )
+        self._memory[node] = new_level
+        self._memory_peak[node] = max(self._memory_peak[node], new_level)
+
+    def release_memory(self, node: int, num_bytes: float) -> None:
+        """Free a previous charge (never below zero)."""
+        if node not in self._memory:
+            raise ValueError("unknown node id {}".format(node))
+        self._memory[node] = max(0.0, self._memory[node] - num_bytes)
+
+    def memory_in_use(self, node: int) -> float:
+        """Currently charged bytes on ``node``."""
+        return self._memory[node]
+
+    def memory_peak(self, node: int) -> float:
+        """High-water mark of charged bytes on ``node``."""
+        return self._memory_peak[node]
+
+    # ------------------------------------------------------------------
+    # time helpers
+    # ------------------------------------------------------------------
+    def bsp_compute(self, per_worker_seconds: Dict[int, float]) -> float:
+        """Duration of one BSP compute phase: the slowest participant.
+
+        Adds the cost model's task overhead once (tasks launch in
+        parallel).  Returns the phase duration without advancing the
+        clock; callers combine phases before advancing.
+        """
+        slowest = max(per_worker_seconds.values()) if per_worker_seconds else 0.0
+        return self.cost.task_overhead + slowest
+
+    def reset(self) -> None:
+        """Fresh clock, counters and ledgers for a new run."""
+        self.clock.reset()
+        self.network.reset_counters()
+        for node in self._memory:
+            self._memory[node] = 0.0
+            self._memory_peak[node] = 0.0

@@ -1,0 +1,79 @@
+"""Failure injection for the fault-tolerance experiments (Fig 13).
+
+Three failure kinds, matching the paper's Section X:
+
+* ``TASK`` — a Spark task throws; restarting it is almost free because
+  the data and model partitions stay cached on the worker;
+* ``WORKER`` — a worker process dies: its data shard must be reloaded and
+  its model partition is lost (ColumnSGD re-initialises it to zeros and
+  relies on SGD's robustness);
+* ``MASTER`` — the driver dies; the whole job restarts.
+
+An injector is a schedule of :class:`FailureEvent` keyed by iteration;
+trainers query it each iteration and implement the recovery behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.utils.validation import check_non_negative
+
+
+class FailureKind(enum.Enum):
+    """What fails."""
+
+    TASK = "task"
+    WORKER = "worker"
+    MASTER = "master"
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled failure: at the start of ``iteration``, on ``worker_id``.
+
+    ``worker_id`` is ignored for master failures.
+    """
+
+    iteration: int
+    kind: FailureKind
+    worker_id: Optional[int] = None
+
+    def __post_init__(self):
+        check_non_negative(self.iteration, "iteration")
+        if self.kind != FailureKind.MASTER and self.worker_id is None:
+            raise ValueError("{} failure needs a worker_id".format(self.kind.value))
+
+
+class FailureInjector:
+    """A fixed schedule of failures, queried by iteration number."""
+
+    def __init__(self, events: List[FailureEvent] = None):
+        self._by_iteration: Dict[int, List[FailureEvent]] = {}
+        for event in events or []:
+            self._by_iteration.setdefault(event.iteration, []).append(event)
+
+    @classmethod
+    def none(cls) -> "FailureInjector":
+        """No failures."""
+        return cls([])
+
+    @classmethod
+    def task_failure(cls, iteration: int, worker_id: int = 0) -> "FailureInjector":
+        """Single task failure at ``iteration``."""
+        return cls([FailureEvent(iteration, FailureKind.TASK, worker_id)])
+
+    @classmethod
+    def worker_failure(cls, iteration: int, worker_id: int = 0) -> "FailureInjector":
+        """Single worker crash at ``iteration``."""
+        return cls([FailureEvent(iteration, FailureKind.WORKER, worker_id)])
+
+    def events_at(self, iteration: int) -> List[FailureEvent]:
+        """Failures scheduled for this iteration (possibly empty)."""
+        return list(self._by_iteration.get(iteration, []))
+
+    def any_scheduled(self) -> bool:
+        """Whether the schedule contains any event at all."""
+        return bool(self._by_iteration)

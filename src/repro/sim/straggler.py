@@ -1,0 +1,96 @@
+"""Straggler injection.
+
+The paper's Section V-C simulates stragglers by randomly picking one
+worker per iteration and making it sleep; *StragglerLevel* is "the ratio
+between the extra time a straggler needs to finish a task and the time
+that a non-straggler worker needs".  A StragglerLevel of 5 therefore
+multiplies the victim's compute time by 6.
+
+For the backup-computation experiment the paper also uses a *permanent*
+straggler ("this worker is always slower ... just kill it"), which
+``mode='permanent'`` reproduces: fixed victims that, under backup
+computation, simply return nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.utils.rng import rng_from_seed
+from repro.utils.validation import check_in, check_non_negative, check_positive
+
+
+class StragglerModel:
+    """Per-iteration straggler assignment.
+
+    Parameters
+    ----------
+    n_workers:
+        Cluster width.
+    level:
+        StragglerLevel; victims take ``(1 + level) x`` their normal time.
+    n_stragglers:
+        Victims per iteration (paper uses 1).
+    mode:
+        ``'none'`` — no stragglers;
+        ``'random'`` — fresh random victims each iteration;
+        ``'permanent'`` — the same victims every iteration.
+    seed:
+        Controls victim choice for reproducibility.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        level: float = 0.0,
+        n_stragglers: int = 1,
+        mode: str = "random",
+        seed=0,
+    ):
+        check_positive(n_workers, "n_workers")
+        check_non_negative(level, "level")
+        check_in(mode, ("none", "random", "permanent"), "mode")
+        if mode != "none":
+            check_positive(n_stragglers, "n_stragglers")
+            if n_stragglers > n_workers:
+                raise ValueError(
+                    "n_stragglers={} exceeds n_workers={}".format(n_stragglers, n_workers)
+                )
+        self.n_workers = int(n_workers)
+        self.level = float(level)
+        self.n_stragglers = int(n_stragglers)
+        self.mode = mode
+        self._rng = rng_from_seed(seed)
+        self._permanent: FrozenSet[int] = frozenset()
+        if mode == "permanent":
+            chosen = self._rng.choice(self.n_workers, size=self.n_stragglers, replace=False)
+            self._permanent = frozenset(int(w) for w in chosen)
+
+    @classmethod
+    def none(cls, n_workers: int) -> "StragglerModel":
+        """The no-straggler model (ColumnSGD-pure in Fig 9)."""
+        return cls(n_workers, level=0.0, mode="none")
+
+    # ------------------------------------------------------------------
+    def victims(self, iteration: int) -> FrozenSet[int]:
+        """Worker ids straggling in this iteration."""
+        if self.mode == "none":
+            return frozenset()
+        if self.mode == "permanent":
+            return self._permanent
+        chosen = self._rng.choice(self.n_workers, size=self.n_stragglers, replace=False)
+        return frozenset(int(w) for w in chosen)
+
+    def slowdowns(self, iteration: int) -> Dict[int, float]:
+        """Multiplier on compute time per worker for this iteration.
+
+        Non-victims get 1.0; victims get ``1 + level``.
+        """
+        victims = self.victims(iteration)
+        return {
+            w: (1.0 + self.level if w in victims else 1.0) for w in range(self.n_workers)
+        }
+
+    def permanent_victims(self) -> FrozenSet[int]:
+        """Fixed victims in ``'permanent'`` mode (empty otherwise)."""
+        return self._permanent

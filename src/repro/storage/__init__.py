@@ -1,0 +1,30 @@
+"""Simulated distributed storage (the HDFS stand-in) and block handling.
+
+The paper assumes training data sits in HDFS, partitioned by rows.  Data
+loading experiments (Fig 7, Fig 11a) are dominated by bytes read, objects
+serialized, and shuffle traffic — so this package models a row-oriented
+block store with explicit byte accounting rather than real disks.
+"""
+
+from repro.storage.serialization import (
+    OBJECT_OVERHEAD_BYTES,
+    sparse_row_bytes,
+    csr_matrix_bytes,
+    dense_vector_bytes,
+    sparse_vector_bytes,
+    workset_bytes,
+)
+from repro.storage.blocks import Block, BlockQueue
+from repro.storage.hdfs import SimulatedHDFS
+
+__all__ = [
+    "OBJECT_OVERHEAD_BYTES",
+    "sparse_row_bytes",
+    "csr_matrix_bytes",
+    "dense_vector_bytes",
+    "sparse_vector_bytes",
+    "workset_bytes",
+    "Block",
+    "BlockQueue",
+    "SimulatedHDFS",
+]

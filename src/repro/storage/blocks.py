@@ -1,0 +1,100 @@
+"""Row blocks and the master's block queue (Fig 5, Step 1).
+
+A :class:`Block` is a contiguous run of rows of the source dataset, the
+unit the master hands to idle workers during row-to-column
+transformation.  :class:`BlockQueue` is the master-side FIFO of block ids
+with a simple pull protocol (idle worker asks, master assigns).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.datasets.dataset import Dataset
+from repro.errors import DataError
+from repro.storage.serialization import csr_matrix_bytes
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Block:
+    """A contiguous slice ``[start, stop)`` of the source dataset's rows."""
+
+    block_id: int
+    start: int
+    stop: int
+
+    @property
+    def n_rows(self) -> int:
+        """Rows contained in this block."""
+        return self.stop - self.start
+
+    def materialize(self, dataset: Dataset) -> Dataset:
+        """Read the block's rows out of the backing dataset."""
+        return dataset.slice(self.start, self.stop)
+
+    def stored_bytes(self, dataset: Dataset) -> int:
+        """On-disk footprint of the block (CSR with labels)."""
+        rows = self.materialize(dataset)
+        return csr_matrix_bytes(rows.n_rows, rows.nnz, with_labels=True)
+
+
+def split_into_blocks(n_rows: int, block_size: int) -> List[Block]:
+    """Cut ``n_rows`` into consecutive blocks of ``block_size`` rows.
+
+    The last block may be short.  Block ids are dense from 0, which the
+    two-phase index relies on.
+    """
+    check_positive(block_size, "block_size")
+    if n_rows < 0:
+        raise DataError("n_rows must be >= 0, got {}".format(n_rows))
+    blocks = []
+    start = 0
+    block_id = 0
+    while start < n_rows:
+        stop = min(start + block_size, n_rows)
+        blocks.append(Block(block_id, start, stop))
+        block_id += 1
+        start = stop
+    return blocks
+
+
+class BlockQueue:
+    """Master-side FIFO of pending blocks with assignment tracking."""
+
+    def __init__(self, blocks: List[Block]):
+        ids = [b.block_id for b in blocks]
+        if ids != list(range(len(blocks))):
+            raise DataError("block ids must be dense and ordered from 0")
+        self._blocks = list(blocks)
+        self._pending = deque(self._blocks)
+        self._assigned = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def n_blocks(self) -> int:
+        """Total number of blocks ever enqueued."""
+        return len(self._blocks)
+
+    def next_for(self, worker_id: int) -> Optional[Block]:
+        """Pop the next pending block and record its assignee.
+
+        Returns ``None`` when the queue has drained — the worker is done.
+        """
+        if not self._pending:
+            return None
+        block = self._pending.popleft()
+        self._assigned[block.block_id] = worker_id
+        return block
+
+    def assignee(self, block_id: int) -> Optional[int]:
+        """Worker that was handed ``block_id`` (``None`` if unassigned)."""
+        return self._assigned.get(block_id)
+
+    def assignments(self) -> dict:
+        """Snapshot of ``{block_id: worker_id}`` for completed assignments."""
+        return dict(self._assigned)

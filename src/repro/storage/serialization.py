@@ -1,0 +1,69 @@
+"""Byte-size model for everything that crosses the simulated network.
+
+The paper's Fig 7 result (block dispatch beats naive row-by-row dispatch
+by 3.2-7.1x) is entirely a serialization story: sending K small objects
+per row pays K per-object overheads, while batching rows into CSR blocks
+pays one overhead per block and compresses away the per-row headers.  We
+model that with a flat per-object overhead (JVM serialization headers,
+class descriptors) plus per-payload bytes.
+
+All functions return integer byte counts.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_non_negative
+
+#: Per-serialized-object overhead (headers, class descriptor, refs).
+#: Roughly what Java serialization / Kryo pays per object graph.
+OBJECT_OVERHEAD_BYTES = 64
+
+#: Bytes per stored index (int32 on the wire, as LIBSVM-scale ids fit).
+INDEX_BYTES = 4
+
+#: Bytes per stored value (float64).
+VALUE_BYTES = 8
+
+#: Bytes per label.
+LABEL_BYTES = 8
+
+
+def sparse_row_bytes(nnz: int) -> int:
+    """Serialized size of one labelled sparse row as a standalone object."""
+    check_non_negative(nnz, "nnz")
+    return OBJECT_OVERHEAD_BYTES + LABEL_BYTES + nnz * (INDEX_BYTES + VALUE_BYTES)
+
+
+def sparse_vector_bytes(nnz: int) -> int:
+    """Serialized size of one sparse vector (no label)."""
+    check_non_negative(nnz, "nnz")
+    return OBJECT_OVERHEAD_BYTES + nnz * (INDEX_BYTES + VALUE_BYTES)
+
+
+def dense_vector_bytes(dim: int) -> int:
+    """Serialized size of a dense float64 vector (models, statistics)."""
+    check_non_negative(dim, "dim")
+    return OBJECT_OVERHEAD_BYTES + dim * VALUE_BYTES
+
+
+def csr_matrix_bytes(n_rows: int, nnz: int, with_labels: bool = False) -> int:
+    """Serialized size of a CSR block: one object, indptr + indices + data."""
+    check_non_negative(n_rows, "n_rows")
+    check_non_negative(nnz, "nnz")
+    size = OBJECT_OVERHEAD_BYTES
+    size += (n_rows + 1) * INDEX_BYTES  # indptr
+    size += nnz * (INDEX_BYTES + VALUE_BYTES)
+    if with_labels:
+        size += n_rows * LABEL_BYTES
+    return size
+
+
+def workset_bytes(n_rows: int, nnz: int) -> int:
+    """Serialized size of one workset: (block id, labels?, CSR piece).
+
+    Worksets carry labels only on the worker that owns the label column;
+    we charge labels on every workset for simplicity — it is a few bytes
+    per row and identical across dispatch strategies, so comparisons are
+    unaffected.
+    """
+    return 8 + csr_matrix_bytes(n_rows, nnz, with_labels=True)

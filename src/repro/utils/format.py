@@ -1,0 +1,54 @@
+"""Human-readable formatting for benchmark and experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Format a byte count with a binary-ish unit ladder (``1.5 GB``)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            if unit == "B":
+                return "{:.0f} {}".format(value, unit)
+            return "{:.2f} {}".format(value, unit)
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_duration(seconds: float) -> str:
+    """Format a duration adaptively: ``120 us``, ``35.0 ms``, ``2.50 s``, ``3m12s``."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return "{:.0f} us".format(seconds * 1e6)
+    if seconds < 1.0:
+        return "{:.1f} ms".format(seconds * 1e3)
+    if seconds < 180.0:
+        return "{:.2f} s".format(seconds)
+    minutes, secs = divmod(int(round(seconds)), 60)
+    return "{}m{:02d}s".format(minutes, secs)
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a simple aligned ASCII table used by all bench reports."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(str_headers):
+            raise ValueError(
+                "row has {} cells but table has {} headers".format(len(row), len(str_headers))
+            )
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    divider = "-+-".join("-" * w for w in widths)
+    lines = [render(str_headers), divider]
+    lines.extend(render(row) for row in str_rows)
+    return "\n".join(lines)

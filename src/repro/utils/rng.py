@@ -1,0 +1,61 @@
+"""Seeded random-number-generator helpers.
+
+All stochastic components of the library (samplers, synthetic data,
+stragglers, failure injection) take either an integer seed or a
+:class:`numpy.random.Generator`.  These helpers normalise between the two
+and derive independent child generators deterministically, so a whole
+simulated cluster run is reproducible from one seed.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def rng_from_seed(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh entropy), an ``int``, or an existing
+    generator (returned unchanged, so callers can thread one generator
+    through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list:
+    """Derive ``count`` independent generators from ``seed``.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so the children are
+    statistically independent and stable across runs.  When ``seed`` is an
+    existing generator, children are seeded from draws of that generator
+    (still deterministic given the generator's state).
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0, got {}".format(count))
+    if isinstance(seed, np.random.Generator):
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def iteration_seed(base_seed: int, iteration: int) -> int:
+    """Deterministic per-iteration seed shared by master and all workers.
+
+    ColumnSGD's two-phase sampling requires every worker to draw the *same*
+    (block id, offset) pairs in an iteration without communicating.  The
+    paper uses "the same random seed (e.g., the current iteration number)";
+    we mix the iteration into the base seed with SplitMix64 so nearby
+    iterations do not produce correlated streams.
+    """
+    x = (base_seed + 0x9E3779B97F4A7C15 * (iteration + 1)) % 2**64
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 % 2**64
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB % 2**64
+    x = x ^ (x >> 31)
+    return int(x % 2**63)

@@ -1,0 +1,43 @@
+"""Small argument-validation helpers used across the library.
+
+They raise ``ValueError`` with consistent messages, keeping call sites to a
+single readable line (``check_positive(batch_size, "batch_size")``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def check_positive(value, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is a finite number > 0."""
+    if not _is_finite_number(value) or value <= 0:
+        raise ValueError("{} must be a positive number, got {!r}".format(name, value))
+
+
+def check_non_negative(value, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is a finite number >= 0."""
+    if not _is_finite_number(value) or value < 0:
+        raise ValueError("{} must be a non-negative number, got {!r}".format(name, value))
+
+
+def check_probability(value, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not _is_finite_number(value) or not 0.0 <= value <= 1.0:
+        raise ValueError("{} must lie in [0, 1], got {!r}".format(name, value))
+
+
+def check_in(value, allowed: Iterable, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError("{} must be one of {}, got {!r}".format(name, list(allowed), value))
+
+
+def _is_finite_number(value) -> bool:
+    if isinstance(value, bool):
+        return False
+    if not isinstance(value, (int, float)):
+        return False
+    return math.isfinite(value)

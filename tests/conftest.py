@@ -1,0 +1,69 @@
+"""Shared fixtures: small deterministic datasets and clusters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification, make_multiclass, make_regression
+from repro.sim import CLUSTER1, ComputeCostModel, SimulatedCluster
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_binary():
+    """300 rows x 120 features, binary labels in {-1, +1}."""
+    return make_classification(300, 120, nnz_per_row=8, seed=11)
+
+
+@pytest.fixture
+def tiny_gaussian():
+    """Like tiny_binary but with Gaussian feature values.
+
+    Exactness tests use this: real-valued features keep hinge margins
+    off the measure-zero kink at 1.0, where float summation order could
+    legitimately flip the subgradient indicator.
+    """
+    return make_classification(
+        300, 120, nnz_per_row=8, binary_features=False, seed=17
+    )
+
+
+@pytest.fixture
+def small_binary():
+    """2000 rows x 500 features — enough signal for convergence checks."""
+    return make_classification(2000, 500, nnz_per_row=12, seed=5)
+
+
+@pytest.fixture
+def tiny_regression():
+    return make_regression(300, 100, nnz_per_row=8, seed=21)
+
+
+@pytest.fixture
+def tiny_multiclass():
+    return make_multiclass(300, 100, n_classes=4, nnz_per_row=8, seed=31)
+
+
+@pytest.fixture
+def cluster4():
+    """Four-worker cluster with Cluster 1 hardware."""
+    return SimulatedCluster(CLUSTER1.with_workers(4))
+
+
+@pytest.fixture
+def cluster8():
+    """The paper's Cluster 1 (8 workers)."""
+    return SimulatedCluster(CLUSTER1)
+
+
+@pytest.fixture
+def fast_cluster4():
+    """Four workers with zero task overhead — for pure-comm assertions."""
+    return SimulatedCluster(
+        CLUSTER1.with_workers(4), cost=ComputeCostModel(task_overhead=0.0)
+    )

@@ -1,0 +1,193 @@
+"""Validation of the analytic cost model (Table I and the predictors).
+
+The key check: the simulator's *measured* communication bytes match the
+Table I formulas — the formulas aren't decorative, they describe the
+implementation.
+"""
+
+import pytest
+
+from repro.baselines import MLlibTrainer, RowSGDConfig
+from repro.core import (
+    columnsgd_overheads,
+    predict_iteration_time,
+    rowsgd_overheads,
+    train_columnsgd,
+)
+from repro.datasets import load_profile
+from repro.models import LogisticRegression
+from repro.net import MessageKind, NetworkModel
+from repro.optim import SGD
+from repro.sim import CLUSTER1, SimulatedCluster
+from repro.storage.serialization import OBJECT_OVERHEAD_BYTES
+
+
+class TestTable1Formulas:
+    def test_columnsgd_master_comm_is_2kb(self):
+        est = columnsgd_overheads(m=10**6, batch_size=1000, n_workers=8,
+                                  sparsity=0.999, data_elements=1e8)
+        assert est.master_communication == 2 * 8 * 1000
+        assert est.worker_communication == 2 * 1000
+
+    def test_columnsgd_master_memory_is_b(self):
+        est = columnsgd_overheads(m=10**6, batch_size=1000, n_workers=8,
+                                  sparsity=0.999, data_elements=1e8)
+        assert est.master_memory == 1000
+
+    def test_columnsgd_worker_memory(self):
+        est = columnsgd_overheads(m=80, batch_size=10, n_workers=8,
+                                  sparsity=0.9, data_elements=800)
+        assert est.worker_memory == pytest.approx(800 / 8 + 2 * 10 + 80 / 8)
+
+    def test_rowsgd_phi_factors(self):
+        # rho=0.5, B/K=2 -> phi1 = 1 - 0.25 = 0.75
+        est = rowsgd_overheads(m=100, batch_size=8, n_workers=4,
+                               sparsity=0.5, data_elements=1000)
+        phi1 = 1 - 0.5 ** 2
+        phi2 = 1 - 0.5 ** 8
+        assert est.worker_communication == pytest.approx(2 * 100 * phi1)
+        assert est.master_communication == pytest.approx(2 * 4 * 100 * phi1)
+        assert est.master_memory == pytest.approx(100 + 100 * phi2)
+
+    def test_dense_data_phi_is_one(self):
+        est = rowsgd_overheads(m=100, batch_size=8, n_workers=4,
+                               sparsity=0.0, data_elements=1000)
+        assert est.worker_communication == pytest.approx(200)
+
+    def test_as_row_renders(self):
+        est = columnsgd_overheads(m=100, batch_size=8, n_workers=4,
+                                  sparsity=0.5, data_elements=1000)
+        assert est.as_row()[0] == "ColumnSGD"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rowsgd_overheads(m=0, batch_size=1, n_workers=1, sparsity=0.5,
+                             data_elements=1)
+        with pytest.raises(ValueError):
+            columnsgd_overheads(m=1, batch_size=1, n_workers=1, sparsity=1.5,
+                                data_elements=1)
+
+
+class TestMeasuredBytesMatchFormulas:
+    def test_columnsgd_statistics_bytes(self, tiny_binary):
+        """Measured gather+broadcast bytes == 2*K*B values (+ headers)."""
+        K, B = 4, 32
+        cluster = SimulatedCluster(CLUSTER1.with_workers(K))
+        cluster.network.reset_counters()
+        train_columnsgd(
+            tiny_binary, LogisticRegression(), SGD(0.5), cluster,
+            batch_size=B, iterations=1, eval_every=0, block_size=64,
+        )
+        pushed = cluster.network.bytes_of_kind(MessageKind.STATISTICS_PUSH)
+        bcast = cluster.network.bytes_of_kind(MessageKind.STATISTICS_BCAST)
+        expected_each = K * (B * 8 + OBJECT_OVERHEAD_BYTES)
+        assert pushed == expected_each
+        assert bcast == expected_each
+
+    def test_mllib_model_bytes(self, tiny_binary):
+        """Measured pull+push == 2*K*m dense values (+ headers)."""
+        K = 4
+        cluster = SimulatedCluster(CLUSTER1.with_workers(K))
+        trainer = MLlibTrainer(
+            LogisticRegression(), SGD(0.5), cluster,
+            config=RowSGDConfig(batch_size=32, iterations=1, eval_every=0),
+        )
+        trainer.load(tiny_binary)
+        cluster.network.reset_counters()
+        trainer.fit()
+        m = tiny_binary.n_features
+        expected_each = K * (m * 8 + OBJECT_OVERHEAD_BYTES)
+        assert cluster.network.bytes_of_kind(MessageKind.MODEL_PULL) == expected_each
+        assert cluster.network.bytes_of_kind(MessageKind.GRADIENT_PUSH) == expected_each
+
+
+class TestPredictor:
+    NET = NetworkModel(bandwidth=1e9 / 8, latency=0.5e-3)
+
+    def predict(self, system, **kw):
+        defaults = dict(m=54_686_452, batch_size=1000, n_workers=8,
+                        avg_nnz_per_row=11.0, network=self.NET)
+        defaults.update(kw)
+        return predict_iteration_time(system, **defaults)
+
+    def test_table4_kdd12_shape(self):
+        """Paper Table IV, kdd12: 55.8 / 3.81 / 0.37 / 0.06 seconds."""
+        mllib = self.predict("mllib")
+        petuum = self.predict("petuum")
+        mxnet = self.predict("mxnet")
+        column = self.predict("columnsgd")
+        assert 30 < mllib < 90
+        assert 2 < petuum < 8
+        assert 0.1 < mxnet < 1.0
+        assert 0.03 < column < 0.12
+        assert mllib > petuum > mxnet > column
+
+    def test_avazu_mxnet_beats_columnsgd(self):
+        """Paper Table IV, avazu: MXNet is ~3x faster than ColumnSGD."""
+        mxnet = self.predict("mxnet", m=1_000_000, avg_nnz_per_row=15.0)
+        column = self.predict("columnsgd", m=1_000_000, avg_nnz_per_row=15.0)
+        assert mxnet < column
+
+    def test_columnsgd_flat_in_m(self):
+        """Fig 10: ColumnSGD per-iteration time independent of m."""
+        small = self.predict("columnsgd", m=10)
+        huge = self.predict("columnsgd", m=10**9)
+        assert huge == pytest.approx(small, rel=1e-6)
+
+    def test_mllib_linear_in_m(self):
+        t1 = self.predict("mllib", m=10**6)
+        t2 = self.predict("mllib", m=10**7)
+        assert t2 > 5 * t1
+
+    def test_fm_widens_columnsgd_statistics(self):
+        lr = self.predict("columnsgd")
+        fm = self.predict("columnsgd", statistics_width=11, params_per_feature=11)
+        assert fm > lr
+
+    def test_mxnet_fm_grows_with_factors(self):
+        """Table V: MXNet FM cost grows with F; ColumnSGD stays cheap."""
+        f10 = self.predict("mxnet", statistics_width=11, params_per_feature=11)
+        f50 = self.predict("mxnet", statistics_width=51, params_per_feature=51)
+        column = self.predict("columnsgd", statistics_width=11, params_per_feature=11)
+        assert f50 > f10 > column
+
+    def test_mllib_star_between(self):
+        star = self.predict("mllib*")
+        mllib = self.predict("mllib")
+        assert star < mllib
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            self.predict("ray")
+
+
+class TestPaperScaleTable4:
+    """Full Table IV regeneration at paper scale (analytic path)."""
+
+    def test_speedups_in_paper_ballpark(self):
+        net = NetworkModel(bandwidth=1e9 / 8, latency=0.5e-3)
+        rows = {}
+        for name in ("avazu", "kddb", "kdd12"):
+            profile = load_profile(name)
+            args = dict(
+                m=profile.paper_features,
+                batch_size=1000,
+                n_workers=8,
+                avg_nnz_per_row=profile.avg_nnz_per_row,
+                network=net,
+            )
+            rows[name] = {
+                s: predict_iteration_time(s, **args)
+                for s in ("mllib", "petuum", "mxnet", "columnsgd")
+            }
+        # paper: 24/4/0.3 (avazu), 233/28/5 (kddb), 930/63/6 (kdd12)
+        kdd12 = rows["kdd12"]
+        assert 300 < kdd12["mllib"] / kdd12["columnsgd"] < 3000
+        assert 20 < kdd12["petuum"] / kdd12["columnsgd"] < 200
+        assert 2 < kdd12["mxnet"] / kdd12["columnsgd"] < 20
+        # speedup grows with model size, as in the paper
+        assert (
+            rows["avazu"]["mllib"] / rows["avazu"]["columnsgd"]
+            < rows["kddb"]["mllib"] / rows["kddb"]["columnsgd"]
+            < rows["kdd12"]["mllib"] / rows["kdd12"]["columnsgd"]
+        )

@@ -1,0 +1,77 @@
+"""Fault-tolerance semantics of the RowSGD baselines (vs ColumnSGD's)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MLlibTrainer, RowSGDConfig
+from repro.core import ColumnSGDConfig, ColumnSGDDriver
+from repro.errors import MasterFailedError
+from repro.models import LogisticRegression
+from repro.optim import SGD
+from repro.sim import (
+    CLUSTER1,
+    FailureEvent,
+    FailureInjector,
+    FailureKind,
+    SimulatedCluster,
+)
+
+
+def fit_mllib(data, failures=None, iterations=20):
+    cluster = SimulatedCluster(CLUSTER1.with_workers(4))
+    trainer = MLlibTrainer(
+        LogisticRegression(), SGD(1.0), cluster,
+        config=RowSGDConfig(batch_size=100, iterations=iterations, eval_every=5,
+                            seed=12),
+        failures=failures,
+    )
+    trainer.load(data)
+    return trainer.fit()
+
+
+class TestRowSGDFailures:
+    def test_worker_failure_has_no_numeric_effect(self, small_binary):
+        """The model lives at the master: a worker crash only costs a
+        shard reload — the trajectory is bit-identical."""
+        clean = fit_mllib(small_binary)
+        failed = fit_mllib(small_binary, FailureInjector.worker_failure(8, 2))
+        assert np.array_equal(clean.final_params, failed.final_params)
+        assert failed.total_sim_time > clean.total_sim_time
+
+    def test_task_failure_costs_one_launch(self, small_binary):
+        from repro.sim.cost import SPARK_TASK_OVERHEAD
+
+        clean = fit_mllib(small_binary)
+        failed = fit_mllib(small_binary, FailureInjector.task_failure(8, 2))
+        extra = failed.total_sim_time - clean.total_sim_time
+        assert extra == pytest.approx(SPARK_TASK_OVERHEAD, abs=1e-9)
+
+    def test_master_failure_loses_the_model(self, small_binary):
+        injector = FailureInjector([FailureEvent(5, FailureKind.MASTER)])
+        with pytest.raises(MasterFailedError, match="model is lost"):
+            fit_mllib(small_binary, injector)
+
+    def test_ft_asymmetry_vs_columnsgd(self, small_binary):
+        """The structural difference: a worker crash perturbs ColumnSGD's
+        trajectory (its model partition dies with the worker) but not
+        MLlib's (centralised model)."""
+        mllib_clean = fit_mllib(small_binary)
+        mllib_failed = fit_mllib(small_binary, FailureInjector.worker_failure(8, 2))
+        assert np.array_equal(mllib_clean.final_params, mllib_failed.final_params)
+
+        def fit_column(failures=None):
+            cluster = SimulatedCluster(CLUSTER1.with_workers(4))
+            driver = ColumnSGDDriver(
+                LogisticRegression(), SGD(1.0), cluster,
+                config=ColumnSGDConfig(batch_size=100, iterations=20,
+                                       eval_every=5, seed=12, block_size=256),
+                failures=failures,
+            )
+            driver.load(small_binary)
+            return driver.fit()
+
+        column_clean = fit_column()
+        column_failed = fit_column(FailureInjector.worker_failure(8, 2))
+        assert not np.array_equal(
+            column_clean.final_params, column_failed.final_params
+        )

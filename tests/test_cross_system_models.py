@@ -1,0 +1,67 @@
+"""Every (system x model) combination trains — the trainer interface is
+model-generic, so FM on MXNet or MLR on MLlib* must just work."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_trainer, TRAINER_REGISTRY
+from repro.datasets import make_classification, make_multiclass
+from repro.models import (
+    FactorizationMachine,
+    LinearSVM,
+    LogisticRegression,
+    MultinomialLogisticRegression,
+)
+from repro.optim import SGD
+from repro.sim import CLUSTER1, SimulatedCluster
+
+SYSTEMS = sorted(TRAINER_REGISTRY)
+
+
+def fit(system, model, data, lr=0.5):
+    cluster = SimulatedCluster(CLUSTER1.with_workers(4))
+    trainer = make_trainer(
+        system, model, SGD(lr), cluster,
+        batch_size=64, iterations=8, eval_every=4, seed=13,
+    )
+    trainer.load(data)
+    return trainer.fit()
+
+
+class TestCrossSystemModels:
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_fm_trains_on_every_system(self, system, tiny_gaussian):
+        result = fit(system, FactorizationMachine(n_factors=2), tiny_gaussian,
+                     lr=0.05)
+        assert result.n_iterations >= 8
+        assert np.isfinite(result.final_loss())
+
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_mlr_trains_on_every_system(self, system, tiny_multiclass):
+        result = fit(system, MultinomialLogisticRegression(n_classes=4),
+                     tiny_multiclass)
+        assert np.isfinite(result.final_loss())
+
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_svm_trains_on_every_system(self, system, tiny_gaussian):
+        result = fit(system, LinearSVM(), tiny_gaussian, lr=0.2)
+        assert np.isfinite(result.final_loss())
+
+    def test_fm_traffic_shape_across_systems(self):
+        """FM widens ColumnSGD's statistics but not MXNet's sparse pulls
+        relative to their LR traffic in the same proportion — the Table V
+        structure at tiny scale."""
+        data = make_classification(400, 3000, nnz_per_row=8, seed=14,
+                                   binary_features=False)
+        bytes_of = {}
+        for system in ("columnsgd", "mxnet"):
+            for name, model, lr in (
+                ("lr", LogisticRegression(), 0.5),
+                ("fm", FactorizationMachine(n_factors=10), 0.02),
+            ):
+                result = fit(system, model, data, lr=lr)
+                bytes_of[(system, name)] = result.records[-1].bytes_sent
+        column_ratio = bytes_of[("columnsgd", "fm")] / bytes_of[("columnsgd", "lr")]
+        mxnet_ratio = bytes_of[("mxnet", "fm")] / bytes_of[("mxnet", "lr")]
+        assert column_ratio == pytest.approx(11.0, rel=0.15)
+        assert mxnet_ratio == pytest.approx(11.0, rel=0.15)

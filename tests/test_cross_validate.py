@@ -1,0 +1,61 @@
+"""Tests for K-fold cross-validation."""
+
+import pytest
+
+from repro.core import train_columnsgd
+from repro.datasets import make_classification
+from repro.metrics import cross_validate, evaluate_classifier
+from repro.models import LogisticRegression
+from repro.optim import SGD
+from repro.sim import CLUSTER1, SimulatedCluster
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_classification(900, 200, nnz_per_row=8, seed=70)
+
+
+def train_fn(train_split):
+    result = train_columnsgd(
+        train_split, LogisticRegression(), SGD(1.0),
+        SimulatedCluster(CLUSTER1.with_workers(4)),
+        batch_size=128, iterations=40, eval_every=0, block_size=256,
+    )
+    return result.final_params
+
+
+class TestCrossValidate:
+    def test_full_report_shape(self, data):
+        report = cross_validate(
+            data, train_fn, LogisticRegression(), evaluate_classifier,
+            k=3, seed=1,
+        )
+        assert set(report) == {"accuracy", "auc", "log_loss"}
+        for stats in report.values():
+            assert set(stats) == {"mean", "std", "folds"}
+            assert len(stats["folds"]) == 3
+
+    def test_held_out_accuracy_beats_chance(self, data):
+        report = cross_validate(
+            data, train_fn, LogisticRegression(), evaluate_classifier,
+            k=3, seed=1,
+        )
+        assert report["accuracy"]["mean"] > 0.6
+        assert report["auc"]["mean"] > 0.65
+
+    def test_mean_matches_folds(self, data):
+        report = cross_validate(
+            data, train_fn, LogisticRegression(), evaluate_classifier,
+            k=3, seed=2,
+        )
+        accuracy = report["accuracy"]
+        assert accuracy["mean"] == pytest.approx(
+            sum(accuracy["folds"]) / len(accuracy["folds"])
+        )
+
+    def test_deterministic(self, data):
+        a = cross_validate(data, train_fn, LogisticRegression(),
+                           evaluate_classifier, k=3, seed=3)
+        b = cross_validate(data, train_fn, LogisticRegression(),
+                           evaluate_classifier, k=3, seed=3)
+        assert a == b

@@ -1,0 +1,175 @@
+"""Unit tests for repro.linalg.CSRMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError
+from repro.linalg import CSRMatrix, SparseVector
+
+
+def sample_matrix():
+    dense = np.array(
+        [
+            [1.0, 0.0, 2.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0],
+            [3.0, 4.0, 0.0, 5.0],
+        ]
+    )
+    return CSRMatrix.from_dense(dense), dense
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self):
+        matrix, dense = sample_matrix()
+        assert matrix.shape == (3, 4)
+        assert matrix.nnz == 5
+        assert np.array_equal(matrix.to_dense(), dense)
+
+    def test_from_rows(self):
+        rows = [SparseVector([0, 2], [1.0, 2.0], 4), SparseVector.empty(4)]
+        matrix = CSRMatrix.from_rows(rows)
+        assert matrix.shape == (2, 4)
+        assert matrix.row(0) == rows[0]
+        assert matrix.row(1).nnz == 0
+
+    def test_from_rows_needs_consistent_dims(self):
+        with pytest.raises(DimensionMismatchError):
+            CSRMatrix.from_rows([SparseVector.empty(4), SparseVector.empty(5)])
+
+    def test_from_rows_empty_needs_ncols(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_rows([])
+        assert CSRMatrix.from_rows([], n_cols=3).shape == (0, 3)
+
+    def test_empty(self):
+        matrix = CSRMatrix.empty(2, 3)
+        assert matrix.shape == (2, 3)
+        assert matrix.nnz == 0
+
+    def test_bad_indptr(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSRMatrix([1, 2], [0], [1.0], 3)
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 2], [0], [1.0], 3)
+
+    def test_non_monotone_indptr(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRMatrix([0, 2, 1, 3], [0, 1, 0], [1.0, 1.0, 1.0], 3)
+
+    def test_column_out_of_range(self):
+        with pytest.raises(ValueError, match="column"):
+            CSRMatrix([0, 1], [5], [1.0], 3)
+
+
+class TestRowAccess:
+    def test_row(self):
+        matrix, dense = sample_matrix()
+        assert np.array_equal(matrix.row(2).to_dense(), dense[2])
+
+    def test_row_out_of_range(self):
+        matrix, _ = sample_matrix()
+        with pytest.raises(IndexError):
+            matrix.row(3)
+
+    def test_row_nnz(self):
+        matrix, _ = sample_matrix()
+        assert matrix.row_nnz().tolist() == [2, 0, 3]
+
+    def test_iter_rows(self):
+        matrix, dense = sample_matrix()
+        stacked = np.vstack([r.to_dense() for r in matrix.iter_rows()])
+        assert np.array_equal(stacked, dense)
+
+    def test_density(self):
+        matrix, _ = sample_matrix()
+        assert matrix.density() == pytest.approx(5 / 12)
+        assert CSRMatrix.empty(0, 0).density() == 0.0
+
+
+class TestTakeAndSlice:
+    def test_take_rows_with_repetition(self):
+        matrix, dense = sample_matrix()
+        taken = matrix.take_rows([2, 0, 2])
+        assert np.array_equal(taken.to_dense(), dense[[2, 0, 2]])
+
+    def test_take_rows_bounds(self):
+        matrix, _ = sample_matrix()
+        with pytest.raises(IndexError):
+            matrix.take_rows([3])
+
+    def test_take_rows_empty(self):
+        matrix, _ = sample_matrix()
+        assert matrix.take_rows([]).shape == (0, 4)
+
+    def test_slice_rows(self):
+        matrix, dense = sample_matrix()
+        assert np.array_equal(matrix.slice_rows(1, 3).to_dense(), dense[1:3])
+
+    def test_slice_rows_bounds(self):
+        matrix, _ = sample_matrix()
+        with pytest.raises(IndexError):
+            matrix.slice_rows(1, 4)
+
+    def test_vstack(self):
+        matrix, dense = sample_matrix()
+        stacked = CSRMatrix.vstack([matrix, matrix])
+        assert np.array_equal(stacked.to_dense(), np.vstack([dense, dense]))
+
+    def test_vstack_rejects_mixed_cols(self):
+        with pytest.raises(DimensionMismatchError):
+            CSRMatrix.vstack([CSRMatrix.empty(1, 2), CSRMatrix.empty(1, 3)])
+
+    def test_vstack_needs_input(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.vstack([])
+
+
+class TestColumnOps:
+    def test_select_columns(self):
+        matrix, dense = sample_matrix()
+        sub = matrix.select_columns([0, 3])
+        assert sub.shape == (3, 2)
+        assert np.array_equal(sub.to_dense(), dense[:, [0, 3]])
+
+    def test_select_columns_empty(self):
+        matrix, _ = sample_matrix()
+        sub = matrix.select_columns(np.array([], dtype=int))
+        assert sub.shape == (3, 0)
+
+    def test_select_columns_requires_sorted_unique(self):
+        matrix, _ = sample_matrix()
+        with pytest.raises(ValueError):
+            matrix.select_columns([3, 0])
+        with pytest.raises(ValueError):
+            matrix.select_columns([1, 1])
+
+    def test_partition_roundtrip(self):
+        matrix, dense = sample_matrix()
+        assignments = [np.array([0, 2]), np.array([1, 3])]
+        parts = [matrix.select_columns(a) for a in assignments]
+        rebuilt = matrix.hstack_from_partitions(parts, assignments, 4)
+        assert np.array_equal(rebuilt.to_dense(), dense)
+
+    def test_partition_roundtrip_row_mismatch(self):
+        matrix, _ = sample_matrix()
+        with pytest.raises(DimensionMismatchError):
+            matrix.hstack_from_partitions(
+                [CSRMatrix.empty(1, 2)], [np.array([0, 1])], 4
+            )
+
+
+class TestDunder:
+    def test_equality(self):
+        a, _ = sample_matrix()
+        b, _ = sample_matrix()
+        assert a == b
+        assert a != CSRMatrix.empty(3, 4)
+
+    def test_unhashable(self):
+        matrix, _ = sample_matrix()
+        with pytest.raises(TypeError):
+            hash(matrix)
+
+    def test_repr(self):
+        matrix, _ = sample_matrix()
+        assert "shape=(3, 4)" in repr(matrix)

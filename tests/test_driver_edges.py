@@ -1,0 +1,84 @@
+"""Edge-case behaviour of the ColumnSGD driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import ColumnSGDConfig, ColumnSGDDriver, train_columnsgd
+from repro.errors import PartitionError
+from repro.models import LogisticRegression
+from repro.optim import SGD
+from repro.sim import CLUSTER1, SimulatedCluster
+
+
+class TestDriverEdges:
+    def test_more_workers_than_features(self):
+        from repro.datasets import make_classification
+
+        data = make_classification(50, 4, nnz_per_row=2, seed=1)
+        cluster = SimulatedCluster(CLUSTER1)  # 8 workers, 4 features
+        driver = ColumnSGDDriver(
+            LogisticRegression(), SGD(0.1), cluster,
+            config=ColumnSGDConfig(batch_size=8, iterations=2, block_size=16),
+        )
+        with pytest.raises(PartitionError):
+            driver.load(data)
+
+    def test_batch_larger_than_dataset(self, tiny_binary):
+        """Sampling is with replacement, so B > N is legal."""
+        cluster = SimulatedCluster(CLUSTER1.with_workers(2))
+        result = train_columnsgd(
+            tiny_binary, LogisticRegression(), SGD(0.1), cluster,
+            batch_size=1000, iterations=3, eval_every=0, block_size=64,
+        )
+        assert result.n_iterations == 3
+
+    def test_single_worker_cluster(self, tiny_binary):
+        cluster = SimulatedCluster(CLUSTER1.with_workers(1))
+        result = train_columnsgd(
+            tiny_binary, LogisticRegression(), SGD(0.1), cluster,
+            batch_size=32, iterations=5, eval_every=5, block_size=64,
+        )
+        assert result.final_loss() is not None
+
+    def test_block_size_larger_than_dataset(self, tiny_binary):
+        """One giant block: the two-phase index degenerates gracefully."""
+        cluster = SimulatedCluster(CLUSTER1.with_workers(2))
+        result = train_columnsgd(
+            tiny_binary, LogisticRegression(), SGD(0.1), cluster,
+            batch_size=32, iterations=3, eval_every=0, block_size=100_000,
+        )
+        assert result.n_iterations == 3
+
+    def test_iterations_override_in_fit(self, tiny_binary):
+        cluster = SimulatedCluster(CLUSTER1.with_workers(2))
+        driver = ColumnSGDDriver(
+            LogisticRegression(), SGD(0.1), cluster,
+            config=ColumnSGDConfig(batch_size=16, iterations=100,
+                                   eval_every=0, block_size=64),
+        )
+        driver.load(tiny_binary)
+        assert driver.fit(iterations=4).n_iterations == 4
+
+    def test_repeated_fit_continues_training(self, small_binary):
+        """Two fits on one driver keep the model state (iteration seeds
+        restart, but parameters carry over)."""
+        cluster = SimulatedCluster(CLUSTER1.with_workers(4))
+        driver = ColumnSGDDriver(
+            LogisticRegression(), SGD(0.5), cluster,
+            config=ColumnSGDConfig(batch_size=100, iterations=10,
+                                   eval_every=0, block_size=256),
+        )
+        driver.load(small_binary)
+        driver.fit()
+        loss_after_first = driver.evaluate_loss()
+        driver.fit()
+        assert driver.evaluate_loss() < loss_after_first
+
+    def test_batch_size_one(self, tiny_binary):
+        cluster = SimulatedCluster(CLUSTER1.with_workers(2))
+        result = train_columnsgd(
+            tiny_binary, LogisticRegression(), SGD(0.05), cluster,
+            batch_size=1, iterations=5, eval_every=0, block_size=64,
+        )
+        assert result.n_iterations == 5
+        assert np.isfinite(result.final_params).all()

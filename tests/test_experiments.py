@@ -1,0 +1,105 @@
+"""Tests for the experiment harness (runner + report)."""
+
+import pytest
+
+from repro.core.results import IterationRecord, TrainingResult
+from repro.experiments import (
+    ExperimentSpec,
+    convergence_table,
+    iteration_time_table,
+    loss_series,
+    render_curve,
+    run_comparison,
+    run_system,
+)
+from repro.sim import CLUSTER1
+
+
+def tiny_spec(**overrides):
+    defaults = dict(
+        dataset="avazu",
+        model="lr",
+        systems=["columnsgd", "mxnet"],
+        batch_size=32,
+        iterations=4,
+        eval_every=2,
+        cluster=CLUSTER1.with_workers(4),
+        seed=1,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def shared_data():
+    from repro.datasets import make_classification
+
+    return make_classification(400, 200, nnz_per_row=8, seed=7, name="avazu")
+
+
+class TestRunner:
+    def test_run_system(self, shared_data):
+        spec = tiny_spec(explicit_data=shared_data)
+        result = run_system(spec, "columnsgd")
+        assert result.system == "ColumnSGD"
+        assert result.n_iterations >= 4
+
+    def test_run_comparison_shares_data(self, shared_data):
+        spec = tiny_spec(explicit_data=shared_data)
+        results = run_comparison(spec)
+        assert set(results) == {"columnsgd", "mxnet"}
+        assert all(r.final_loss() is not None for r in results.values())
+
+    def test_learning_rate_from_table3(self):
+        spec = tiny_spec()
+        assert spec.resolve_learning_rate() == 10.0
+        assert tiny_spec(learning_rate=0.5).resolve_learning_rate() == 0.5
+
+    def test_profile_data_generation(self):
+        spec = tiny_spec()
+        data = spec.materialize_data()
+        assert data.name == "avazu"
+
+
+class TestReport:
+    def fake_result(self, system, per_iter, losses):
+        result = TrainingResult(system=system, model="lr", dataset="d",
+                                batch_size=10, n_workers=2)
+        t = 0.0
+        for i, loss in enumerate(losses):
+            t += per_iter
+            result.add(IterationRecord(i, t, per_iter, loss, 100))
+        return result
+
+    def test_iteration_time_table(self):
+        results = {
+            "columnsgd": self.fake_result("ColumnSGD", 0.05, [0.6, 0.5]),
+            "mllib": self.fake_result("MLlib", 0.5, [0.6, 0.55]),
+        }
+        table = iteration_time_table(results)
+        assert "MLlib" in table
+        assert "10.0x" in table
+
+    def test_convergence_table(self):
+        results = {"columnsgd": self.fake_result("ColumnSGD", 0.1, [0.7, 0.4, 0.2])}
+        table = convergence_table(results, threshold=0.45)
+        assert "ColumnSGD" in table
+        assert "never" not in table
+
+    def test_convergence_table_never(self):
+        results = {"x": self.fake_result("X", 0.1, [0.9, 0.8])}
+        assert "never" in convergence_table(results, threshold=0.1)
+
+    def test_loss_series_compact(self):
+        result = self.fake_result("X", 0.1, [1.0 / (i + 1) for i in range(50)])
+        series = loss_series(result, max_points=5)
+        assert series.count("(") <= 7
+
+    def test_render_curve(self):
+        chart = render_curve([1.0, 0.5, 0.25, 0.12], width=20, height=6,
+                             label="loss vs iter")
+        assert "*" in chart
+        assert "loss vs iter" in chart
+
+    def test_render_curve_empty(self):
+        assert render_curve([]) == "(no data)"

@@ -1,0 +1,142 @@
+"""End-to-end integration tests: paper-scenario shapes at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CLUSTER1,
+    ColumnSGDConfig,
+    ColumnSGDDriver,
+    LogisticRegression,
+    SGD,
+    SimulatedCluster,
+    StragglerModel,
+    make_classification,
+    make_trainer,
+    train_columnsgd,
+)
+from repro.datasets import load_profile
+
+
+class TestPublicApi:
+    def test_quickstart_from_docstring(self):
+        data = make_classification(1000, 2000, seed=0)
+        cluster = SimulatedCluster(CLUSTER1)
+        result = train_columnsgd(
+            data, LogisticRegression(), SGD(learning_rate=1.0), cluster,
+            batch_size=100, iterations=20,
+        )
+        assert result.final_loss() < np.log(2)
+
+    def test_all_exports_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestFig8Shape:
+    """ColumnSGD reaches a target loss before MLlib on large models."""
+
+    def test_columnsgd_beats_mllib_time_to_loss(self):
+        data = make_classification(2000, 100_000, nnz_per_row=10, seed=8)
+        results = {}
+        for name in ("columnsgd", "mllib"):
+            cluster = SimulatedCluster(CLUSTER1)
+            trainer = make_trainer(
+                name, LogisticRegression(), SGD(1.0), cluster,
+                batch_size=200, iterations=30, eval_every=5, seed=8,
+            )
+            trainer.load(data)
+            results[name] = trainer.fit()
+        target = 0.9 * np.log(2)
+        col_time = results["columnsgd"].time_to_loss(target)
+        mllib_time = results["mllib"].time_to_loss(target)
+        assert col_time is not None and mllib_time is not None
+        assert col_time < mllib_time
+
+
+class TestFig11Shape:
+    """Scalability w.r.t. cluster size: loading speeds up, per-iteration
+    time stays roughly flat."""
+
+    def test_loading_scales_with_workers(self):
+        data = load_profile("wx").generate(seed=1, rows=4000, features=20_000)
+        times = {}
+        for k in (4, 16):
+            cluster = SimulatedCluster(CLUSTER1.with_workers(k))
+            config = ColumnSGDConfig(batch_size=100, iterations=1, eval_every=0,
+                                     block_size=256)
+            driver = ColumnSGDDriver(LogisticRegression(), SGD(0.1), cluster, config)
+            report = driver.load(data)
+            times[k] = report.seconds
+        assert times[16] < times[4]
+
+    def test_iteration_time_flat_in_workers(self):
+        data = make_classification(4000, 20_000, nnz_per_row=10, seed=2)
+        times = {}
+        for k in (4, 16):
+            cluster = SimulatedCluster(CLUSTER1.with_workers(k))
+            result = train_columnsgd(
+                data, LogisticRegression(), SGD(1.0), cluster,
+                batch_size=100, iterations=8, eval_every=0,
+            )
+            times[k] = result.avg_iteration_seconds()
+        assert times[16] < 2 * times[4]
+
+
+class TestFig4Shape:
+    """Batch size effects: tiny batches thrash, huge batches cost time."""
+
+    def test_small_batch_converges_noisily(self):
+        data = make_classification(3000, 300, nnz_per_row=10, seed=3)
+        finals = {}
+        for batch in (4, 256):
+            cluster = SimulatedCluster(CLUSTER1.with_workers(4))
+            result = train_columnsgd(
+                data, LogisticRegression(), SGD(0.5), cluster,
+                batch_size=batch, iterations=80, eval_every=4, seed=3,
+            )
+            losses = np.array([l for _, _, l in result.losses()][1:])
+            finals[batch] = losses
+        # thrash metric: mean upward movement between evals
+        def thrash(losses):
+            diffs = np.diff(losses)
+            return float(np.mean(np.maximum(diffs, 0)))
+
+        assert thrash(finals[4]) > thrash(finals[256])
+
+    def test_per_iteration_time_monotone_beyond_floor(self):
+        data = make_classification(3000, 300, nnz_per_row=10, seed=3)
+        times = []
+        for batch in (16, 256, 2048):
+            cluster = SimulatedCluster(CLUSTER1.with_workers(4))
+            result = train_columnsgd(
+                data, LogisticRegression(), SGD(0.1), cluster,
+                batch_size=batch, iterations=6, eval_every=0,
+            )
+            times.append(result.avg_iteration_seconds())
+        assert times[0] <= times[1] <= times[2]
+
+
+class TestStragglerIntegration:
+    def test_fig9_full_story(self, tiny_binary):
+        """pure < backup-with-straggler << SL5 pure."""
+        def run(backup, straggler):
+            cluster = SimulatedCluster(CLUSTER1.with_workers(4))
+            config = ColumnSGDConfig(batch_size=32, iterations=10, eval_every=0,
+                                     seed=1, block_size=64, backup=backup)
+            driver = ColumnSGDDriver(
+                LogisticRegression(), SGD(0.5), cluster, config=config,
+                straggler=straggler,
+            )
+            driver.load(tiny_binary)
+            return driver.fit().avg_iteration_seconds()
+
+        pure = run(0, None)
+        sl5 = run(0, StragglerModel(4, level=5.0, seed=2))
+        backed = run(1, StragglerModel(4, level=5.0, seed=2))
+        # backup with a straggler costs about the same as pure (Fig 9) ...
+        assert backed == pytest.approx(pure, rel=0.2)
+        # ... while the unprotected straggled run is clearly slower
+        assert sl5 > 1.5 * backed

@@ -1,0 +1,84 @@
+"""Unit tests for pointwise losses, including derivative checks."""
+
+import numpy as np
+import pytest
+
+from repro.models import HingeLoss, LogisticLoss, SquaredLoss
+
+
+def numeric_derivative(loss, scores, labels, eps=1e-6):
+    up = loss.loss(scores + eps, labels)
+    down = loss.loss(scores - eps, labels)
+    return (up - down) / (2 * eps)
+
+
+class TestLogisticLoss:
+    def test_value_at_zero_margin(self):
+        loss = LogisticLoss()
+        assert loss.loss(np.zeros(3), np.ones(3)) == pytest.approx(np.log(2))
+
+    def test_derivative_matches_numeric(self, rng):
+        loss = LogisticLoss()
+        scores = rng.normal(size=50) * 3
+        labels = rng.choice([-1.0, 1.0], 50)
+        assert np.allclose(
+            loss.derivative(scores, labels),
+            numeric_derivative(loss, scores, labels),
+            atol=1e-5,
+        )
+
+    def test_numerically_stable_at_extremes(self):
+        loss = LogisticLoss()
+        scores = np.array([-1000.0, 1000.0])
+        labels = np.array([1.0, 1.0])
+        values = loss.loss(scores, labels)
+        assert np.isfinite(values).all()
+        assert values[0] == pytest.approx(1000.0)
+        assert values[1] == pytest.approx(0.0)
+        assert np.isfinite(loss.derivative(scores, labels)).all()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LogisticLoss().loss(np.zeros(2), np.zeros(3))
+
+
+class TestHingeLoss:
+    def test_value(self):
+        loss = HingeLoss()
+        scores = np.array([2.0, 0.5, -1.0])
+        labels = np.array([1.0, 1.0, 1.0])
+        assert loss.loss(scores, labels).tolist() == [0.0, 0.5, 2.0]
+
+    def test_derivative_active_inactive(self):
+        loss = HingeLoss()
+        scores = np.array([2.0, 0.5])
+        labels = np.array([1.0, 1.0])
+        assert loss.derivative(scores, labels).tolist() == [0.0, -1.0]
+
+    def test_derivative_matches_numeric_away_from_kink(self, rng):
+        loss = HingeLoss()
+        scores = rng.normal(size=50) * 3
+        labels = rng.choice([-1.0, 1.0], 50)
+        margins = labels * scores
+        safe = np.abs(margins - 1.0) > 1e-3
+        assert np.allclose(
+            loss.derivative(scores, labels)[safe],
+            numeric_derivative(loss, scores, labels)[safe],
+            atol=1e-5,
+        )
+
+
+class TestSquaredLoss:
+    def test_value(self):
+        loss = SquaredLoss()
+        assert loss.loss(np.array([3.0]), np.array([1.0]))[0] == pytest.approx(2.0)
+
+    def test_derivative_matches_numeric(self, rng):
+        loss = SquaredLoss()
+        scores = rng.normal(size=30)
+        labels = rng.normal(size=30)
+        assert np.allclose(
+            loss.derivative(scores, labels),
+            numeric_derivative(loss, scores, labels),
+            atol=1e-5,
+        )

@@ -1,0 +1,191 @@
+"""Unit tests for repro.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification, make_regression
+from repro.errors import DataError
+from repro.metrics import (
+    accuracy,
+    confusion_counts,
+    evaluate_classifier,
+    evaluate_regressor,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    precision_recall_f1,
+    r2_score,
+    rmse,
+    roc_auc,
+    train_test_split,
+)
+
+
+LABELS = np.array([1.0, 1.0, -1.0, -1.0])
+PROBS = np.array([0.9, 0.4, 0.2, 0.6])
+
+
+class TestAccuracy:
+    def test_value(self):
+        assert accuracy(LABELS, PROBS) == pytest.approx(0.5)
+
+    def test_threshold(self):
+        assert accuracy(LABELS, PROBS, threshold=0.3) == pytest.approx(0.75)
+
+    def test_perfect(self):
+        assert accuracy(LABELS, np.array([0.9, 0.8, 0.1, 0.2])) == 1.0
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(DataError):
+            accuracy(np.array([0.0, 1.0]), np.array([0.5, 0.5]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DataError):
+            accuracy(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestLogLoss:
+    def test_perfect_is_zero(self):
+        assert log_loss(np.array([1.0, -1.0]), np.array([1.0, 0.0])) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_uninformative_is_log2(self):
+        assert log_loss(LABELS, np.full(4, 0.5)) == pytest.approx(np.log(2))
+
+    def test_clipping_prevents_inf(self):
+        value = log_loss(np.array([1.0]), np.array([0.0]))
+        assert np.isfinite(value)
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc(LABELS, np.array([0.9, 0.8, 0.1, 0.2])) == 1.0
+
+    def test_reversed_ranking(self):
+        assert roc_auc(LABELS, np.array([0.1, 0.2, 0.9, 0.8])) == 0.0
+
+    def test_random_is_half(self, rng):
+        labels = rng.choice([-1.0, 1.0], 2000)
+        scores = rng.random(2000)
+        assert roc_auc(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_get_midranks(self):
+        labels = np.array([1.0, -1.0, 1.0, -1.0])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc(labels, scores) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(DataError):
+            roc_auc(np.array([1.0, 1.0]), np.array([0.5, 0.6]))
+
+    def test_invariant_to_monotone_transform(self, rng):
+        labels = rng.choice([-1.0, 1.0], 300)
+        scores = rng.normal(size=300)
+        assert roc_auc(labels, scores) == pytest.approx(
+            roc_auc(labels, np.exp(scores)), abs=1e-12
+        )
+
+
+class TestConfusionAndF1:
+    def test_counts(self):
+        counts = confusion_counts(LABELS, PROBS)
+        assert counts == {"tp": 1, "fp": 1, "tn": 1, "fn": 1}
+        assert sum(counts.values()) == 4
+
+    def test_prf(self):
+        prf = precision_recall_f1(LABELS, PROBS)
+        assert prf["precision"] == pytest.approx(0.5)
+        assert prf["recall"] == pytest.approx(0.5)
+        assert prf["f1"] == pytest.approx(0.5)
+
+    def test_degenerate_returns_zero(self):
+        prf = precision_recall_f1(np.array([1.0, 1.0]), np.array([0.1, 0.2]))
+        assert prf["precision"] == 0.0
+        assert prf["f1"] == 0.0
+
+
+class TestRegressionMetrics:
+    def test_mse_rmse(self):
+        labels = np.array([1.0, 2.0])
+        preds = np.array([1.0, 4.0])
+        assert mean_squared_error(labels, preds) == pytest.approx(2.0)
+        assert rmse(labels, preds) == pytest.approx(np.sqrt(2.0))
+
+    def test_mae(self):
+        assert mean_absolute_error(np.array([1.0, -1.0]), np.array([0.0, 0.0])) == 1.0
+
+    def test_r2_perfect(self):
+        labels = np.array([1.0, 2.0, 3.0])
+        assert r2_score(labels, labels) == 1.0
+
+    def test_r2_mean_predictor(self):
+        labels = np.array([1.0, 2.0, 3.0])
+        assert r2_score(labels, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_r2_constant_labels(self):
+        labels = np.full(3, 5.0)
+        assert r2_score(labels, labels) == 1.0
+        assert r2_score(labels, labels + 1) == 0.0
+
+
+class TestSplit:
+    def test_sizes(self, tiny_binary):
+        train, test = train_test_split(tiny_binary, test_fraction=0.2, seed=1)
+        assert test.n_rows == 60
+        assert train.n_rows == 240
+
+    def test_deterministic(self, tiny_binary):
+        a = train_test_split(tiny_binary, seed=2)
+        b = train_test_split(tiny_binary, seed=2)
+        assert np.array_equal(a[0].labels, b[0].labels)
+
+    def test_no_shuffle_is_prefix_suffix(self, tiny_binary):
+        train, test = train_test_split(tiny_binary, test_fraction=0.1, shuffle=False)
+        assert np.array_equal(test.labels, tiny_binary.labels[:30])
+
+    def test_never_empty(self, tiny_binary):
+        train, test = train_test_split(tiny_binary, test_fraction=0.0)
+        assert test.n_rows == 1
+        train, test = train_test_split(tiny_binary, test_fraction=1.0)
+        assert train.n_rows == 1
+
+    def test_too_small(self, tiny_binary):
+        with pytest.raises(ValueError):
+            train_test_split(tiny_binary.slice(0, 1))
+
+
+class TestEvaluateBundles:
+    def test_classifier_report(self):
+        from repro.core import train_columnsgd
+        from repro.models import LogisticRegression
+        from repro.optim import SGD
+        from repro.sim import CLUSTER1, SimulatedCluster
+
+        data = make_classification(1500, 200, nnz_per_row=10, seed=9)
+        train, test = train_test_split(data, test_fraction=0.25, seed=9)
+        result = train_columnsgd(
+            train, LogisticRegression(), SGD(1.0),
+            SimulatedCluster(CLUSTER1.with_workers(4)),
+            batch_size=200, iterations=80, eval_every=0, block_size=256,
+        )
+        report = evaluate_classifier(LogisticRegression(), result.final_params, test)
+        assert report["accuracy"] > 0.7
+        assert report["auc"] > 0.75
+        assert report["log_loss"] < np.log(2)
+
+    def test_regressor_report(self):
+        from repro.models import LeastSquares
+
+        data = make_regression(500, 50, nnz_per_row=8, noise_std=0.01, seed=10)
+        model = LeastSquares()
+        params = model.init_params(50)
+        for t in range(300):
+            params -= 0.1 * model.gradient(data.features, data.labels, params)
+        report = evaluate_regressor(model, params, data)
+        assert report["rmse"] < 0.5
+        assert report["r2"] > 0.9

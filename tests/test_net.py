@@ -1,0 +1,108 @@
+"""Unit tests for the network model and topologies."""
+
+import pytest
+
+from repro.net import Message, MessageKind, NetworkModel, StarTopology, allreduce_time
+from repro.net.network import gbps
+
+
+class TestMessage:
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            Message(MessageKind.CONTROL, 0, 1, -1)
+
+    def test_involves_master(self):
+        assert Message(MessageKind.CONTROL, Message.MASTER, 1, 0).involves_master()
+        assert not Message(MessageKind.CONTROL, 0, 1, 0).involves_master()
+
+
+class TestNetworkModel:
+    def test_transfer_time_formula(self):
+        net = NetworkModel(bandwidth=1e6, latency=0.01)
+        assert net.transfer_time(5e5) == pytest.approx(0.51)
+
+    def test_gbps_helper(self):
+        assert gbps(1.0) == pytest.approx(1.25e8)
+
+    def test_send_accounts_bytes(self):
+        net = NetworkModel(bandwidth=1e6, latency=0.0)
+        net.send(Message(MessageKind.MODEL_PULL, Message.MASTER, 0, 100))
+        net.send(Message(MessageKind.GRADIENT_PUSH, 0, Message.MASTER, 50))
+        assert net.total_bytes() == 150
+        assert net.total_messages() == 2
+        assert net.bytes_of_kind(MessageKind.MODEL_PULL) == 100
+        assert net.master_bytes() == 150
+        assert net.worker_bytes(0) == 150
+
+    def test_reset_counters(self):
+        net = NetworkModel()
+        net.send(Message(MessageKind.CONTROL, 0, 1, 10))
+        net.reset_counters()
+        assert net.total_bytes() == 0
+
+    def test_log_kept_only_when_enabled(self):
+        net = NetworkModel(keep_log=True)
+        net.send(Message(MessageKind.CONTROL, 0, 1, 10))
+        assert len(net.log) == 1
+        quiet = NetworkModel()
+        quiet.send(Message(MessageKind.CONTROL, 0, 1, 10))
+        assert quiet.log == []
+
+    def test_snapshot(self):
+        net = NetworkModel()
+        net.send(Message(MessageKind.CONTROL, 0, Message.MASTER, 10))
+        snap = net.snapshot()
+        assert snap["total_bytes"] == 10
+        assert snap["master_bytes"] == 10
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0)
+        with pytest.raises(ValueError):
+            NetworkModel(latency=-1)
+
+
+class TestStarTopology:
+    @pytest.fixture
+    def star(self):
+        return StarTopology(NetworkModel(bandwidth=1e6, latency=0.001), n_workers=4)
+
+    def test_gather_serialises_at_master(self, star):
+        t = star.gather(MessageKind.STATISTICS_PUSH, [1000] * 4)
+        assert t == pytest.approx(0.001 + 4000 / 1e6)
+        assert star.network.total_messages() == 4
+
+    def test_broadcast_through_master_nic(self, star):
+        t = star.broadcast(MessageKind.STATISTICS_BCAST, 1000)
+        assert t == pytest.approx(0.001 + 4 * 1000 / 1e6)
+
+    def test_sharded_divides_by_servers(self, star):
+        full = star.sharded_gather(MessageKind.GRADIENT_PUSH, [1000] * 4, n_servers=1)
+        star.network.reset_counters()
+        sharded = star.sharded_gather(MessageKind.GRADIENT_PUSH, [1000] * 4, n_servers=4)
+        assert sharded < full
+        # ... but bytes are identical — the paper's point about PS
+        assert star.network.total_bytes() == 4000
+
+    def test_sharded_broadcast(self, star):
+        t1 = star.sharded_broadcast(MessageKind.MODEL_PULL, 1000, n_servers=2)
+        t2 = 0.001 + 4 * 1000 / (2 * 1e6)
+        assert t1 == pytest.approx(t2)
+
+
+class TestAllReduce:
+    def test_single_node_is_free(self):
+        assert allreduce_time(NetworkModel(), 1000, 1) == 0.0
+
+    def test_ring_cost_formula(self):
+        net = NetworkModel(bandwidth=1e6, latency=0.001)
+        t = allreduce_time(net, 8000, 4)
+        steps = 2 * 3
+        assert t == pytest.approx(steps * 0.001 + steps * 2000 / 1e6)
+
+    def test_bandwidth_term_nearly_size_independent_of_k(self):
+        """Ring AllReduce moves ~2*size regardless of K (for K large)."""
+        net = NetworkModel(bandwidth=1e6, latency=0.0)
+        t4 = allreduce_time(net, 1_000_000, 4)
+        t8 = allreduce_time(net, 1_000_000, 8)
+        assert t8 / t4 == pytest.approx((2 * 7 / 8) / (2 * 3 / 4), rel=1e-6)

@@ -1,0 +1,41 @@
+"""Packaging and metadata consistency checks."""
+
+import pathlib
+import re
+
+import repro
+
+
+class TestPackaging:
+    def test_version_matches_pyproject(self):
+        pyproject = (
+            pathlib.Path(repro.__file__).parent.parent.parent / "pyproject.toml"
+        ).read_text()
+        declared = re.search(r'^version = "(.*)"', pyproject, re.M).group(1)
+        assert repro.__version__ == declared
+
+    def test_all_public_symbols_have_docstrings(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            symbol = getattr(repro, name)
+            if callable(symbol) or isinstance(symbol, type):
+                assert symbol.__doc__, "{} lacks a docstring".format(name)
+
+    def test_every_package_module_has_docstring(self):
+        root = pathlib.Path(repro.__file__).parent
+        for path in root.rglob("*.py"):
+            source = path.read_text()
+            stripped = source.lstrip()
+            assert stripped.startswith('"""') or stripped.startswith("'''"), (
+                "{} lacks a module docstring".format(path)
+            )
+
+    def test_no_module_imports_scipy_or_sklearn(self):
+        """The substrate promise: numpy only."""
+        root = pathlib.Path(repro.__file__).parent
+        for path in root.rglob("*.py"):
+            source = path.read_text()
+            assert "import scipy" not in source, path
+            assert "import sklearn" not in source, path
+            assert "import pandas" not in source, path

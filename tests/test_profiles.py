@@ -1,0 +1,59 @@
+"""Unit tests for the Table II dataset profiles."""
+
+import pytest
+
+from repro.datasets import PROFILES, load_profile
+
+
+class TestProfiles:
+    def test_all_five_datasets_present(self):
+        assert set(PROFILES) == {"avazu", "kddb", "kdd12", "criteo", "wx"}
+
+    def test_paper_scale_matches_table2(self):
+        avazu = load_profile("avazu")
+        assert avazu.paper_instances == 40_428_967
+        assert avazu.paper_features == 1_000_000
+        kdd12 = load_profile("kdd12")
+        assert kdd12.paper_instances == 149_639_105
+        assert kdd12.paper_features == 54_686_452
+
+    def test_lookup_case_insensitive(self):
+        assert load_profile("KDDB").name == "kddb"
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError, match="unknown"):
+            load_profile("mnist")
+
+    def test_paper_sparsity_high_for_ctr(self):
+        for name in ("avazu", "kddb", "kdd12", "wx"):
+            assert load_profile(name).paper_sparsity > 0.99
+
+    def test_criteo_is_dense(self):
+        assert load_profile("criteo").paper_sparsity == pytest.approx(0.0)
+
+    def test_learning_rates_table3(self):
+        assert load_profile("avazu").learning_rate("lr") == 10.0
+        assert load_profile("kdd12").learning_rate("lr") == 100.0
+        assert load_profile("kdd12").learning_rate("svm") == 1.0
+        assert load_profile("wx").learning_rate("fm") == 0.1
+
+    def test_learning_rate_unknown_model(self):
+        with pytest.raises(KeyError):
+            load_profile("avazu").learning_rate("resnet")
+
+    def test_generate_respects_profile(self):
+        data = load_profile("avazu").generate(seed=1, rows=500)
+        assert data.n_rows == 500
+        assert data.n_features == 10_000
+        assert data.name == "avazu"
+
+    def test_generate_deterministic(self):
+        a = load_profile("kddb").generate(seed=2, rows=100, features=1000)
+        b = load_profile("kddb").generate(seed=2, rows=100, features=1000)
+        assert a.features == b.features
+
+    def test_generated_sparsity_tracks_profile(self):
+        profile = load_profile("kdd12")
+        data = profile.generate(seed=0, rows=1000)
+        mean_nnz = data.nnz / data.n_rows
+        assert abs(mean_nnz - profile.scaled_nnz_per_row) < 3

@@ -1,0 +1,62 @@
+"""Unit tests for regularizers."""
+
+import numpy as np
+import pytest
+
+from repro.models import L1, L2, NoRegularizer
+
+
+class TestNoRegularizer:
+    def test_zero_everything(self):
+        reg = NoRegularizer()
+        w = np.array([1.0, -2.0])
+        assert reg.penalty(w) == 0.0
+        assert np.array_equal(reg.gradient(w), np.zeros(2))
+
+
+class TestL2:
+    def test_penalty(self):
+        reg = L2(0.5)
+        assert reg.penalty(np.array([3.0, 4.0])) == pytest.approx(0.25 * 25)
+
+    def test_gradient(self):
+        reg = L2(2.0)
+        assert np.array_equal(reg.gradient(np.array([1.0, -1.0])), [2.0, -2.0])
+
+    def test_gradient_matches_numeric(self, rng):
+        reg = L2(0.3)
+        w = rng.normal(size=10)
+        eps = 1e-6
+        for i in range(10):
+            up, down = w.copy(), w.copy()
+            up[i] += eps
+            down[i] -= eps
+            numeric = (reg.penalty(up) - reg.penalty(down)) / (2 * eps)
+            assert reg.gradient(w)[i] == pytest.approx(numeric, abs=1e-5)
+
+    def test_matrix_params(self):
+        reg = L2(1.0)
+        w = np.ones((3, 2))
+        assert reg.penalty(w) == pytest.approx(3.0)
+        assert reg.gradient(w).shape == (3, 2)
+
+    def test_rejects_negative_lambda(self):
+        with pytest.raises(ValueError):
+            L2(-1.0)
+
+
+class TestL1:
+    def test_penalty(self):
+        assert L1(2.0).penalty(np.array([1.0, -3.0])) == pytest.approx(8.0)
+
+    def test_gradient_signs(self):
+        grad = L1(1.5).gradient(np.array([2.0, -2.0, 0.0]))
+        assert grad.tolist() == [1.5, -1.5, 0.0]
+
+    def test_separability(self, rng):
+        """Penalty decomposes over coordinate partitions (the locality
+        property ColumnSGD relies on)."""
+        reg = L1(0.7)
+        w = rng.normal(size=20)
+        parts = [w[0::2], w[1::2]]
+        assert reg.penalty(w) == pytest.approx(sum(reg.penalty(p) for p in parts))

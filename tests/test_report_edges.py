@@ -1,0 +1,43 @@
+"""Edge cases of the experiment report renderers."""
+
+import pytest
+
+from repro.core.results import IterationRecord, TrainingResult
+from repro.experiments import iteration_time_table, loss_series
+from repro.experiments.report import _find_key
+
+
+def result_with(system, losses, per_iter=0.1):
+    result = TrainingResult(system=system, model="lr", dataset="d",
+                            batch_size=8, n_workers=2)
+    t = 0.0
+    for i, loss in enumerate(losses):
+        t += per_iter
+        result.add(IterationRecord(i, t, per_iter, loss, 10))
+    return result
+
+
+class TestReportEdges:
+    def test_iteration_table_without_reference(self):
+        """No columnsgd entry: speedup column degrades to dashes."""
+        table = iteration_time_table({"mllib": result_with("MLlib", [0.5])})
+        assert "MLlib" in table
+        assert "x" not in table.splitlines()[-1]
+
+    def test_find_key_case_insensitive(self):
+        results = {"ColumnSGD": None}
+        assert _find_key(results, "columnsgd") == "ColumnSGD"
+        assert _find_key(results, "mxnet") is None
+
+    def test_loss_series_empty(self):
+        result = result_with("X", [None, None])
+        assert loss_series(result) == ""
+
+    def test_loss_series_single_point(self):
+        result = result_with("X", [0.5])
+        assert loss_series(result).count("(") == 1
+
+    def test_zero_duration_result(self):
+        result = result_with("X", [0.5], per_iter=0.0)
+        table = iteration_time_table({"columnsgd": result})
+        assert "0.0000" in table

@@ -1,0 +1,188 @@
+"""Unit tests for the cluster simulator: clock, cost, stragglers, failures,
+cluster specs and memory ledger."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.sim import (
+    CLUSTER1,
+    CLUSTER2,
+    ClusterSpec,
+    ComputeCostModel,
+    FailureEvent,
+    FailureInjector,
+    FailureKind,
+    SimClock,
+    SimulatedCluster,
+    StragglerModel,
+)
+
+
+class TestClock:
+    def test_advances(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_reset(self):
+        clock = SimClock(5.0)
+        clock.advance(1.0)
+        clock.reset()
+        assert clock.now() == 0.0
+
+
+class TestCostModel:
+    def test_sparse_work_linear(self):
+        cost = ComputeCostModel(seconds_per_nnz=1e-9)
+        assert cost.sparse_work(1000) == pytest.approx(1e-6)
+        assert cost.sparse_work(1000, passes=3) == pytest.approx(3e-6)
+
+    def test_dense_work(self):
+        cost = ComputeCostModel(seconds_per_dense_element=2e-9)
+        assert cost.dense_work(500) == pytest.approx(1e-6)
+
+    def test_with_overhead(self):
+        cost = ComputeCostModel().with_overhead(0.1)
+        assert cost.task_overhead == 0.1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ComputeCostModel(seconds_per_nnz=-1)
+        with pytest.raises(ValueError):
+            ComputeCostModel().sparse_work(-5)
+
+
+class TestStraggler:
+    def test_none_mode(self):
+        model = StragglerModel.none(4)
+        assert model.victims(0) == frozenset()
+        assert all(v == 1.0 for v in model.slowdowns(0).values())
+
+    def test_random_mode_picks_one(self):
+        model = StragglerModel(8, level=5.0, seed=1)
+        for t in range(10):
+            victims = model.victims(t)
+            assert len(victims) == 1
+            assert all(0 <= w < 8 for w in victims)
+
+    def test_random_victims_vary(self):
+        model = StragglerModel(8, level=1.0, seed=2)
+        seen = {next(iter(model.victims(t))) for t in range(50)}
+        assert len(seen) > 3
+
+    def test_slowdown_factor(self):
+        model = StragglerModel(4, level=5.0, seed=3)
+        slow = model.slowdowns(0)
+        victim = next(iter(model.victims(0)))  # fresh draw differs; check values
+        assert sorted(slow.values()) == [1.0, 1.0, 1.0, 6.0]
+        assert victim in range(4)
+
+    def test_permanent_mode_fixed(self):
+        model = StragglerModel(6, level=2.0, mode="permanent", seed=4)
+        assert model.victims(0) == model.victims(99)
+        assert model.permanent_victims() == model.victims(0)
+
+    def test_multiple_stragglers(self):
+        model = StragglerModel(8, level=1.0, n_stragglers=3, seed=5)
+        assert len(model.victims(0)) == 3
+
+    def test_too_many_stragglers(self):
+        with pytest.raises(ValueError):
+            StragglerModel(2, level=1.0, n_stragglers=3)
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            StragglerModel(4, mode="sometimes")
+
+
+class TestFailures:
+    def test_none(self):
+        injector = FailureInjector.none()
+        assert not injector.any_scheduled()
+        assert injector.events_at(0) == []
+
+    def test_task_failure_factory(self):
+        injector = FailureInjector.task_failure(5, worker_id=2)
+        events = injector.events_at(5)
+        assert len(events) == 1
+        assert events[0].kind == FailureKind.TASK
+        assert events[0].worker_id == 2
+
+    def test_worker_failure_factory(self):
+        injector = FailureInjector.worker_failure(3)
+        assert injector.events_at(3)[0].kind == FailureKind.WORKER
+
+    def test_multiple_events_same_iteration(self):
+        injector = FailureInjector(
+            [
+                FailureEvent(1, FailureKind.TASK, 0),
+                FailureEvent(1, FailureKind.WORKER, 1),
+            ]
+        )
+        assert len(injector.events_at(1)) == 2
+
+    def test_event_requires_worker_id(self):
+        with pytest.raises(ValueError):
+            FailureEvent(0, FailureKind.WORKER)
+        FailureEvent(0, FailureKind.MASTER)  # fine without worker
+
+
+class TestClusterSpec:
+    def test_paper_clusters(self):
+        assert CLUSTER1.n_workers == 8
+        assert CLUSTER1.memory_bytes_per_node == 32e9
+        assert CLUSTER2.n_workers == 40
+        assert CLUSTER2.bandwidth_bytes_per_s == pytest.approx(10e9 / 8)
+
+    def test_with_workers(self):
+        spec = CLUSTER1.with_workers(3)
+        assert spec.n_workers == 3
+        assert spec.memory_bytes_per_node == CLUSTER1.memory_bytes_per_node
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec("x", 0, 1, 1e9, 1e9)
+
+
+class TestSimulatedCluster:
+    def test_memory_ledger(self, cluster4):
+        cluster4.charge_memory(0, 1e9)
+        cluster4.charge_memory(0, 2e9)
+        assert cluster4.memory_in_use(0) == pytest.approx(3e9)
+        cluster4.release_memory(0, 1e9)
+        assert cluster4.memory_in_use(0) == pytest.approx(2e9)
+        assert cluster4.memory_peak(0) == pytest.approx(3e9)
+
+    def test_oom_raises(self, cluster4):
+        with pytest.raises(OutOfMemoryError) as err:
+            cluster4.charge_memory(1, 33e9, "model")
+        assert "worker 1" in str(err.value)
+
+    def test_master_ledger(self, cluster4):
+        cluster4.charge_memory(cluster4.MASTER, 1e9)
+        assert cluster4.memory_in_use(cluster4.MASTER) == pytest.approx(1e9)
+
+    def test_unknown_node(self, cluster4):
+        with pytest.raises(ValueError):
+            cluster4.charge_memory(99, 1)
+
+    def test_release_floors_at_zero(self, cluster4):
+        cluster4.charge_memory(0, 10)
+        cluster4.release_memory(0, 100)
+        assert cluster4.memory_in_use(0) == 0.0
+
+    def test_bsp_compute_is_slowest_plus_overhead(self, cluster4):
+        t = cluster4.bsp_compute({0: 0.1, 1: 0.4, 2: 0.2, 3: 0.0})
+        assert t == pytest.approx(cluster4.cost.task_overhead + 0.4)
+
+    def test_reset(self, cluster4):
+        cluster4.clock.advance(5)
+        cluster4.charge_memory(0, 100)
+        cluster4.reset()
+        assert cluster4.clock.now() == 0.0
+        assert cluster4.memory_in_use(0) == 0.0

@@ -1,0 +1,97 @@
+"""Tests for the bounded-staleness (SSP) parameter server."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ParameterServerTrainer,
+    RowSGDConfig,
+    StaleSyncPSTrainer,
+    make_trainer,
+)
+from repro.models import LogisticRegression
+from repro.optim import SGD
+from repro.sim import CLUSTER1, SimulatedCluster, StragglerModel
+
+
+def fit(trainer_cls, data, straggler=None, iterations=20, **kwargs):
+    cluster = SimulatedCluster(CLUSTER1.with_workers(4))
+    config = RowSGDConfig(batch_size=64, iterations=iterations, eval_every=10, seed=3)
+    trainer = trainer_cls(
+        LogisticRegression(), SGD(0.5), cluster, config=config,
+        straggler=straggler, **kwargs,
+    )
+    trainer.load(data)
+    return trainer.fit()
+
+
+class TestSSP:
+    def test_zero_staleness_equals_bsp_exactly(self, small_binary):
+        bsp = fit(ParameterServerTrainer, small_binary)
+        ssp = fit(StaleSyncPSTrainer, small_binary, staleness=0)
+        assert np.allclose(bsp.final_params, ssp.final_params, atol=1e-12)
+
+    def test_zero_staleness_equal_time(self, small_binary):
+        bsp = fit(ParameterServerTrainer, small_binary)
+        ssp = fit(StaleSyncPSTrainer, small_binary, staleness=0)
+        assert ssp.total_sim_time == pytest.approx(bsp.total_sim_time, rel=0.05)
+
+    def test_staleness_absorbs_transient_stragglers(self, small_binary):
+        def straggler():
+            return StragglerModel(4, level=5.0, seed=7)
+
+        bsp = fit(ParameterServerTrainer, small_binary, straggler=straggler(),
+                  iterations=30)
+        ssp = fit(StaleSyncPSTrainer, small_binary, straggler=straggler(),
+                  staleness=3, iterations=30)
+        assert ssp.avg_iteration_seconds() < 0.7 * bsp.avg_iteration_seconds()
+
+    def test_stale_run_still_converges(self, small_binary):
+        ssp = fit(
+            StaleSyncPSTrainer, small_binary,
+            straggler=StragglerModel(4, level=5.0, seed=7),
+            staleness=3, iterations=50,
+        )
+        losses = [l for _, _, l in ssp.losses()]
+        assert losses[-1] < 0.9 * losses[0]
+
+    def test_stale_trajectory_differs_under_stragglers(self, small_binary):
+        def straggler():
+            return StragglerModel(4, level=5.0, seed=7)
+
+        bsp = fit(ParameterServerTrainer, small_binary, straggler=straggler())
+        ssp = fit(StaleSyncPSTrainer, small_binary, straggler=straggler(),
+                  staleness=3)
+        # gradients computed on stale versions -> different (but close) model
+        assert not np.array_equal(bsp.final_params, ssp.final_params)
+        assert np.allclose(bsp.final_params, ssp.final_params, atol=0.1)
+
+    def test_pipeline_staleness_without_stragglers(self, small_binary):
+        """With s >= 1 and uniform workers, the pipeline settles into a
+        steady one-version lag: the trajectory deviates slightly from
+        BSP but stays close and converges — classic SSP behaviour."""
+        bsp = fit(ParameterServerTrainer, small_binary, iterations=40)
+        ssp = fit(StaleSyncPSTrainer, small_binary, staleness=5, iterations=40)
+        assert not np.array_equal(bsp.final_params, ssp.final_params)
+        assert np.allclose(bsp.final_params, ssp.final_params, atol=0.05)
+        losses = [l for _, _, l in ssp.losses()]
+        assert losses[-1] < 0.9 * losses[0]
+
+    def test_system_name(self, small_binary):
+        ssp = fit(StaleSyncPSTrainer, small_binary, staleness=2, iterations=2)
+        assert ssp.system == "Petuum-SSP2"
+
+    def test_registry(self, small_binary):
+        cluster = SimulatedCluster(CLUSTER1.with_workers(4))
+        trainer = make_trainer(
+            "petuum-ssp", LogisticRegression(), SGD(0.5), cluster,
+            batch_size=32, iterations=3, eval_every=0, staleness=2,
+        )
+        trainer.load(small_binary)
+        assert trainer.fit().n_iterations >= 3
+
+    def test_validation(self, small_binary):
+        cluster = SimulatedCluster(CLUSTER1.with_workers(2))
+        with pytest.raises(ValueError):
+            StaleSyncPSTrainer(LogisticRegression(), SGD(0.5), cluster,
+                               staleness=-1)

@@ -1,0 +1,127 @@
+"""Unit tests for repro.storage: serialization sizes, blocks, HDFS."""
+
+import pytest
+
+from repro.datasets import make_classification
+from repro.errors import DataError
+from repro.storage import (
+    OBJECT_OVERHEAD_BYTES,
+    Block,
+    BlockQueue,
+    SimulatedHDFS,
+    csr_matrix_bytes,
+    dense_vector_bytes,
+    sparse_row_bytes,
+    sparse_vector_bytes,
+    workset_bytes,
+)
+from repro.storage.blocks import split_into_blocks
+
+
+class TestSerialization:
+    def test_sparse_row_scaling(self):
+        assert sparse_row_bytes(10) - sparse_row_bytes(0) == 10 * 12
+
+    def test_object_overhead_charged_once(self):
+        assert sparse_vector_bytes(0) == OBJECT_OVERHEAD_BYTES
+
+    def test_dense_vector(self):
+        assert dense_vector_bytes(100) == OBJECT_OVERHEAD_BYTES + 800
+
+    def test_csr_beats_per_row_objects(self):
+        """CSR batching amortises the per-object overhead — the Fig 7 story."""
+        n_rows, nnz = 1000, 20_000
+        per_row = n_rows * sparse_row_bytes(nnz // n_rows)
+        blocked = csr_matrix_bytes(n_rows, nnz, with_labels=True)
+        assert blocked < per_row
+
+    def test_workset_includes_block_id(self):
+        assert workset_bytes(10, 50) == 8 + csr_matrix_bytes(10, 50, with_labels=True)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sparse_row_bytes(-1)
+
+
+class TestBlocks:
+    def test_split_exact(self):
+        blocks = split_into_blocks(100, 25)
+        assert len(blocks) == 4
+        assert all(b.n_rows == 25 for b in blocks)
+
+    def test_split_remainder(self):
+        blocks = split_into_blocks(10, 4)
+        assert [b.n_rows for b in blocks] == [4, 4, 2]
+
+    def test_split_empty(self):
+        assert split_into_blocks(0, 4) == []
+
+    def test_block_ids_dense(self):
+        blocks = split_into_blocks(10, 3)
+        assert [b.block_id for b in blocks] == [0, 1, 2, 3]
+
+    def test_materialize(self):
+        data = make_classification(20, 10, seed=1)
+        block = Block(0, 5, 10)
+        rows = block.materialize(data)
+        assert rows.n_rows == 5
+
+    def test_queue_round_robin(self):
+        queue = BlockQueue(split_into_blocks(10, 3))
+        ids = []
+        while True:
+            block = queue.next_for(len(ids) % 2)
+            if block is None:
+                break
+            ids.append(block.block_id)
+        assert ids == [0, 1, 2, 3]
+        assert queue.assignee(0) == 0
+        assert queue.assignee(1) == 1
+        assert len(queue.assignments()) == 4
+
+    def test_queue_rejects_sparse_ids(self):
+        with pytest.raises(DataError):
+            BlockQueue([Block(1, 0, 5)])
+
+
+class TestSimulatedHDFS:
+    @pytest.fixture
+    def hdfs(self):
+        data = make_classification(100, 50, seed=3)
+        return SimulatedHDFS(data, block_size=16, n_locations=4, read_bandwidth=1e6)
+
+    def test_block_count(self, hdfs):
+        assert hdfs.n_blocks == 7
+
+    def test_locations_round_robin(self, hdfs):
+        assert hdfs.location(0) == 0
+        assert hdfs.location(5) == 1
+
+    def test_read_block(self, hdfs):
+        assert hdfs.read_block(0).n_rows == 16
+        assert hdfs.read_block(6).n_rows == 100 - 6 * 16
+
+    def test_total_bytes_is_sum(self, hdfs):
+        assert hdfs.total_bytes() == sum(
+            hdfs.block_bytes(i) for i in range(hdfs.n_blocks)
+        )
+
+    def test_read_time_proportional_to_bytes(self, hdfs):
+        assert hdfs.read_time(0) == pytest.approx(hdfs.block_bytes(0) / 1e6)
+
+    def test_scan_time_parallel_speedup(self):
+        data = make_classification(200, 50, seed=3)
+        slow = SimulatedHDFS(data, block_size=10, n_locations=1, read_bandwidth=1e6)
+        fast = SimulatedHDFS(data, block_size=10, n_locations=4, read_bandwidth=1e6)
+        assert fast.scan_time() < slow.scan_time()
+
+    def test_scan_time_capped_by_parallelism(self, hdfs):
+        assert hdfs.scan_time(parallelism=1) >= hdfs.scan_time(parallelism=4)
+
+    def test_scan_rejects_zero_parallelism(self, hdfs):
+        with pytest.raises(ValueError):
+            hdfs.scan_time(parallelism=0)
+
+    def test_bad_block_id(self, hdfs):
+        with pytest.raises(DataError):
+            hdfs.block(99)

@@ -1,0 +1,102 @@
+"""Tests for experiment sweeps and dataset analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.datasets.analysis import (
+    describe,
+    feature_frequencies,
+    label_distribution,
+    popularity_skew,
+    row_length_stats,
+)
+from repro.experiments import ExperimentSpec
+from repro.experiments.sweeps import (
+    best_learning_rate,
+    sweep_batch_sizes,
+    sweep_learning_rates,
+    sweep_workers,
+)
+from repro.sim import CLUSTER1
+
+
+@pytest.fixture(scope="module")
+def spec_and_data():
+    data = make_classification(600, 300, nnz_per_row=8, seed=50, name="avazu")
+    spec = ExperimentSpec(
+        dataset="avazu", model="lr", batch_size=64, iterations=6,
+        eval_every=3, learning_rate=1.0, cluster=CLUSTER1.with_workers(4),
+        seed=50, explicit_data=data,
+    )
+    return spec, data
+
+
+class TestSweeps:
+    def test_batch_size_sweep(self, spec_and_data):
+        spec, data = spec_and_data
+        results = sweep_batch_sizes(spec, "columnsgd", [16, 128], data=data)
+        assert set(results) == {16, 128}
+        assert results[16].batch_size == 16
+        assert results[128].batch_size == 128
+
+    def test_worker_sweep(self, spec_and_data):
+        spec, data = spec_and_data
+        results = sweep_workers(spec, "columnsgd", [2, 4], data=data)
+        assert results[2].n_workers == 2
+        assert results[4].n_workers == 4
+
+    def test_learning_rate_sweep_and_best(self, spec_and_data):
+        spec, data = spec_and_data
+        rates = [1e-9, 1.0]
+        results = sweep_learning_rates(spec, "columnsgd", rates, data=data)
+        assert results[1.0].final_loss() < results[1e-9].final_loss()
+        assert best_learning_rate(spec, "columnsgd", rates, data=data) == 1.0
+
+    def test_sweep_does_not_mutate_spec(self, spec_and_data):
+        spec, data = spec_and_data
+        sweep_batch_sizes(spec, "columnsgd", [16], data=data)
+        assert spec.batch_size == 64
+
+    def test_best_rate_requires_evaluations(self, spec_and_data):
+        spec, data = spec_and_data
+        from dataclasses import replace
+
+        silent = replace(spec, eval_every=0)
+        with pytest.raises(ValueError):
+            best_learning_rate(silent, "columnsgd", [1.0], data=data)
+
+
+class TestAnalysis:
+    def test_feature_frequencies_sum_to_nnz(self, tiny_binary):
+        freq = feature_frequencies(tiny_binary)
+        assert freq.sum() == tiny_binary.nnz
+        assert freq.size == tiny_binary.n_features
+
+    def test_label_distribution(self, tiny_binary):
+        dist = label_distribution(tiny_binary)
+        assert set(dist) == {-1.0, 1.0}
+        assert sum(dist.values()) == tiny_binary.n_rows
+
+    def test_row_length_stats(self, tiny_binary):
+        stats = row_length_stats(tiny_binary)
+        assert stats["min"] >= 1
+        assert stats["min"] <= stats["median"] <= stats["max"]
+
+    def test_popularity_skew_uniform_vs_zipf(self):
+        uniform = make_classification(800, 300, nnz_per_row=8,
+                                      zipf_exponent=0.0, seed=51)
+        zipf = make_classification(800, 300, nnz_per_row=8,
+                                   zipf_exponent=1.4, seed=51)
+        assert popularity_skew(zipf) > 2 * popularity_skew(uniform)
+
+    def test_popularity_skew_validation(self, tiny_binary):
+        with pytest.raises(ValueError):
+            popularity_skew(tiny_binary, head_fraction=0.0)
+
+    def test_describe_render(self, tiny_binary):
+        report = describe(tiny_binary)
+        text = report.render()
+        assert "rows" in text
+        assert "{:,}".format(tiny_binary.nnz) in text
+        assert report.head1pct_share <= 1.0
