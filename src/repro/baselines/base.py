@@ -24,6 +24,7 @@ from repro.linalg import CSRMatrix
 from repro.models.base import StatisticsModel
 from repro.optim.base import Optimizer
 from repro.errors import MasterFailedError
+from repro.net.protocol import ProtocolChecker
 from repro.partition.dispatch import load_row_partitioned
 from repro.partition.row import RowPartitioner
 from repro.sim.cluster import SimulatedCluster
@@ -41,11 +42,14 @@ class RowSGDConfig:
     eval_every: int = 10
     seed: int = 0
     repartition: bool = False  # MLlib-Repartition loading for Fig 7
+    check_protocol: bool = False  # verify BSP invariants every round
+                                  # (see repro.net.protocol)
 
     def __post_init__(self):
         check_positive(self.batch_size, "batch_size")
         check_positive(self.iterations, "iterations")
         check_non_negative(self.eval_every, "eval_every")
+        check_non_negative(self.seed, "seed")
 
 
 class BaselineTrainer:
@@ -78,6 +82,9 @@ class BaselineTrainer:
         self._partitioner: Optional[RowPartitioner] = None
         self._params: Optional[np.ndarray] = None
         self.load_report = None
+        #: per-kind (count, bytes) the cost model predicts for the round
+        #: just run — consumed by the protocol checker
+        self._round_expected: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def _system_name(self) -> str:
@@ -135,11 +142,16 @@ class BaselineTrainer:
         if self.config.eval_every:
             self._record(result, -1, 0.0, 0, evaluate=True)
 
+        checker = ProtocolChecker(self.cluster) if self.config.check_protocol else None
         for t in range(iterations):
             bytes_before = self.cluster.network.total_bytes()
+            if checker is not None:
+                checker.begin_round(t)
             duration = self._handle_failures(t)
             duration += self._run_iteration(t)
             self.cluster.clock.advance(duration)
+            if checker is not None:
+                checker.end_round(t, expected=self._round_expected)
             evaluate = bool(self.config.eval_every) and (
                 (t + 1) % self.config.eval_every == 0 or t == iterations - 1
             )

@@ -21,10 +21,16 @@ class MLlibTrainer(BaselineTrainer):
 
     def _communication_seconds(self, batch) -> float:
         model_bytes = dense_vector_bytes(self.model_elements)
+        K = self.cluster.n_workers
         pull = self.cluster.topology.broadcast(MessageKind.MODEL_PULL, model_bytes)
         push = self.cluster.topology.gather(
-            MessageKind.GRADIENT_PUSH, [model_bytes] * self.cluster.n_workers
+            MessageKind.GRADIENT_PUSH, [model_bytes] * K
         )
+        # Table I, MLlib row: 2 K m dense traffic through the master.
+        self._round_expected = {
+            MessageKind.MODEL_PULL: (K, K * model_bytes),
+            MessageKind.GRADIENT_PUSH: (K, K * model_bytes),
+        }
         return pull + push
 
     def _center_update_seconds(self) -> float:

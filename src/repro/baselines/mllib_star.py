@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.baselines.base import BaselineTrainer
 from repro.datasets.dataset import Dataset
+from repro.net.message import MessageKind
 from repro.net.topology import allreduce_time
 from repro.storage.serialization import dense_vector_bytes
 
@@ -73,7 +74,15 @@ class MLlibStarTrainer(BaselineTrainer):
         self._params[...] = averaged
 
         model_bytes = dense_vector_bytes(self.model_elements)
-        comm = allreduce_time(self.cluster.network, model_bytes, self.cluster.n_workers)
+        K = self.cluster.n_workers
+        comm = allreduce_time(self.cluster.network, model_bytes, K)
+        # Ring AllReduce: 2(K-1) hops, each carrying a 1/K model chunk.
+        steps = 2 * (K - 1)
+        self._round_expected = (
+            {MessageKind.MODEL_AVG: (steps, steps * int(model_bytes / K))}
+            if K > 1
+            else {}
+        )
         update = self.cluster.cost.dense_work(self.model_elements)
         return max(compute_times) + comm + update
 

@@ -40,12 +40,19 @@ class ParameterServerTrainer(BaselineTrainer):
 
     def _communication_seconds(self, batch) -> float:
         model_bytes = dense_vector_bytes(self.model_elements)
+        push_sizes = self._push_sizes(batch)
+        K = self.cluster.n_workers
         pull = self.cluster.topology.sharded_broadcast(
             MessageKind.MODEL_PULL, model_bytes, self.n_servers
         )
         push = self.cluster.topology.sharded_gather(
-            MessageKind.GRADIENT_PUSH, self._push_sizes(batch), self.n_servers
+            MessageKind.GRADIENT_PUSH, push_sizes, self.n_servers
         )
+        # Table I, Petuum row: K full-model pulls + K sparse pushes.
+        self._round_expected = {
+            MessageKind.MODEL_PULL: (K, K * model_bytes),
+            MessageKind.GRADIENT_PUSH: (len(push_sizes), sum(push_sizes)),
+        }
         return pull + push
 
     def _center_update_seconds(self) -> float:

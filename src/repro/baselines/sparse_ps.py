@@ -29,6 +29,11 @@ class SparsePSTrainer(ParameterServerTrainer):
         push = self.cluster.topology.sharded_gather(
             MessageKind.GRADIENT_PUSH, sizes, self.n_servers
         )
+        # Table I, MXNet row: both directions scale with the batch's nnz.
+        self._round_expected = {
+            MessageKind.MODEL_PULL: (len(sizes), sum(sizes)),
+            MessageKind.GRADIENT_PUSH: (len(sizes), sum(sizes)),
+        }
         return pull + push
 
     def _charge_setup_memory(self) -> None:

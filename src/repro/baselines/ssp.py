@@ -28,9 +28,11 @@ from typing import List
 import numpy as np
 
 from repro.baselines.parameter_server import ParameterServerTrainer
+from repro.core.analysis import SPARSE_PAIR_BYTES
 from repro.core.results import TrainingResult
 from repro.errors import TrainingError
 from repro.net.message import Message, MessageKind
+from repro.storage.serialization import dense_vector_bytes
 from repro.utils.validation import check_non_negative
 
 
@@ -48,6 +50,11 @@ class StaleSyncPSTrainer(ParameterServerTrainer):
     # ------------------------------------------------------------------
     def fit(self, dataset=None, iterations: int = None) -> TrainingResult:
         """Run the pipelined SSP schedule."""
+        if self.config.check_protocol:
+            raise TrainingError(
+                "check_protocol is unsupported for SSP: bounded staleness "
+                "deliberately lets messages cross the BSP barrier"
+            )
         if dataset is not None and self._dataset is None:
             self.load(dataset)
         if self._dataset is None:
@@ -116,9 +123,9 @@ class StaleSyncPSTrainer(ParameterServerTrainer):
             # --- commit: pulls + pushes + server maintenance -----------
             # Same traffic as BSP Petuum: workers pull the full dense
             # model and push sparse gradients through S server NICs.
-            model_bytes = self.model_elements * 8
+            model_bytes = dense_vector_bytes(self.model_elements)
             push_bytes = int(
-                batch_nnz / K * self.model.params_per_feature() * 12
+                batch_nnz / K * self.model.params_per_feature() * SPARSE_PAIR_BYTES
             )
             net = self.cluster.network
             for w in range(K):

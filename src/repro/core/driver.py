@@ -26,6 +26,7 @@ from repro.datasets.dataset import Dataset
 from repro.errors import MasterFailedError, TrainingError
 from repro.models.base import StatisticsModel
 from repro.net.message import MessageKind
+from repro.net.protocol import ProtocolChecker
 from repro.optim.base import Optimizer
 from repro.partition.column import make_assignment
 from repro.partition.dispatch import dispatch_block_based, dispatch_naive, LoadReport
@@ -55,12 +56,15 @@ class ColumnSGDConfig:
                                   # evaluations without min_improvement
                                   # (0 disables; needs eval_every > 0)
     early_stop_min_improvement: float = 1e-4
+    check_protocol: bool = False  # verify BSP invariants every round
+                                  # (see repro.net.protocol)
 
     def __post_init__(self):
         check_positive(self.batch_size, "batch_size")
         check_positive(self.iterations, "iterations")
         check_non_negative(self.backup, "backup")
         check_non_negative(self.eval_every, "eval_every")
+        check_non_negative(self.seed, "seed")
         check_positive(self.block_size, "block_size")
         check_in(self.loader, ("block", "naive"), "loader")
         check_in(self.wire_precision, ("fp64", "fp32"), "wire_precision")
@@ -113,6 +117,9 @@ class ColumnSGDDriver:
         self.last_worker_seconds: Dict[str, Dict[int, float]] = {}
         #: workers the master killed after recovery in the last iteration
         self.last_killed: set = set()
+        #: per-kind (count, bytes) the cost model predicts for the round
+        #: just run — consumed by the protocol checker
+        self._round_expected: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     # loading (Algorithm 3 lines 2-3 + Section IV transformation)
@@ -204,11 +211,16 @@ class ColumnSGDDriver:
         if self.config.eval_every:
             self._record(result, iteration=-1, duration=0.0, bytes_sent=0, evaluate=True)
 
+        checker = ProtocolChecker(self.cluster) if self.config.check_protocol else None
         for t in range(iterations):
             bytes_before = self.cluster.network.total_bytes()
+            if checker is not None:
+                checker.begin_round(t)
             duration = self._handle_failures(t)
             duration += self._run_iteration(t)
             self.cluster.clock.advance(duration)
+            if checker is not None:
+                checker.end_round(t, expected=self._round_expected)
             bytes_sent = self.cluster.network.total_bytes() - bytes_before
             evaluate = bool(self.config.eval_every) and (
                 (t + 1) % self.config.eval_every == 0 or t == iterations - 1
@@ -280,6 +292,17 @@ class ColumnSGDDriver:
         )
         reduce_time = cost.dense_work(len(chosen_set) * B * width)
         bcast_time = self.cluster.topology.broadcast(MessageKind.STATISTICS_BCAST, stats_size)
+        # Table I, ColumnSGD row: K pushes + K broadcasts of B*width values.
+        self._round_expected = {
+            MessageKind.STATISTICS_PUSH: (
+                len(chosen_set),
+                len(chosen_set) * stats_size,
+            ),
+            MessageKind.STATISTICS_BCAST: (
+                self.cluster.n_workers,
+                self.cluster.n_workers * stats_size,
+            ),
+        }
 
         # ---- Step 3: updateModel ---------------------------------------
         # Each partition is numerically updated exactly once, by its

@@ -74,6 +74,21 @@ class OutOfMemoryError(SimulationError):
         )
 
 
+class ProtocolViolationError(SimulationError):
+    """Raised by :class:`repro.net.protocol.ProtocolChecker` when a run
+    breaks a BSP invariant (unanswered push, message crossing a barrier,
+    clock regression, or bytes diverging from the cost model)."""
+
+    def __init__(self, iteration, problems):
+        self.iteration = iteration
+        self.problems = tuple(problems)
+        super().__init__(
+            "BSP protocol violated at iteration {}: {}".format(
+                iteration, "; ".join(self.problems)
+            )
+        )
+
+
 class StatisticsRecoveryError(SimulationError):
     """Raised when backup computation cannot recover complete statistics.
 

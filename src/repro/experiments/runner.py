@@ -12,6 +12,7 @@ from repro.datasets.profiles import load_profile
 from repro.models.registry import make_model
 from repro.optim.registry import make_optimizer
 from repro.sim.cluster import CLUSTER1, ClusterSpec, SimulatedCluster
+from repro.utils.validation import check_non_negative, check_positive
 
 
 @dataclass
@@ -38,6 +39,12 @@ class ExperimentSpec:
     seed: int = 0
     model_kwargs: Dict = field(default_factory=dict)
     explicit_data: Optional[Dataset] = None
+
+    def __post_init__(self):
+        check_positive(self.batch_size, "batch_size")
+        check_positive(self.iterations, "iterations")
+        check_non_negative(self.eval_every, "eval_every")
+        check_non_negative(self.seed, "seed")
 
     def materialize_data(self) -> Dataset:
         """The dataset to train on (explicit or generated from profile)."""

@@ -1,0 +1,40 @@
+"""Project-specific static analysis for the ColumnSGD reproduction.
+
+The reproduction's headline claims rest on two promises: byte-exact
+communication accounting (Table I validation) and deterministic replay
+(the driver's exactness invariant).  This package enforces the coding
+invariants behind those promises with six AST rules:
+
+* **R001** — all randomness flows through :mod:`repro.utils.rng`;
+* **R002** — every :class:`~repro.net.message.Message` size comes from
+  :mod:`repro.storage.serialization` helpers or named constants;
+* **R003** — no wall-clock time or sleeping in simulated-time code;
+* **R004** — no exact equality against inexact float literals;
+* **R005** — no bare/over-broad ``except`` in protocol paths;
+* **R006** — public config dataclasses validate their numeric fields.
+
+Run it with ``python -m repro.lint src``; see ``docs/linting.md``.
+The runtime complement — BSP invariants checked against the live event
+log — is :class:`repro.net.protocol.ProtocolChecker`.
+"""
+
+from repro.lint.engine import (
+    FileContext,
+    LintEngine,
+    Rule,
+    register,
+    registered_rules,
+)
+from repro.lint.findings import Finding
+
+# Importing the rules module populates the registry.
+from repro.lint import rules as _rules  # noqa: F401
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "Rule",
+    "register",
+    "registered_rules",
+]

@@ -1,0 +1,117 @@
+"""``python -m repro.lint`` — run the project linter.
+
+Examples::
+
+    python -m repro.lint src                      # whole tree, text output
+    python -m repro.lint src --select R001,R003   # only those rules
+    python -m repro.lint src --ignore R004        # all but R004
+    python -m repro.lint src --format=json        # machine-readable
+    python -m repro.lint --list-rules             # what exists
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import LintEngine, registered_rules
+from repro.lint.findings import Finding
+
+
+def _split_ids(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Project-specific static analysis for the ColumnSGD reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _render_text(findings: List[Finding]) -> str:
+    lines = [finding.render() for finding in findings]
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    lines.append(
+        "{} finding(s): {} error(s), {} warning(s)".format(
+            len(findings), errors, warnings
+        )
+    )
+    return "\n".join(lines)
+
+
+def _render_json(findings: List[Finding]) -> str:
+    return json.dumps(
+        {
+            "findings": [f.as_dict() for f in findings],
+            "count": len(findings),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in sorted(registered_rules().items()):
+            print("{}  {:<45} [{}]".format(rule_id, cls.title, cls.severity))
+        return 0
+
+    try:
+        engine = LintEngine(select=_split_ids(args.select), ignore=_split_ids(args.ignore))
+    except ValueError as exc:
+        print("usage error: {}".format(exc), file=sys.stderr)
+        return 2
+    try:
+        findings = engine.lint_paths(args.paths)
+    except OSError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(_render_json(findings))
+    elif findings:
+        print(_render_text(findings))
+    else:
+        print("clean: no findings")
+    return 1 if findings else 0

@@ -1,0 +1,244 @@
+"""AST visitor engine, rule registry, and suppression handling.
+
+The engine parses each file once and walks the tree once, dispatching
+every node to all registered rules that declare a ``visit_<NodeType>``
+method — the same dispatch scheme as :class:`ast.NodeVisitor`, but
+shared across rules so N rules cost one traversal.  Rules that need
+whole-file context (scope-aware checks) implement ``check_tree``
+instead of (or in addition to) node visitors.
+
+Suppression follows the ``noqa`` convention, namespaced to this linter:
+a ``# lint: noqa`` comment on the flagged line suppresses every rule,
+``# lint: noqa[R001,R004]`` suppresses only the listed rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.lint.findings import Finding
+
+#: Directories treated as the simulator's protocol paths: rules about
+#: simulated-time purity and swallowed errors apply here (and to any
+#: file outside the ``repro`` package, so rule fixtures self-apply).
+PROTOCOL_DIRS = ("sim", "core", "net", "baselines", "partition", "storage")
+
+_NOQA_RE = re.compile(r"#\s*lint:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+
+class FileContext:
+    """Everything a rule may want to know about the file being linted."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        parts = Path(path).parts
+        if "repro" in parts:
+            # Position within the installed package, e.g.
+            # src/repro/sim/clock.py -> ("sim", "clock").
+            tail = parts[parts.index("repro") + 1:]
+        else:
+            tail = (parts[-1],) if parts else ()
+        self.package_parts: Tuple[str, ...] = tuple(
+            p[:-3] if p.endswith(".py") else p for p in tail
+        )
+
+    # ------------------------------------------------------------------
+    def in_repro_package(self) -> bool:
+        """True when the file sits inside the ``repro`` package tree."""
+        return "repro" in Path(self.path).parts
+
+    def is_test_code(self) -> bool:
+        """Test modules and benchmark code get relaxed numeric rules.
+
+        Files under a ``lint_fixtures`` directory are *not* test code,
+        even when that directory lives inside ``tests/`` — fixtures must
+        exercise the full rule set.
+        """
+        parts = Path(self.path).parts
+        if "lint_fixtures" in parts:
+            return False
+        return any(p in ("tests", "benchmarks") for p in parts) or bool(
+            self.package_parts and self.package_parts[-1].startswith("test_")
+        )
+
+    def is_module(self, *parts: str) -> bool:
+        """True when the file is exactly ``repro/<parts...>.py``."""
+        return self.package_parts == tuple(parts)
+
+    def in_protocol_path(self) -> bool:
+        """Protocol-path rules apply inside the simulator's core dirs —
+        and to files outside the package, so fixtures exercise them."""
+        if not self.in_repro_package():
+            return not self.is_test_code()
+        return bool(self.package_parts) and self.package_parts[0] in PROTOCOL_DIRS
+
+    # ------------------------------------------------------------------
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """True when ``line`` carries a ``# lint: noqa`` for ``rule_id``."""
+        if not 1 <= line <= len(self.lines):
+            return False
+        match = _NOQA_RE.search(self.lines[line - 1])
+        if match is None:
+            return False
+        listed = match.group(1)
+        if listed is None:
+            return True
+        return rule_id in {r.strip() for r in listed.split(",")}
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement any combination of
+    ``visit_<NodeType>(node)`` methods (dispatched by the engine's single
+    traversal) and ``check_tree(tree)`` (whole-file passes).  Findings
+    are emitted with :meth:`report`.
+    """
+
+    rule_id = "R000"
+    title = "untitled rule"
+    severity = "error"
+    fix_hint = ""
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+
+    def applies(self) -> bool:
+        """Whether the rule runs on this file at all (default: yes)."""
+        return True
+
+    def check_tree(self, tree: ast.Module) -> None:
+        """Optional whole-file pass run before node dispatch."""
+
+    def report(self, node: ast.AST, message: str, fix_hint: Optional[str] = None) -> None:
+        """Record a finding anchored at ``node`` unless suppressed."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.ctx.suppressed(self.rule_id, line):
+            return
+        self.findings.append(
+            Finding(
+                path=self.ctx.path,
+                line=line,
+                col=col,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=message,
+                fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if cls.rule_id in _REGISTRY:
+        raise ValueError("duplicate rule id {}".format(cls.rule_id))
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def registered_rules() -> Dict[str, Type[Rule]]:
+    """Copy of the registry, keyed by rule id."""
+    return dict(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# engine
+# ----------------------------------------------------------------------
+class LintEngine:
+    """Run a selected set of rules over files, sources, or directories."""
+
+    def __init__(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ):
+        rules = registered_rules()
+        if select:
+            unknown = set(select) - set(rules)
+            if unknown:
+                raise ValueError("unknown rule id(s): {}".format(sorted(unknown)))
+            rules = {rid: rules[rid] for rid in select}
+        for rid in set(ignore or ()):
+            rules.pop(rid, None)
+        self.rule_classes = [rules[rid] for rid in sorted(rules)]
+
+    # ------------------------------------------------------------------
+    def lint_source(self, source: str, path: str = "<string>") -> List[Finding]:
+        """Lint one source string; syntax errors become E001 findings."""
+        ctx = FileContext(path, source)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    rule_id="E001",
+                    severity="error",
+                    message="syntax error: {}".format(exc.msg),
+                )
+            ]
+        rules = [cls(ctx) for cls in self.rule_classes]
+        active = [rule for rule in rules if rule.applies()]
+        for rule in active:
+            rule.check_tree(tree)
+        # Single shared traversal: dispatch each node to every rule that
+        # declares a visitor for its type.
+        handlers: Dict[str, List] = {}
+        for rule in active:
+            for name in dir(rule):
+                if name.startswith("visit_"):
+                    handlers.setdefault(name[len("visit_"):], []).append(
+                        getattr(rule, name)
+                    )
+        if handlers:
+            for node in ast.walk(tree):
+                for handler in handlers.get(type(node).__name__, ()):
+                    handler(node)
+        findings: List[Finding] = []
+        for rule in active:
+            findings.extend(rule.findings)
+        return sorted(findings)
+
+    def lint_file(self, path: str) -> List[Finding]:
+        """Lint one file from disk."""
+        source = Path(path).read_text(encoding="utf-8")
+        return self.lint_source(source, str(path))
+
+    def lint_paths(self, paths: Sequence[str]) -> List[Finding]:
+        """Lint files and/or directories (recursing into ``*.py``)."""
+        findings: List[Finding] = []
+        for path in paths:
+            p = Path(path)
+            if p.is_dir():
+                for child in sorted(p.rglob("*.py")):
+                    findings.extend(self.lint_file(str(child)))
+            else:
+                findings.extend(self.lint_file(str(p)))
+        return sorted(findings)
+
+
+def dotted_name(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """Resolve ``a.b.c`` attribute chains to a name tuple, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None

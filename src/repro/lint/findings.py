@@ -1,0 +1,40 @@
+"""Finding records produced by the static-analysis rules.
+
+A :class:`Finding` is one rule violation at one source location.  It is
+deliberately a plain frozen dataclass so the CLI can sort findings,
+render them as text, or dump them as JSON without any further logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+#: Ranked severities; the CLI exit code is nonzero if *any* finding
+#: survives filtering, but reports group by severity.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+    fix_hint: str = ""
+
+    def render(self) -> str:
+        """One-line human-readable report entry."""
+        text = "{}:{}:{}: {} [{}] {}".format(
+            self.path, self.line, self.col, self.severity, self.rule_id, self.message
+        )
+        if self.fix_hint:
+            text += " (fix: {})".format(self.fix_hint)
+        return text
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form for ``--format=json``."""
+        return asdict(self)

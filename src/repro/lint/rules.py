@@ -1,0 +1,427 @@
+"""The project-specific rules (R001-R006).
+
+Each rule enforces one invariant the reproduction's correctness
+arguments rest on; ``docs/linting.md`` explains the why of each.  Rules
+are small AST checks registered with the engine; add a new one by
+subclassing :class:`~repro.lint.engine.Rule` and decorating it with
+:func:`~repro.lint.engine.register`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.lint.engine import Rule, dotted_name, register
+
+#: Wall-clock entry points of the ``time`` module.
+_WALLCLOCK_TIME_FUNCS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "clock",
+    "sleep",
+}
+
+#: ``np.random`` members that are types, not entropy sources.
+_ALLOWED_NP_RANDOM = {"Generator", "BitGenerator", "SeedSequence"}
+
+_DATETIME_NOW_FUNCS = {"now", "utcnow", "today", "fromtimestamp"}
+
+
+def _shallow_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function/class defs."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class DeterminismRule(Rule):
+    """R001: all randomness must flow through ``repro.utils.rng``.
+
+    The driver's exactness invariant (identical trajectory to
+    single-machine SGD) only holds if every stochastic draw is derived
+    from the job seed.  Global-state RNGs (``random``, ``np.random.*``)
+    and wall-clock entropy break replay.
+    """
+
+    rule_id = "R001"
+    title = "non-deterministic entropy source"
+    severity = "error"
+    fix_hint = "derive generators via repro.utils.rng (rng_from_seed / spawn_rngs / iteration_seed)"
+
+    def applies(self) -> bool:
+        return not self.ctx.is_module("utils", "rng") and not self.ctx.is_test_code()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self.report(node, "import of the global-state 'random' module")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module == "random":
+            self.report(node, "import from the global-state 'random' module")
+        elif module == "numpy.random":
+            bad = [a.name for a in node.names if a.name not in _ALLOWED_NP_RANDOM]
+            if bad:
+                self.report(
+                    node,
+                    "import of numpy.random entropy source(s) {}".format(bad),
+                )
+        elif module == "time":
+            bad = [a.name for a in node.names if a.name in _WALLCLOCK_TIME_FUNCS]
+            if bad:
+                self.report(node, "import of wall-clock function(s) {}".format(bad))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_name(node.func)
+        if not chain:
+            return
+        if chain[0] in ("np", "numpy") and len(chain) >= 3 and chain[1] == "random":
+            if chain[2] not in _ALLOWED_NP_RANDOM:
+                self.report(
+                    node,
+                    "call to {} — global/unseeded numpy entropy".format(".".join(chain)),
+                )
+        elif chain[0] == "random" and len(chain) >= 2:
+            self.report(node, "call to {} — global-state RNG".format(".".join(chain)))
+        elif chain[0] == "time" and len(chain) == 2 and chain[1] in _WALLCLOCK_TIME_FUNCS:
+            self.report(node, "call to {} — wall-clock entropy".format(".".join(chain)))
+        elif (
+            chain[0] in ("datetime", "date")
+            and chain[-1] in _DATETIME_NOW_FUNCS
+        ):
+            self.report(node, "call to {} — wall-clock entropy".format(".".join(chain)))
+
+
+@register
+class MessageAccountingRule(Rule):
+    """R002: ``Message.size_bytes`` must come from serialization helpers.
+
+    Table I validation compares the simulator's measured bytes against
+    the paper's formulas; a hand-typed byte literal silently breaks that
+    audit.  Sizes must be computed from :mod:`repro.storage.serialization`
+    helpers or named constants.
+    """
+
+    rule_id = "R002"
+    title = "hard-coded message size"
+    severity = "error"
+    fix_hint = "compute size_bytes via repro.storage.serialization helpers or a named constant"
+
+    _TRACE_DEPTH = 3
+
+    def applies(self) -> bool:
+        return not self.ctx.is_test_code()
+
+    def check_tree(self, tree: ast.Module) -> None:
+        scopes: List[ast.AST] = [tree] + [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            assigns = self._local_assignments(scope)
+            for node in _shallow_walk(scope):
+                if isinstance(node, ast.Call) and self._is_message_call(node):
+                    self._check_size_argument(node, assigns)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_message_call(node: ast.Call) -> bool:
+        chain = dotted_name(node.func)
+        return bool(chain) and chain[-1] == "Message"
+
+    @staticmethod
+    def _local_assignments(scope: ast.AST) -> Dict[str, List[ast.AST]]:
+        assigns: Dict[str, List[ast.AST]] = {}
+        for node in _shallow_walk(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        assigns.setdefault(target.id, []).append(node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    assigns.setdefault(node.target.id, []).append(node.value)
+        return assigns
+
+    def _size_argument(self, node: ast.Call) -> Optional[ast.AST]:
+        for keyword in node.keywords:
+            if keyword.arg == "size_bytes":
+                return keyword.value
+        if len(node.args) >= 4:
+            return node.args[3]
+        return None
+
+    def _check_size_argument(self, call: ast.Call, assigns: Dict[str, List[ast.AST]]) -> None:
+        size = self._size_argument(call)
+        if size is None:
+            return
+        offender = self._find_literal(size, assigns, self._TRACE_DEPTH)
+        if offender is not None:
+            self.report(
+                call,
+                "Message size_bytes built from bare numeric literal {!r}".format(
+                    offender.value
+                ),
+            )
+
+    def _find_literal(
+        self, expr: ast.AST, assigns: Dict[str, List[ast.AST]], depth: int
+    ) -> Optional[ast.Constant]:
+        """Bare non-zero numeric literal inside ``expr``, tracing simple
+        local names (and ``int(name)`` wrappers) up to ``depth`` hops."""
+        for node in ast.walk(expr):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, (int, float))
+                and not isinstance(node.value, bool)
+                and node.value != 0
+            ):
+                return node
+        if depth <= 0:
+            return None
+        names: List[str] = []
+        if isinstance(expr, ast.Name):
+            names.append(expr.id)
+        elif (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "int"
+            and len(expr.args) == 1
+            and isinstance(expr.args[0], ast.Name)
+        ):
+            names.append(expr.args[0].id)
+        for name in names:
+            for value in assigns.get(name, ()):
+                offender = self._find_literal(value, assigns, depth - 1)
+                if offender is not None:
+                    return offender
+        return None
+
+
+@register
+class SimTimePurityRule(Rule):
+    """R003: no wall-clock time or sleeping in the simulator's core.
+
+    Simulated time is the *output* of the cost models; importing ``time``
+    or ``datetime`` in a protocol path means wall-clock is leaking into
+    (or stalling) the simulation, corrupting every reported duration.
+    """
+
+    rule_id = "R003"
+    title = "wall-clock usage in simulated-time code"
+    severity = "error"
+    fix_hint = "advance repro.sim.clock.SimClock with cost-model durations instead"
+
+    def applies(self) -> bool:
+        return self.ctx.in_protocol_path()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in ("time", "datetime"):
+                self.report(node, "import of '{}' in a protocol path".format(alias.name))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        root = (node.module or "").split(".")[0]
+        if root in ("time", "datetime"):
+            self.report(node, "import from '{}' in a protocol path".format(node.module))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_name(node.func)
+        if not chain:
+            return
+        if chain[0] == "time" and len(chain) == 2:
+            self.report(node, "call to {} in a protocol path".format(".".join(chain)))
+        elif chain[0] in ("datetime", "date") and chain[-1] in _DATETIME_NOW_FUNCS:
+            self.report(node, "call to {} in a protocol path".format(".".join(chain)))
+        elif chain == ("sleep",):
+            self.report(node, "call to sleep() in a protocol path")
+
+
+@register
+class FloatEqualityRule(Rule):
+    """R004: no ``==``/``!=`` against inexact float literals.
+
+    Statistics cross the simulated wire through rounding (fp32 mode), so
+    exact equality against values like ``0.1`` that have no exact binary
+    representation is a latent bug.  Comparisons against integral floats
+    (``0.0``, ``1.0``, ``-1.0``) are exact in IEEE-754 and stay legal
+    (sentinel and mask checks); everything else needs ``math.isclose`` /
+    ``np.isclose``.  ``== nan`` is always False and is flagged too.
+    """
+
+    rule_id = "R004"
+    title = "exact equality against inexact float"
+    severity = "error"
+    fix_hint = "use math.isclose / np.isclose (or compare against an integral sentinel)"
+
+    def applies(self) -> bool:
+        return not self.ctx.is_test_code()
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (operands[i], operands[i + 1]):
+                problem = self._inexact(side)
+                if problem:
+                    self.report(node, problem)
+                    break
+
+    @staticmethod
+    def _inexact(expr: ast.AST) -> Optional[str]:
+        value = None
+        if isinstance(expr, ast.Constant):
+            value = expr.value
+        elif (
+            isinstance(expr, ast.UnaryOp)
+            and isinstance(expr.op, ast.USub)
+            and isinstance(expr.operand, ast.Constant)
+        ):
+            value = expr.operand.value
+        chain = dotted_name(expr)
+        if chain and chain[-1] == "nan":
+            return "equality against NaN is always False"
+        if isinstance(value, float) and value != int(value):
+            return "exact equality against inexact float literal {!r}".format(value)
+        return None
+
+
+@register
+class SwallowedErrorRule(Rule):
+    """R005: protocol paths must not swallow exceptions.
+
+    A bare/over-broad ``except`` in the driver, network, or simulator
+    can hide a protocol violation (a dropped message, a failed barrier)
+    and let a run complete with silently wrong accounting.
+    """
+
+    rule_id = "R005"
+    title = "bare or over-broad exception handler"
+    severity = "error"
+    fix_hint = "catch a specific repro.errors type, or re-raise"
+
+    def applies(self) -> bool:
+        return self.ctx.in_protocol_path()
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(node, "bare 'except:' swallows every error including protocol bugs")
+            return
+        names = []
+        types = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+        for t in types:
+            chain = dotted_name(t)
+            if chain:
+                names.append(chain[-1])
+        if any(n in ("Exception", "BaseException") for n in names):
+            if not any(isinstance(child, ast.Raise) for child in ast.walk(node)):
+                self.report(
+                    node,
+                    "'except {}' without re-raise swallows protocol errors".format(
+                        "/".join(names)
+                    ),
+                )
+
+
+@register
+class ConfigValidationRule(Rule):
+    """R006: public config dataclasses must validate numeric fields.
+
+    Config objects are the user-facing surface; an unvalidated field
+    (negative seed, zero bandwidth) surfaces as a confusing numeric
+    error deep inside a run.  Every public ``*Config`` / ``*Spec``
+    dataclass must reference each numeric field in ``__post_init__``
+    (normally via a ``repro.utils.validation`` checker).
+    """
+
+    rule_id = "R006"
+    title = "unvalidated config field"
+    severity = "error"
+    fix_hint = "add a repro.utils.validation check for the field in __post_init__"
+
+    def applies(self) -> bool:
+        return not self.ctx.is_test_code()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if node.name.startswith("_"):
+            return
+        if not (node.name.endswith("Config") or node.name.endswith("Spec")):
+            return
+        if not self._is_dataclass(node):
+            return
+        numeric_fields = self._numeric_fields(node)
+        if not numeric_fields:
+            return
+        post_init = next(
+            (
+                stmt
+                for stmt in node.body
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == "__post_init__"
+            ),
+            None,
+        )
+        if post_init is None:
+            self.report(
+                node,
+                "config dataclass {} has numeric fields {} but no __post_init__ "
+                "validation".format(node.name, sorted(numeric_fields)),
+            )
+            return
+        referenced = {
+            child.attr
+            for child in ast.walk(post_init)
+            if isinstance(child, ast.Attribute)
+            and isinstance(child.value, ast.Name)
+            and child.value.id == "self"
+        }
+        for name, field_node in sorted(numeric_fields.items()):
+            if name not in referenced:
+                self.report(
+                    field_node,
+                    "{}.{} is never validated in __post_init__".format(node.name, name),
+                )
+
+    @staticmethod
+    def _is_dataclass(node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            chain = dotted_name(target)
+            if chain and chain[-1] == "dataclass":
+                return True
+        return False
+
+    @staticmethod
+    def _numeric_fields(node: ast.ClassDef) -> Dict[str, ast.AnnAssign]:
+        fields: Dict[str, ast.AnnAssign] = {}
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign) or not isinstance(stmt.target, ast.Name):
+                continue
+            annotation = stmt.annotation
+            is_numeric = isinstance(annotation, ast.Name) and annotation.id in (
+                "int",
+                "float",
+            )
+            default = stmt.value
+            if (
+                not is_numeric
+                and isinstance(default, ast.Constant)
+                and isinstance(default.value, (int, float))
+                and not isinstance(default.value, bool)
+            ):
+                is_numeric = True
+            if is_numeric:
+                fields[stmt.target.id] = stmt
+        return fields

@@ -9,12 +9,14 @@ into the gather/broadcast/AllReduce patterns the five systems use.
 
 from repro.net.message import Message, MessageKind
 from repro.net.network import NetworkModel
+from repro.net.protocol import ProtocolChecker
 from repro.net.topology import StarTopology, allreduce_time
 
 __all__ = [
     "Message",
     "MessageKind",
     "NetworkModel",
+    "ProtocolChecker",
     "StarTopology",
     "allreduce_time",
 ]

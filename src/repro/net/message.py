@@ -8,6 +8,7 @@ records them so tests can assert *exactly* which bytes each system moved
 from __future__ import annotations
 
 import enum
+import numbers
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -43,8 +44,22 @@ class Message:
     MASTER = -1
 
     def __post_init__(self):
+        if isinstance(self.size_bytes, bool) or not isinstance(
+            self.size_bytes, numbers.Integral
+        ):
+            raise TypeError(
+                "size_bytes must be an integer byte count, got {!r}".format(
+                    self.size_bytes
+                )
+            )
         if self.size_bytes < 0:
             raise ValueError("size_bytes must be >= 0, got {}".format(self.size_bytes))
+        if self.src == self.dst:
+            raise ValueError(
+                "self-send: src == dst == {} (no transfer crosses the network)".format(
+                    self.src
+                )
+            )
 
     def involves_master(self) -> bool:
         """True when one endpoint is the master."""

@@ -33,7 +33,14 @@ from repro.partition.row import RowPartitioner
 from repro.partition.workset import Workset, WorksetStore
 from repro.sim.cluster import SimulatedCluster
 from repro.storage.hdfs import SimulatedHDFS
-from repro.storage.serialization import OBJECT_OVERHEAD_BYTES, sparse_row_bytes
+from repro.storage.serialization import (
+    INDEX_BYTES,
+    LABEL_BYTES,
+    OBJECT_OVERHEAD_BYTES,
+    SHUFFLE_RECORD_OVERHEAD_BYTES,
+    VALUE_BYTES,
+    sparse_row_bytes,
+)
 from repro.utils.validation import check_positive
 
 
@@ -151,9 +158,13 @@ def dispatch_block_based(
                 costs.deserialize_seconds_per_object
                 + workset.features.nnz * costs.deserialize_seconds_per_nnz
             )
-            send_bytes[dispatcher] += size
-            recv_bytes[dest] += size
-            cluster.network.send(Message(MessageKind.WORKSET, dispatcher, dest, size))
+            if dest != dispatcher:
+                # The dispatcher's own workset is a local shuffle fetch:
+                # it is serialized and deserialized, but never crosses
+                # the network.
+                send_bytes[dispatcher] += size
+                recv_bytes[dest] += size
+                cluster.network.send(Message(MessageKind.WORKSET, dispatcher, dest, size))
 
     bandwidth = cluster.network.bandwidth
     phases = {
@@ -216,15 +227,19 @@ def dispatch_naive(
             # Row-by-row: every (row, dest) pair is its own serialized
             # object, so headers and serialize calls scale with rows * K.
             piece_bytes = (
-                rows * (OBJECT_OVERHEAD_BYTES + 8)
-                + workset.features.nnz * 12
+                rows * (OBJECT_OVERHEAD_BYTES + LABEL_BYTES)
+                + workset.features.nnz * (INDEX_BYTES + VALUE_BYTES)
             )
             n_objects += rows
             dispatch_busy[dispatcher] += rows * costs.serialize_seconds_per_object
             receive_busy[dest] += rows * costs.deserialize_seconds_per_object
-            send_bytes[dispatcher] += piece_bytes
-            recv_bytes[dest] += piece_bytes
-            cluster.network.send(Message(MessageKind.WORKSET, dispatcher, dest, piece_bytes))
+            if dest != dispatcher:
+                # As in block dispatch, the local pieces never hit the wire.
+                send_bytes[dispatcher] += piece_bytes
+                recv_bytes[dest] += piece_bytes
+                cluster.network.send(
+                    Message(MessageKind.WORKSET, dispatcher, dest, piece_bytes)
+                )
 
     bandwidth = cluster.network.bandwidth
     phases = {
@@ -290,15 +305,20 @@ def load_row_partitioned(
         recv_busy = [0.0] * K
         send_bytes = [0] * K
         avg_nnz = dataset.nnz / max(dataset.n_rows, 1)
-        record_bytes = sparse_row_bytes(int(avg_nnz)) - OBJECT_OVERHEAD_BYTES + 16
+        record_bytes = (
+            sparse_row_bytes(int(avg_nnz))
+            - OBJECT_OVERHEAD_BYTES
+            + SHUFFLE_RECORD_OVERHEAD_BYTES
+        )
         rows_per_worker = dataset.n_rows / K
         for w in range(K):
             send_bytes[w] = int(rows_per_worker * record_bytes)
             shuffle_busy[w] = rows_per_worker * costs.serialize_seconds_per_object / 3
             recv_busy[w] = rows_per_worker * costs.deserialize_seconds_per_object
-            cluster.network.send(
-                Message(MessageKind.WORKSET, w, (w + 1) % K, send_bytes[w])
-            )
+            if K > 1:
+                cluster.network.send(
+                    Message(MessageKind.WORKSET, w, (w + 1) % K, send_bytes[w])
+                )
             n_objects += int(rows_per_worker)
         bytes_shuffled = sum(send_bytes)
         phases["shuffle_cpu"] = _balance(shuffle_busy) + _balance(recv_busy)

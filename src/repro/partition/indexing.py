@@ -16,7 +16,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.errors import PartitionError
-from repro.utils.rng import iteration_seed
+from repro.utils.rng import iteration_seed, rng_from_seed
 from repro.utils.validation import check_positive
 
 
@@ -63,7 +63,7 @@ class TwoPhaseIndex:
         uniformly over the logical dataset.
         """
         check_positive(batch_size, "batch_size")
-        rng = np.random.default_rng(iteration_seed(self.base_seed, iteration))
+        rng = rng_from_seed(iteration_seed(self.base_seed, iteration))
         block_pos = rng.choice(self.n_blocks, size=batch_size, p=self._weights)
         offsets = rng.integers(0, self._sizes[block_pos])
         return [

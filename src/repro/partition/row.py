@@ -68,7 +68,7 @@ class RowPartitioner:
         shard = self._shards[worker]
         if share == 0:
             return shard.take(np.empty(0, dtype=np.int64))
-        rng = np.random.default_rng(
+        rng = rng_from_seed(
             iteration_seed(self.base_seed + 7919 * (worker + 1), iteration)
         )
         rows = rng.integers(0, shard.n_rows, size=share)

@@ -16,7 +16,7 @@ from repro.net.network import NetworkModel, gbps
 from repro.net.topology import StarTopology
 from repro.sim.clock import SimClock
 from repro.sim.cost import ComputeCostModel
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_non_negative, check_positive
 
 
 @dataclass(frozen=True)
@@ -36,6 +36,8 @@ class ClusterSpec:
         check_positive(self.cores_per_worker, "cores_per_worker")
         check_positive(self.memory_bytes_per_node, "memory_bytes_per_node")
         check_positive(self.bandwidth_bytes_per_s, "bandwidth_bytes_per_s")
+        check_non_negative(self.latency_s, "latency_s")
+        check_positive(self.disk_bandwidth_bytes_per_s, "disk_bandwidth_bytes_per_s")
 
     def with_workers(self, n_workers: int) -> "ClusterSpec":
         """Same hardware, different node count (scalability sweeps)."""

@@ -1,0 +1,8 @@
+"""R001 pass: all randomness derived from the job seed via repro.utils.rng."""
+
+from repro.utils.rng import iteration_seed, rng_from_seed
+
+
+def draw(base_seed, iteration):
+    rng = rng_from_seed(iteration_seed(base_seed, iteration))
+    return rng.integers(0, 10)

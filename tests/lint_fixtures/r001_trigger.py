@@ -1,0 +1,12 @@
+"""R001 trigger: global/unseeded entropy sources."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    a = random.random()
+    b = np.random.default_rng().integers(0, 10)
+    c = np.random.rand(3)
+    return a, b, c

@@ -1,0 +1,12 @@
+"""R002 pass: Message sizes computed via the serialization helpers."""
+
+from repro.net.message import Message, MessageKind
+from repro.storage.serialization import dense_vector_bytes, sparse_vector_bytes
+
+
+def ship(network, n_elements, nnz):
+    size = dense_vector_bytes(n_elements)
+    network.send(Message(MessageKind.WORKSET, 0, 1, size))
+    network.send(
+        Message(MessageKind.CONTROL, 0, 1, size_bytes=sparse_vector_bytes(nnz))
+    )

@@ -1,0 +1,9 @@
+"""R002 trigger: Message sizes built from bare numeric literals."""
+
+from repro.net.message import Message, MessageKind
+
+
+def ship(network, n_elements):
+    size = n_elements * 8 + 64
+    network.send(Message(MessageKind.WORKSET, 0, 1, size))
+    network.send(Message(MessageKind.CONTROL, 0, 1, size_bytes=int(n_elements * 12)))

@@ -1,0 +1,7 @@
+"""R003 pass: durations come from the cost model and advance the SimClock."""
+
+
+def measure(cluster, message):
+    seconds = cluster.network.send(message)
+    cluster.clock.advance(seconds)
+    return seconds

@@ -1,0 +1,10 @@
+"""R003 trigger: wall-clock time in simulated-time code."""
+
+import time
+
+
+def measure(network, message):
+    start = time.perf_counter()
+    network.send(message)
+    time.sleep(0.01)
+    return time.perf_counter() - start

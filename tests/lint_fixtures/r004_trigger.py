@@ -1,0 +1,13 @@
+"""R004 trigger: exact equality against inexact float literals and NaN."""
+
+import math
+
+
+def classify(loss, rate):
+    if loss == 0.1:
+        return "converged"
+    if rate != -0.25:
+        return "custom"
+    if loss == math.nan:
+        return "broken"
+    return "running"

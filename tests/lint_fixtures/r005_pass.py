@@ -1,0 +1,15 @@
+"""R005 pass: specific exception types, or broad catch that re-raises."""
+
+from repro.errors import SimulationError
+
+
+def deliver(network, message, log):
+    try:
+        network.send(message)
+    except SimulationError:
+        return None
+    try:
+        network.send(message)
+    except Exception:
+        log.append("delivery failed")
+        raise

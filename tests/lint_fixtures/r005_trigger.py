@@ -1,0 +1,12 @@
+"""R005 trigger: swallowed exceptions in protocol code."""
+
+
+def deliver(network, message):
+    try:
+        network.send(message)
+    except:  # noqa: E722 — deliberately bare for the fixture
+        return None
+    try:
+        network.send(message)
+    except Exception:
+        return None

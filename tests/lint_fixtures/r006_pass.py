@@ -1,0 +1,17 @@
+"""R006 pass: every numeric field validated in __post_init__."""
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class CheckedConfig:
+    batch_size: int = 100
+    learning_rate: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        check_positive(self.batch_size, "batch_size")
+        check_positive(self.learning_rate, "learning_rate")
+        check_non_negative(self.seed, "seed")

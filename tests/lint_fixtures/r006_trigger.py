@@ -1,0 +1,20 @@
+"""R006 trigger: public config dataclasses with unvalidated numeric fields."""
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class UnCheckedConfig:
+    batch_size: int = 100
+    learning_rate: float = 0.1
+
+
+@dataclass(frozen=True)
+class PartlyCheckedSpec:
+    batch_size: int = 100
+    learning_rate: float = 0.1
+
+    def __post_init__(self):
+        check_positive(self.batch_size, "batch_size")

@@ -1,0 +1,191 @@
+"""Tests for the repro.lint static-analysis framework (R001-R006)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintEngine, registered_rules
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import FileContext
+from repro.lint.findings import Finding
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+ALL_RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006")
+
+
+def lint_fixture(name: str, rule_id: str):
+    engine = LintEngine(select=[rule_id])
+    return engine.lint_file(str(FIXTURES / name))
+
+
+# ----------------------------------------------------------------------
+# per-rule fixtures
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+def test_trigger_fixture_fires(rule_id):
+    name = "{}_trigger.py".format(rule_id.lower())
+    findings = lint_fixture(name, rule_id)
+    assert findings, "{} produced no {} findings".format(name, rule_id)
+    assert all(f.rule_id == rule_id for f in findings)
+    assert all(f.line > 0 for f in findings)
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+def test_pass_fixture_is_clean(rule_id):
+    name = "{}_pass.py".format(rule_id.lower())
+    assert lint_fixture(name, rule_id) == []
+
+
+def test_trigger_counts():
+    """Pin the exact number of violations each trigger fixture encodes."""
+    expected = {"R001": 4, "R002": 2, "R003": 4, "R004": 3, "R005": 2, "R006": 2}
+    for rule_id, count in expected.items():
+        name = "{}_trigger.py".format(rule_id.lower())
+        assert len(lint_fixture(name, rule_id)) == count, rule_id
+
+
+# ----------------------------------------------------------------------
+# engine behaviour
+# ----------------------------------------------------------------------
+def test_registry_has_all_rules():
+    rules = registered_rules()
+    assert set(ALL_RULE_IDS) <= set(rules)
+    for rule_id, cls in rules.items():
+        assert cls.rule_id == rule_id
+        assert cls.title
+        assert cls.severity in ("error", "warning")
+
+
+def test_select_unknown_rule_raises():
+    with pytest.raises(ValueError):
+        LintEngine(select=["R999"])
+
+
+def test_ignore_drops_rule():
+    engine = LintEngine(ignore=["R001"])
+    findings = engine.lint_file(str(FIXTURES / "r001_trigger.py"))
+    assert all(f.rule_id != "R001" for f in findings)
+
+
+def test_syntax_error_becomes_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n", encoding="utf-8")
+    findings = LintEngine().lint_file(str(bad))
+    assert len(findings) == 1
+    assert findings[0].rule_id == "E001"
+
+
+def test_noqa_suppresses_all_rules():
+    src = "import random  # lint: noqa\n"
+    assert LintEngine(select=["R001"]).lint_source(src, "snippet.py") == []
+
+
+def test_noqa_with_rule_list():
+    src = "import random  # lint: noqa[R001]\n"
+    assert LintEngine(select=["R001"]).lint_source(src, "snippet.py") == []
+    other = "import random  # lint: noqa[R004]\n"
+    assert LintEngine(select=["R001"]).lint_source(other, "snippet.py")
+
+
+def test_test_code_is_exempt_from_numeric_rules():
+    src = "import random\nx = random.random()\n"
+    findings = LintEngine(select=["R001"]).lint_source(
+        src, "tests/test_something.py"
+    )
+    assert findings == []
+
+
+def test_fixture_dir_is_not_test_code():
+    ctx = FileContext("tests/lint_fixtures/r001_trigger.py", "")
+    assert not ctx.is_test_code()
+    assert ctx.in_protocol_path()
+
+
+def test_protocol_dirs_classification():
+    assert FileContext("src/repro/sim/clock.py", "").in_protocol_path()
+    assert FileContext("src/repro/net/network.py", "").in_protocol_path()
+    assert not FileContext("src/repro/plots/figures.py", "").in_protocol_path()
+
+
+def test_finding_render_format():
+    finding = Finding(
+        path="a.py", line=3, col=1, rule_id="R001",
+        severity="error", message="msg", fix_hint="hint",
+    )
+    rendered = finding.render()
+    assert "a.py:3:1" in rendered
+    assert "[R001]" in rendered
+    assert "hint" in rendered
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_clean_on_pass_fixture(capsys):
+    rc = lint_main([str(FIXTURES / "r006_pass.py")])
+    assert rc == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_nonzero_on_trigger_fixtures(capsys):
+    rc = lint_main([str(FIXTURES)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    for rule_id in ALL_RULE_IDS:
+        assert rule_id in out
+
+
+def test_cli_json_format(capsys):
+    rc = lint_main([str(FIXTURES / "r002_trigger.py"), "--format", "json"])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == len(payload["findings"]) > 0
+    first = payload["findings"][0]
+    assert {"path", "line", "col", "rule_id", "severity", "message"} <= set(first)
+
+
+def test_cli_select_and_ignore(capsys):
+    rc = lint_main([str(FIXTURES), "--select", "R003"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "R003" in out and "R001" not in out
+
+    # R001 also flags wall-clock calls as entropy, so ignore both.
+    rc = lint_main([str(FIXTURES / "r003_trigger.py"), "--ignore", "R001,R003"])
+    capsys.readouterr()
+    assert rc == 0
+
+
+def test_cli_unknown_rule_is_usage_error(capsys):
+    rc = lint_main(["--select", "R999", str(FIXTURES)])
+    assert rc == 2
+
+
+def test_cli_list_rules(capsys):
+    rc = lint_main(["--list-rules"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for rule_id in ALL_RULE_IDS:
+        assert rule_id in out
+
+
+# ----------------------------------------------------------------------
+# the self-clean meta-test: the repo must pass its own linter
+# ----------------------------------------------------------------------
+def test_repo_source_tree_is_lint_clean():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src", "--format", "json"],
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["findings"] == []
