@@ -19,12 +19,13 @@ from repro import CLUSTER1, LogisticRegression, SGD, SimulatedCluster, train_col
 from repro.datasets import Dataset
 from repro.linalg import CSRMatrix
 from repro.models.ffm import FieldAwareFM
+from repro.utils.rng import rng_from_seed
 
 
 def cross_field_dataset(n_rows=6000, per_field=10, seed=3):
     """Two fields; the label is the sign of a product of one feature
     from each field — invisible to any linear model."""
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     m = 2 * per_field
     dense = rng.normal(size=(n_rows, m))
     labels = np.where(dense[:, 0] * dense[:, per_field] > 0, 1.0, -1.0)

@@ -17,11 +17,12 @@ from repro import CLUSTER1, LogisticRegression, SGD, SimulatedCluster, train_col
 from repro.datasets import Dataset
 from repro.extensions import ColumnMLP, MLPColumnTrainer
 from repro.linalg import CSRMatrix
+from repro.utils.rng import rng_from_seed
 
 
 def xor_dataset(n_rows=4000, n_noise=30, seed=0):
     """y = sign(x0 * x1): linearly inseparable, trivially MLP-separable."""
-    rng = np.random.default_rng(seed)
+    rng = rng_from_seed(seed)
     signal = rng.choice([-1.0, 1.0], size=(n_rows, 2))
     labels = np.where(signal[:, 0] * signal[:, 1] > 0, 1.0, -1.0)
     noise = rng.normal(0, 0.3, size=(n_rows, n_noise))

@@ -13,7 +13,7 @@ time and memory, not math.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from repro.linalg import CSRMatrix
 from repro.models.base import StatisticsModel
 from repro.optim.base import Optimizer
 from repro.errors import MasterFailedError
+from repro.net.message import MessageKind
 from repro.net.protocol import ProtocolChecker
 from repro.partition.dispatch import load_row_partitioned
 from repro.partition.row import RowPartitioner
@@ -83,8 +84,10 @@ class BaselineTrainer:
         self._params: Optional[np.ndarray] = None
         self.load_report = None
         #: per-kind (count, bytes) the cost model predicts for the round
-        #: just run — consumed by the protocol checker
-        self._round_expected: Optional[dict] = None
+        #: just run — consumed by the runtime protocol checker, and
+        #: cross-checked against the round loop's actual emissions at
+        #: lint time by the static extractor (rule R010)
+        self._round_expected: Optional[Dict[MessageKind, Tuple[int, int]]] = None
 
     # ------------------------------------------------------------------
     def _system_name(self) -> str:

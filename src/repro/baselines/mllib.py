@@ -27,6 +27,7 @@ class MLlibTrainer(BaselineTrainer):
             MessageKind.GRADIENT_PUSH, [model_bytes] * K
         )
         # Table I, MLlib row: 2 K m dense traffic through the master.
+        # R010 checks these kinds against the loop's emissions statically.
         self._round_expected = {
             MessageKind.MODEL_PULL: (K, K * model_bytes),
             MessageKind.GRADIENT_PUSH: (K, K * model_bytes),

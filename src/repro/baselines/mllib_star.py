@@ -77,6 +77,7 @@ class MLlibStarTrainer(BaselineTrainer):
         K = self.cluster.n_workers
         comm = allreduce_time(self.cluster.network, model_bytes, K)
         # Ring AllReduce: 2(K-1) hops, each carrying a 1/K model chunk.
+        # R010 checks these kinds against the loop's emissions statically.
         steps = 2 * (K - 1)
         self._round_expected = (
             {MessageKind.MODEL_AVG: (steps, steps * int(model_bytes / K))}

@@ -49,6 +49,7 @@ class ParameterServerTrainer(BaselineTrainer):
             MessageKind.GRADIENT_PUSH, push_sizes, self.n_servers
         )
         # Table I, Petuum row: K full-model pulls + K sparse pushes.
+        # R010 checks these kinds against the loop's emissions statically.
         self._round_expected = {
             MessageKind.MODEL_PULL: (K, K * model_bytes),
             MessageKind.GRADIENT_PUSH: (len(push_sizes), sum(push_sizes)),

@@ -30,6 +30,7 @@ class SparsePSTrainer(ParameterServerTrainer):
             MessageKind.GRADIENT_PUSH, sizes, self.n_servers
         )
         # Table I, MXNet row: both directions scale with the batch's nnz.
+        # R010 checks these kinds against the loop's emissions statically.
         self._round_expected = {
             MessageKind.MODEL_PULL: (len(sizes), sum(sizes)),
             MessageKind.GRADIENT_PUSH: (len(sizes), sum(sizes)),

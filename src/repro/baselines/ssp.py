@@ -37,7 +37,14 @@ from repro.utils.validation import check_non_negative
 
 
 class StaleSyncPSTrainer(ParameterServerTrainer):
-    """Petuum-style PS with bounded staleness."""
+    """Petuum-style PS with bounded staleness.
+
+    Deliberately declares no ``_round_expected``: bounded staleness lets
+    messages cross the BSP barrier, so neither the runtime
+    ProtocolChecker (rejected in :meth:`fit`) nor the static extractor
+    (rule R010, which only audits classes that declare expected
+    traffic) applies to it.
+    """
 
     def __init__(self, *args, staleness: int = 0, **kwargs):
         super().__init__(*args, **kwargs)

@@ -14,7 +14,7 @@ same draw sequence — tests assert this for every model and optimizer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -118,8 +118,10 @@ class ColumnSGDDriver:
         #: workers the master killed after recovery in the last iteration
         self.last_killed: set = set()
         #: per-kind (count, bytes) the cost model predicts for the round
-        #: just run — consumed by the protocol checker
-        self._round_expected: Optional[Dict] = None
+        #: just run — consumed by the runtime protocol checker, and
+        #: cross-checked against the round loop's actual emissions at
+        #: lint time by the static extractor (rule R010)
+        self._round_expected: Optional[Dict[MessageKind, Tuple[int, int]]] = None
 
     # ------------------------------------------------------------------
     # loading (Algorithm 3 lines 2-3 + Section IV transformation)

@@ -5,11 +5,14 @@ Examples::
     python -m repro.lint src                      # whole tree, text output
     python -m repro.lint src --select R001,R003   # only those rules
     python -m repro.lint src --ignore R004        # all but R004
+    python -m repro.lint src --no-program         # per-file rules only
     python -m repro.lint src --format=json        # machine-readable
     python -m repro.lint --list-rules             # what exists
 
-Exit status: 0 when clean, 1 when findings were reported, 2 on usage
-errors.
+Exit status: ``0`` clean, ``1`` findings reported, ``2`` usage error
+(unknown rule id, missing path), ``3`` internal analysis crash (a rule
+raised — a linter bug, not a usage mistake; distinguishable so CI does
+not mistype it).
 """
 
 from __future__ import annotations
@@ -21,6 +24,12 @@ from typing import List, Optional
 
 from repro.lint.engine import LintEngine, registered_rules
 from repro.lint.findings import Finding
+
+#: CLI exit statuses, by name.
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_INTERNAL = 3
 
 
 def _split_ids(value: Optional[str]) -> Optional[List[str]]:
@@ -51,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--program",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run whole-program rules (R007+) over the file set (default: on)",
+    )
+    parser.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
@@ -76,11 +91,16 @@ def _render_text(findings: List[Finding]) -> str:
     return "\n".join(lines)
 
 
-def _render_json(findings: List[Finding]) -> str:
+def _render_json(findings: List[Finding], engine: LintEngine, program: bool) -> str:
+    executed = [cls.rule_id for cls in engine.rule_classes] + [
+        cls.rule_id for cls in engine.program_rule_classes
+    ]
     return json.dumps(
         {
             "findings": [f.as_dict() for f in findings],
             "count": len(findings),
+            "program": program,
+            "rules": sorted(executed),
         },
         indent=2,
         sort_keys=True,
@@ -93,25 +113,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
+        from repro.lint.program import registered_program_rules
+
         for rule_id, cls in sorted(registered_rules().items()):
-            print("{}  {:<45} [{}]".format(rule_id, cls.title, cls.severity))
-        return 0
+            print("{}  {:<50} [{}]".format(rule_id, cls.title, cls.severity))
+        for rule_id, cls in sorted(registered_program_rules().items()):
+            print("{}  {:<50} [{}, program]".format(rule_id, cls.title, cls.severity))
+        return EXIT_CLEAN
 
     try:
-        engine = LintEngine(select=_split_ids(args.select), ignore=_split_ids(args.ignore))
+        engine = LintEngine(
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+            program=args.program,
+        )
     except ValueError as exc:
         print("usage error: {}".format(exc), file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     try:
         findings = engine.lint_paths(args.paths)
     except OSError as exc:
         print("error: {}".format(exc), file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    except Exception as exc:  # a rule crashed: linter bug, not usage error
+        print(
+            "internal error: {}: {}".format(type(exc).__name__, exc),
+            file=sys.stderr,
+        )
+        return EXIT_INTERNAL
 
     if args.format == "json":
-        print(_render_json(findings))
+        print(_render_json(findings, engine, args.program))
     elif findings:
         print(_render_text(findings))
     else:
         print("clean: no findings")
-    return 1 if findings else 0
+    return EXIT_FINDINGS if findings else EXIT_CLEAN

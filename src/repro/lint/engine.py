@@ -26,6 +26,15 @@ from repro.lint.findings import Finding
 #: file outside the ``repro`` package, so rule fixtures self-apply).
 PROTOCOL_DIRS = ("sim", "core", "net", "baselines", "partition", "storage")
 
+#: Directory names discovery never recurses into.  ``lint_fixtures``
+#: trees deliberately violate the rules, so they are linted only when
+#: named explicitly on the command line (as their tests do).
+EXCLUDED_DIR_NAMES = ("__pycache__", "build", "dist", "lint_fixtures", "node_modules")
+
+#: Marker (in the first few lines) identifying machine-written files
+#: that discovery should skip.
+GENERATED_MARKER = "@generated"
+
 _NOQA_RE = re.compile(r"#\s*lint:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
 
 
@@ -79,16 +88,21 @@ class FileContext:
 
     # ------------------------------------------------------------------
     def suppressed(self, rule_id: str, line: int) -> bool:
-        """True when ``line`` carries a ``# lint: noqa`` for ``rule_id``."""
+        """True when ``line`` carries a ``# lint: noqa`` for ``rule_id``.
+
+        A line may carry several noqa comments; a bare ``noqa`` wins,
+        and bracketed lists are unioned.  Unknown ids inside a bracket
+        are inert — they suppress nothing and break nothing.
+        """
         if not 1 <= line <= len(self.lines):
             return False
-        match = _NOQA_RE.search(self.lines[line - 1])
-        if match is None:
-            return False
-        listed = match.group(1)
-        if listed is None:
-            return True
-        return rule_id in {r.strip() for r in listed.split(",")}
+        for match in _NOQA_RE.finditer(self.lines[line - 1]):
+            listed = match.group(1)
+            if listed is None:
+                return True
+            if rule_id in {r.strip() for r in listed.split(",")}:
+                return True
+        return False
 
 
 class Rule:
@@ -155,25 +169,97 @@ def registered_rules() -> Dict[str, Type[Rule]]:
 
 
 # ----------------------------------------------------------------------
+# file discovery
+# ----------------------------------------------------------------------
+def _excluded_dir(name: str) -> bool:
+    return (
+        name in EXCLUDED_DIR_NAMES
+        or name.endswith(".egg-info")
+        or (name.startswith(".") and name not in (".", ".."))
+    )
+
+
+def _load_source(path: Path) -> Optional[str]:
+    """Read one candidate file; None means *skip it* (binary, non-UTF-8,
+    or machine-generated).  I/O errors propagate as ``OSError``."""
+    data = path.read_bytes()
+    if b"\x00" in data:
+        return None
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+    head = text.splitlines()[:5]
+    if any(GENERATED_MARKER in line for line in head):
+        return None
+    return text
+
+
+def discover_sources(paths: Sequence[str]) -> List[Tuple[str, str]]:
+    """Expand files/directories into ``(path, source)`` pairs.
+
+    Recursion skips ``__pycache__``, hidden and packaging directories,
+    fixture trees, binary/non-UTF-8 payloads masquerading as ``.py``,
+    and ``@generated`` files — discovery is robust by construction
+    rather than by whatever happens to litter the working tree.  Paths
+    named explicitly always get a read attempt; a missing one raises
+    ``FileNotFoundError`` (a usage error, not a crash).
+    """
+    sources: List[Tuple[str, str]] = []
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            for child in sorted(p.rglob("*.py")):
+                if any(_excluded_dir(d) for d in child.relative_to(p).parts[:-1]):
+                    continue
+                source = _load_source(child)
+                if source is not None:
+                    sources.append((str(child), source))
+        elif p.exists():
+            source = _load_source(p)
+            if source is not None:
+                sources.append((str(p), source))
+        else:
+            raise FileNotFoundError("no such file or directory: {}".format(path))
+    return sources
+
+
+# ----------------------------------------------------------------------
 # engine
 # ----------------------------------------------------------------------
 class LintEngine:
-    """Run a selected set of rules over files, sources, or directories."""
+    """Run a selected set of rules over files, sources, or directories.
+
+    ``program=True`` (the default) additionally runs the whole-program
+    rules from :mod:`repro.lint.program` (R007+) over the full file set
+    of each :meth:`lint_paths` call; per-file entry points
+    (:meth:`lint_source`, :meth:`lint_file`) never run them.
+    """
 
     def __init__(
         self,
         select: Optional[Iterable[str]] = None,
         ignore: Optional[Iterable[str]] = None,
+        program: bool = True,
     ):
+        from repro.lint.program import registered_program_rules
+
         rules = registered_rules()
+        program_rules = registered_program_rules()
+        known = set(rules) | set(program_rules)
         if select:
-            unknown = set(select) - set(rules)
+            unknown = set(select) - known
             if unknown:
                 raise ValueError("unknown rule id(s): {}".format(sorted(unknown)))
-            rules = {rid: rules[rid] for rid in select}
+            rules = {rid: rules[rid] for rid in select if rid in rules}
+            program_rules = {rid: program_rules[rid] for rid in select if rid in program_rules}
         for rid in set(ignore or ()):
             rules.pop(rid, None)
+            program_rules.pop(rid, None)
         self.rule_classes = [rules[rid] for rid in sorted(rules)]
+        self.program_rule_classes = (
+            [program_rules[rid] for rid in sorted(program_rules)] if program else []
+        )
 
     # ------------------------------------------------------------------
     def lint_source(self, source: str, path: str = "<string>") -> List[Finding]:
@@ -220,16 +306,24 @@ class LintEngine:
         return self.lint_source(source, str(path))
 
     def lint_paths(self, paths: Sequence[str]) -> List[Finding]:
-        """Lint files and/or directories (recursing into ``*.py``)."""
+        """Lint files and/or directories (recursing into ``*.py``),
+        then run the whole-program rules over the same file set."""
+        sources = discover_sources(paths)
         findings: List[Finding] = []
-        for path in paths:
-            p = Path(path)
-            if p.is_dir():
-                for child in sorted(p.rglob("*.py")):
-                    findings.extend(self.lint_file(str(child)))
-            else:
-                findings.extend(self.lint_file(str(p)))
+        for path, source in sources:
+            findings.extend(self.lint_source(source, path))
+        findings.extend(self.lint_program(sources))
         return sorted(findings)
+
+    def lint_program(self, sources: Sequence[Tuple[str, str]]) -> List[Finding]:
+        """Run the selected whole-program rules over ``(path, source)``
+        pairs — one shared parse and call graph for all of them."""
+        if not self.program_rule_classes:
+            return []
+        from repro.lint.program import ProgramAnalyzer
+
+        analyzer = ProgramAnalyzer(sources)
+        return analyzer.run(self.program_rule_classes)
 
 
 def dotted_name(node: ast.AST) -> Optional[Tuple[str, ...]]:

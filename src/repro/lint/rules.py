@@ -15,7 +15,7 @@ from typing import Dict, Iterator, List, Optional
 from repro.lint.engine import Rule, dotted_name, register
 
 #: Wall-clock entry points of the ``time`` module.
-_WALLCLOCK_TIME_FUNCS = {
+WALLCLOCK_TIME_FUNCS = {
     "time",
     "time_ns",
     "monotonic",
@@ -28,9 +28,9 @@ _WALLCLOCK_TIME_FUNCS = {
 }
 
 #: ``np.random`` members that are types, not entropy sources.
-_ALLOWED_NP_RANDOM = {"Generator", "BitGenerator", "SeedSequence"}
+ALLOWED_NP_RANDOM = {"Generator", "BitGenerator", "SeedSequence"}
 
-_DATETIME_NOW_FUNCS = {"now", "utcnow", "today", "fromtimestamp"}
+DATETIME_NOW_FUNCS = {"now", "utcnow", "today", "fromtimestamp"}
 
 
 def _shallow_walk(scope: ast.AST) -> Iterator[ast.AST]:
@@ -71,14 +71,14 @@ class DeterminismRule(Rule):
         if module == "random":
             self.report(node, "import from the global-state 'random' module")
         elif module == "numpy.random":
-            bad = [a.name for a in node.names if a.name not in _ALLOWED_NP_RANDOM]
+            bad = [a.name for a in node.names if a.name not in ALLOWED_NP_RANDOM]
             if bad:
                 self.report(
                     node,
                     "import of numpy.random entropy source(s) {}".format(bad),
                 )
         elif module == "time":
-            bad = [a.name for a in node.names if a.name in _WALLCLOCK_TIME_FUNCS]
+            bad = [a.name for a in node.names if a.name in WALLCLOCK_TIME_FUNCS]
             if bad:
                 self.report(node, "import of wall-clock function(s) {}".format(bad))
 
@@ -87,18 +87,18 @@ class DeterminismRule(Rule):
         if not chain:
             return
         if chain[0] in ("np", "numpy") and len(chain) >= 3 and chain[1] == "random":
-            if chain[2] not in _ALLOWED_NP_RANDOM:
+            if chain[2] not in ALLOWED_NP_RANDOM:
                 self.report(
                     node,
                     "call to {} — global/unseeded numpy entropy".format(".".join(chain)),
                 )
         elif chain[0] == "random" and len(chain) >= 2:
             self.report(node, "call to {} — global-state RNG".format(".".join(chain)))
-        elif chain[0] == "time" and len(chain) == 2 and chain[1] in _WALLCLOCK_TIME_FUNCS:
+        elif chain[0] == "time" and len(chain) == 2 and chain[1] in WALLCLOCK_TIME_FUNCS:
             self.report(node, "call to {} — wall-clock entropy".format(".".join(chain)))
         elif (
             chain[0] in ("datetime", "date")
-            and chain[-1] in _DATETIME_NOW_FUNCS
+            and chain[-1] in DATETIME_NOW_FUNCS
         ):
             self.report(node, "call to {} — wall-clock entropy".format(".".join(chain)))
 
@@ -243,7 +243,7 @@ class SimTimePurityRule(Rule):
             return
         if chain[0] == "time" and len(chain) == 2:
             self.report(node, "call to {} in a protocol path".format(".".join(chain)))
-        elif chain[0] in ("datetime", "date") and chain[-1] in _DATETIME_NOW_FUNCS:
+        elif chain[0] in ("datetime", "date") and chain[-1] in DATETIME_NOW_FUNCS:
             self.report(node, "call to {} in a protocol path".format(".".join(chain)))
         elif chain == ("sleep",):
             self.report(node, "call to sleep() in a protocol path")

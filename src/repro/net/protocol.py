@@ -28,6 +28,12 @@ Usage::
 Trainers enable this behind their configs' ``check_protocol`` flag; a
 violation raises :class:`~repro.errors.ProtocolViolationError` listing
 every broken invariant of the round.
+
+The ``expected`` declarations themselves are audited *statically* by
+lint rule R010 (:mod:`repro.lint.program`): it walks each declaring
+trainer's round loop at lint time and fails the build if the emitted
+message kinds drift from the declared ones — so a checked run can never
+be green merely because the declaration drifted along with a bug.
 """
 
 from __future__ import annotations

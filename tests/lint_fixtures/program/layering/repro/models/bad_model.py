@@ -1,0 +1,12 @@
+"""R011 trigger: a models-layer module importing the simulator.
+
+The directory layout puts this file at ``repro/models/...`` so the
+analysis assigns it to the ``models`` layer; the import below reaches
+the ``sim`` layer directly.
+"""
+
+from repro.sim.clock import SimClock
+
+
+def make_clock():
+    return SimClock()

@@ -1,0 +1,7 @@
+"""R011 pass: a models-layer module importing only pure layers."""
+
+from repro.linalg.sparse import SparseVector
+
+
+def make_vector():
+    return SparseVector.empty(0)

@@ -1,0 +1,13 @@
+"""R007 pass: the same call shape, with the generator threaded in.
+
+Every draw comes from a caller-provided seeded generator, so no path
+reaches an entropy source.
+"""
+
+
+def derive_seed(rng):
+    return int(rng.integers(0, 1 << 31))
+
+
+def schedule_batch_seeded(rng, iteration):
+    return derive_seed(rng) ^ iteration

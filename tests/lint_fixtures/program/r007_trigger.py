@@ -1,0 +1,20 @@
+"""R007 trigger: an entropy source reached through project helpers.
+
+``jitter_seed`` draws from an unseeded generator (that call itself is
+R001's business); the two call sites below reach it transitively, which
+only the whole-program analysis can see.
+"""
+
+import numpy as np
+
+
+def jitter_seed():
+    return int(np.random.default_rng().integers(0, 1 << 31))
+
+
+def hidden_reseed():
+    return jitter_seed() + 1
+
+
+def schedule_batch(iteration):
+    return hidden_reseed() ^ iteration

@@ -1,0 +1,9 @@
+"""R008 pass: the same call shape, with simulated time threaded in."""
+
+
+def stamp_round_pure(now):
+    return now + 0.5
+
+
+def advance_clock_pure(sim_now, now):
+    return max(sim_now, stamp_round_pure(now))

@@ -1,0 +1,20 @@
+"""R008 trigger: wall-clock reached two frames below a clock update.
+
+``read_clock`` calls ``time.monotonic()`` directly (R003's business);
+``stamp_round`` and ``advance_clock`` reach it through project calls,
+which only the whole-program analysis can see.
+"""
+
+import time
+
+
+def read_clock():
+    return time.monotonic()
+
+
+def stamp_round():
+    return read_clock() + 0.5
+
+
+def advance_clock(sim_now):
+    return max(sim_now, stamp_round())

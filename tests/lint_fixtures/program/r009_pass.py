@@ -1,0 +1,19 @@
+"""R009 pass: byte sizes derived from named constants survive the same
+cross-function flow."""
+
+RECORD_OVERHEAD_BYTES = 64
+RECORD_VALUE_BYTES = 8
+
+
+class Message:
+    def __init__(self, kind, src, dst, size_bytes):
+        self.kind = kind
+        self.size_bytes = size_bytes
+
+
+def record_bytes(n_values):
+    return RECORD_OVERHEAD_BYTES + n_values * RECORD_VALUE_BYTES
+
+
+def send_record(net, n_values):
+    net.send(Message("DATA", 0, 1, record_bytes(n_values)))

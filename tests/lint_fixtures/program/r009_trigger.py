@@ -1,0 +1,32 @@
+"""R009 trigger: hand-written byte sizes crossing function boundaries.
+
+``4096`` reaches the ``Message`` constructor two calls away (through
+two return values); ``512`` crosses one parameter boundary.  Neither is
+visible to the per-file R002 trace.
+"""
+
+
+class Message:
+    def __init__(self, kind, src, dst, size_bytes):
+        self.kind = kind
+        self.size_bytes = size_bytes
+
+
+def payload_bytes():
+    return 4096
+
+
+def frame_bytes():
+    return payload_bytes()
+
+
+def send_frame(net):
+    net.send(Message("DATA", 0, 1, frame_bytes()))
+
+
+def send_padded(net, pad):
+    net.send(Message("DATA", 0, 1, pad))
+
+
+def relay(net):
+    send_padded(net, 512)

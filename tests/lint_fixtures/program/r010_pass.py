@@ -1,0 +1,27 @@
+"""R010 pass: emission (through a self-call) matches the declaration."""
+
+
+class MessageKind:
+    MODEL_PULL = "model_pull"
+    GRADIENT_PUSH = "gradient_push"
+
+
+class Message:
+    def __init__(self, kind, src, dst, size_bytes):
+        self.kind = kind
+        self.size_bytes = size_bytes
+
+
+def steady_model_bytes():
+    return 0
+
+
+class SteadyTrainer:
+    def _run_iteration(self, net, t):
+        self._emit(net)
+        self._round_expected = {
+            MessageKind.MODEL_PULL: (1, steady_model_bytes()),
+        }
+
+    def _emit(self, net):
+        net.send(Message(MessageKind.MODEL_PULL, -1, 0, steady_model_bytes()))

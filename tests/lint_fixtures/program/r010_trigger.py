@@ -1,0 +1,29 @@
+"""R010 trigger: round-loop traffic drifts from the declaration.
+
+``DriftTrainer`` emits ``MODEL_PULL`` but declares ``GRADIENT_PUSH`` as
+its expected per-round traffic — exactly the code/declaration drift the
+static extractor exists to catch before a runtime repro does.
+"""
+
+
+class MessageKind:
+    MODEL_PULL = "model_pull"
+    GRADIENT_PUSH = "gradient_push"
+
+
+class Message:
+    def __init__(self, kind, src, dst, size_bytes):
+        self.kind = kind
+        self.size_bytes = size_bytes
+
+
+def drift_model_bytes():
+    return 0
+
+
+class DriftTrainer:
+    def _run_iteration(self, net, t):
+        net.send(Message(MessageKind.MODEL_PULL, -1, 0, drift_model_bytes()))
+        self._round_expected = {
+            MessageKind.GRADIENT_PUSH: (1, drift_model_bytes()),
+        }

@@ -1,4 +1,10 @@
-"""Tests for the repro.lint static-analysis framework (R001-R006)."""
+"""Tests for the repro.lint static-analysis framework (R001-R006).
+
+The whole-program rules (R007-R011) are covered in
+``tests/test_lint_program.py``; this file owns the per-file rules, the
+engine/CLI plumbing (discovery, exit codes, noqa), and the self-clean
+meta-test.
+"""
 
 from __future__ import annotations
 
@@ -17,6 +23,7 @@ from repro.lint.findings import Finding
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 ALL_RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006")
+PROGRAM_RULE_IDS = ("R007", "R008", "R009", "R010", "R011")
 
 
 def lint_fixture(name: str, rule_id: str):
@@ -93,6 +100,25 @@ def test_noqa_with_rule_list():
     assert LintEngine(select=["R001"]).lint_source(other, "snippet.py")
 
 
+def test_noqa_multiple_comments_on_one_line():
+    """Every noqa comment on the line counts, not just the first."""
+    src = "import numpy as np\nx = np.random.rand()  # lint: noqa[R004] # lint: noqa[R001]\n"
+    assert LintEngine(select=["R001"]).lint_source(src, "snippet.py") == []
+    unsuppressed = "import numpy as np\nx = np.random.rand()  # lint: noqa[R004]\n"
+    assert LintEngine(select=["R001"]).lint_source(unsuppressed, "snippet.py")
+
+
+def test_noqa_whitespace_inside_bracket_list():
+    src = "import numpy as np\nx = np.random.rand()  # lint: noqa[ R001 , R004 ]\n"
+    assert LintEngine(select=["R001"]).lint_source(src, "snippet.py") == []
+
+
+def test_noqa_unknown_rule_id_is_inert():
+    src = "import numpy as np\nx = np.random.rand()  # lint: noqa[R999]\n"
+    findings = LintEngine(select=["R001"]).lint_source(src, "snippet.py")
+    assert [f.rule_id for f in findings] == ["R001"]
+
+
 def test_test_code_is_exempt_from_numeric_rules():
     src = "import random\nx = random.random()\n"
     findings = LintEngine(select=["R001"]).lint_source(
@@ -111,6 +137,45 @@ def test_protocol_dirs_classification():
     assert FileContext("src/repro/sim/clock.py", "").in_protocol_path()
     assert FileContext("src/repro/net/network.py", "").in_protocol_path()
     assert not FileContext("src/repro/plots/figures.py", "").in_protocol_path()
+
+
+# ----------------------------------------------------------------------
+# file discovery
+# ----------------------------------------------------------------------
+def test_discovery_skips_pycache_and_hidden_dirs(tmp_path):
+    (tmp_path / "ok.py").write_text("import random\n", encoding="utf-8")
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text("import random\n", encoding="utf-8")
+    (tmp_path / ".venv").mkdir()
+    (tmp_path / ".venv" / "hidden.py").write_text("import random\n", encoding="utf-8")
+    (tmp_path / "pkg.egg-info").mkdir()
+    (tmp_path / "pkg.egg-info" / "meta.py").write_text("import random\n", encoding="utf-8")
+    findings = LintEngine(select=["R001"]).lint_paths([str(tmp_path)])
+    assert {Path(f.path).name for f in findings} == {"ok.py"}
+
+
+def test_discovery_skips_binary_nonutf8_and_generated(tmp_path):
+    (tmp_path / "ok.py").write_text("import random\n", encoding="utf-8")
+    (tmp_path / "binary.py").write_bytes(b"\x00\x01\x02compiled junk")
+    (tmp_path / "latin.py").write_bytes("x = 'caf\xe9'\nimport random\n".encode("latin-1"))
+    (tmp_path / "generated.py").write_text(
+        "# @generated by a build tool\nimport random\n", encoding="utf-8"
+    )
+    findings = LintEngine(select=["R001"]).lint_paths([str(tmp_path)])
+    assert {Path(f.path).name for f in findings} == {"ok.py"}
+
+
+def test_discovery_never_recurses_into_fixture_trees():
+    """Linting tests/ must not drown in the deliberately-dirty fixtures;
+    naming the fixture dir explicitly (as these tests do) still works."""
+    findings = LintEngine(program=False).lint_paths([str(FIXTURES.parent)])
+    assert all("lint_fixtures" not in f.path for f in findings)
+    assert LintEngine(select=["R001"]).lint_paths([str(FIXTURES / "r001_trigger.py")])
+
+
+def test_discovery_missing_path_raises_oserror(tmp_path):
+    with pytest.raises(OSError):
+        LintEngine().lint_paths([str(tmp_path / "no_such_file.py")])
 
 
 def test_finding_render_format():
@@ -167,20 +232,59 @@ def test_cli_unknown_rule_is_usage_error(capsys):
     assert rc == 2
 
 
+def test_cli_missing_path_is_usage_error(capsys):
+    rc = lint_main(["/no/such/path_for_lint.py"])
+    capsys.readouterr()
+    assert rc == 2
+
+
+def test_cli_internal_crash_is_exit_3(monkeypatch, capsys):
+    """A rule raising is a linter bug (exit 3), not a usage error."""
+    from repro.lint import program as program_module
+
+    def boom(self):
+        raise RuntimeError("injected rule crash")
+
+    monkeypatch.setattr(program_module.ImportLayeringRule, "run", boom)
+    rc = lint_main([str(FIXTURES / "r006_pass.py")])
+    assert rc == 3
+    assert "internal error" in capsys.readouterr().err
+
+
+def test_cli_exit_codes_are_distinct(capsys):
+    """0 clean / 1 findings / 2 usage — the full ladder, one test."""
+    assert lint_main([str(FIXTURES / "r006_pass.py")]) == 0
+    assert lint_main([str(FIXTURES / "r001_trigger.py"), "--select", "R001"]) == 1
+    assert lint_main(["--select", "bogus", str(FIXTURES)]) == 2
+    capsys.readouterr()
+
+
 def test_cli_list_rules(capsys):
     rc = lint_main(["--list-rules"])
     assert rc == 0
     out = capsys.readouterr().out
-    for rule_id in ALL_RULE_IDS:
+    for rule_id in ALL_RULE_IDS + PROGRAM_RULE_IDS:
         assert rule_id in out
+    assert "program" in out
+
+
+def test_cli_json_reports_executed_rules(capsys):
+    rc = lint_main([str(FIXTURES / "r006_pass.py"), "--format", "json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["program"] is True
+    assert set(ALL_RULE_IDS + PROGRAM_RULE_IDS) <= set(payload["rules"])
 
 
 # ----------------------------------------------------------------------
 # the self-clean meta-test: the repo must pass its own linter
 # ----------------------------------------------------------------------
 def test_repo_source_tree_is_lint_clean():
+    """src, tests, and examples all pass R001-R011 — the same invocation
+    CI runs, program mode included."""
     result = subprocess.run(
-        [sys.executable, "-m", "repro.lint", "src", "--format", "json"],
+        [sys.executable, "-m", "repro.lint", "src", "tests", "examples",
+         "--format", "json"],
         cwd=str(REPO_ROOT),
         capture_output=True,
         text=True,
@@ -189,3 +293,4 @@ def test_repo_source_tree_is_lint_clean():
     assert result.returncode == 0, result.stdout + result.stderr
     payload = json.loads(result.stdout)
     assert payload["findings"] == []
+    assert set(ALL_RULE_IDS + PROGRAM_RULE_IDS) <= set(payload["rules"])
