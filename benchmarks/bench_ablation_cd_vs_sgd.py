@@ -75,4 +75,4 @@ def test_ablation_cd_vs_sgd(benchmark, emit):
     )
     trainer.load(data)
     counter = iter(range(10**9))
-    benchmark(lambda: trainer._run_round(next(counter)))
+    benchmark(lambda: trainer.run_round(next(counter)))

@@ -66,4 +66,4 @@ def test_ablation_local_steps(benchmark, emit):
     )
     trainer.load(data)
     counter = iter(range(10**9))
-    benchmark(lambda: trainer._run_iteration(next(counter)))
+    benchmark(lambda: trainer.run_round(next(counter)))

@@ -30,7 +30,7 @@ def breakdown_rows(data):
                                    seed=17),
         )
         driver.load(data)
-        driver._run_iteration(0)
+        driver.run_round(0)
         phases = driver.last_phase_seconds
         total = sum(phases.values())
         rows.append(
@@ -61,4 +61,4 @@ def test_ablation_time_breakdown(benchmark, emit):
     )
     driver.load(data)
     counter = iter(range(10**9))
-    benchmark(lambda: driver._run_iteration(next(counter)))
+    benchmark(lambda: driver.run_round(next(counter)))

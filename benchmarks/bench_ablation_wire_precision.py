@@ -66,4 +66,4 @@ def test_ablation_wire_precision(benchmark, emit):
     )
     driver.load(data)
     counter = iter(range(10**9))
-    benchmark(lambda: driver._run_iteration(next(counter)))
+    benchmark(lambda: driver.run_round(next(counter)))

@@ -81,4 +81,4 @@ def test_fig4(benchmark, emit):
     )
     driver.load(data)
     counter = iter(range(10**9))
-    benchmark(lambda: driver._run_iteration(next(counter)))
+    benchmark(lambda: driver.run_round(next(counter)))

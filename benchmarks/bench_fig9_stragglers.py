@@ -67,7 +67,7 @@ def iteration_gantts():
             straggler=StragglerModel(CLUSTER1.n_workers, level=5.0, seed=7),
         )
         driver.load(data)
-        driver._run_iteration(0)
+        driver.run_round(0)
         blocks.append("backup S={}:\n{}".format(
             backup,
             render_iteration_gantt(driver.last_worker_seconds,
@@ -90,4 +90,4 @@ def test_fig9(benchmark, emit):
     )
     driver.load(data)
     counter = iter(range(10**9))
-    benchmark(lambda: driver._run_iteration(next(counter)))
+    benchmark(lambda: driver.run_round(next(counter)))

@@ -75,6 +75,6 @@ def test_table1(benchmark, emit):
     counter = iter(range(10**9))
 
     def one_iteration():
-        driver._run_iteration(next(counter))
+        driver.run_round(next(counter))
 
     benchmark(one_iteration)

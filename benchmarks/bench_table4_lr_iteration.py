@@ -100,4 +100,4 @@ def test_table4(benchmark, emit):
     )
     trainer.load(data)
     counter = iter(range(10**9))
-    benchmark(lambda: trainer._run_iteration(next(counter)))
+    benchmark(lambda: trainer.run_round(next(counter)))

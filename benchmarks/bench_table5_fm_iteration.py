@@ -108,4 +108,4 @@ def test_table5(benchmark, emit):
     )
     driver.load(data)
     counter = iter(range(10**9))
-    benchmark(lambda: driver._run_iteration(next(counter)))
+    benchmark(lambda: driver.run_round(next(counter)))

@@ -8,6 +8,11 @@ gradient, adds the regularization gradient once, and steps the
 optimizer.  With the same batch, every baseline's trajectory matches
 single-machine SGD exactly — the differences the paper measures are in
 time and memory, not math.
+
+Each subclass declares its communication as :class:`CommPhase` entries
+(:meth:`_comm_phases`); the shared :meth:`round_spec` wraps them
+between the compute and center-update phases and
+:class:`~repro.engine.RoundEngine` runs the round.
 """
 
 from __future__ import annotations
@@ -19,12 +24,20 @@ import numpy as np
 
 from repro.core.results import IterationRecord, TrainingResult
 from repro.datasets.dataset import Dataset
+from repro.engine import (
+    BarrierSync,
+    CommPhase,
+    ComputePhase,
+    MasterPhase,
+    RoundEngine,
+    RoundSpec,
+    run_training_loop,
+)
 from repro.errors import TrainingError
 from repro.linalg import CSRMatrix
 from repro.models.base import StatisticsModel
 from repro.optim.base import Optimizer
 from repro.errors import MasterFailedError
-from repro.net.message import MessageKind
 from repro.net.protocol import ProtocolChecker
 from repro.partition.dispatch import load_row_partitioned
 from repro.partition.row import RowPartitioner
@@ -56,10 +69,10 @@ class RowSGDConfig:
 class BaselineTrainer:
     """Template for the centralized RowSGD systems (Algorithm 2).
 
-    Subclasses define :meth:`_system_name`, the per-iteration
-    communication time (:meth:`_communication_seconds`) and setup memory
+    Subclasses define :meth:`_system_name`, their per-iteration
+    communication declarations (:meth:`_comm_phases`) and setup memory
     charges (:meth:`_charge_setup_memory`).  MLlib* overrides the whole
-    iteration because model averaging changes the math.
+    :meth:`round_spec` because model averaging changes the math.
     """
 
     def __init__(
@@ -67,9 +80,9 @@ class BaselineTrainer:
         model: StatisticsModel,
         optimizer: Optimizer,
         cluster: SimulatedCluster,
-        config: RowSGDConfig = None,
-        straggler: StragglerModel = None,
-        failures: FailureInjector = None,
+        config: Optional[RowSGDConfig] = None,
+        straggler: Optional[StragglerModel] = None,
+        failures: Optional[FailureInjector] = None,
     ):
         self.model = model
         self.optimizer = optimizer.spawn()
@@ -82,19 +95,15 @@ class BaselineTrainer:
         self._dataset: Optional[Dataset] = None
         self._partitioner: Optional[RowPartitioner] = None
         self._params: Optional[np.ndarray] = None
+        self._engine: Optional[RoundEngine] = None
         self.load_report = None
-        #: per-kind (count, bytes) the cost model predicts for the round
-        #: just run — consumed by the runtime protocol checker, and
-        #: cross-checked against the round loop's actual emissions at
-        #: lint time by the static extractor (rule R010)
-        self._round_expected: Optional[Dict[MessageKind, Tuple[int, int]]] = None
 
     # ------------------------------------------------------------------
     def _system_name(self) -> str:
         raise NotImplementedError
 
-    def _communication_seconds(self, batch: Dataset) -> float:
-        """Per-iteration network time given the sampled global batch."""
+    def _comm_phases(self) -> Tuple[CommPhase, ...]:
+        """The subclass's per-iteration communication, as declarations."""
         raise NotImplementedError
 
     def _center_update_seconds(self) -> float:
@@ -103,6 +112,23 @@ class BaselineTrainer:
 
     def _charge_setup_memory(self) -> None:
         raise NotImplementedError
+
+    def round_spec(self) -> RoundSpec:
+        """Algorithm 2 as a spec: compute sum gradients on every shard,
+        run the subclass's declared communication, maintain the center."""
+        return RoundSpec(
+            system=self._system_name(),
+            sync=BarrierSync(),
+            phases=(
+                ComputePhase(
+                    "compute_gradients",
+                    run="_phase_compute_gradients",
+                    synchronized=True,
+                ),
+            )
+            + tuple(self._comm_phases())
+            + (MasterPhase("center_update", run="_phase_center_update"),),
+        )
 
     # ------------------------------------------------------------------
     def load(self, dataset: Dataset):
@@ -126,7 +152,7 @@ class BaselineTrainer:
         return int(self._dataset.n_features * self.model.params_per_feature())
 
     # ------------------------------------------------------------------
-    def fit(self, dataset: Dataset = None, iterations: int = None) -> TrainingResult:
+    def fit(self, dataset: Optional[Dataset] = None, iterations: Optional[int] = None) -> TrainingResult:
         """Run Algorithm 2; returns the loss/time trace."""
         if dataset is not None and self._dataset is None:
             self.load(dataset)
@@ -145,40 +171,42 @@ class BaselineTrainer:
         if self.config.eval_every:
             self._record(result, -1, 0.0, 0, evaluate=True)
 
+        self._engine = RoundEngine(self, self.cluster, straggler=self.straggler)
         checker = ProtocolChecker(self.cluster) if self.config.check_protocol else None
-        for t in range(iterations):
-            bytes_before = self.cluster.network.total_bytes()
-            if checker is not None:
-                checker.begin_round(t)
-            duration = self._handle_failures(t)
-            duration += self._run_iteration(t)
-            self.cluster.clock.advance(duration)
-            if checker is not None:
-                checker.end_round(t, expected=self._round_expected)
-            evaluate = bool(self.config.eval_every) and (
-                (t + 1) % self.config.eval_every == 0 or t == iterations - 1
-            )
-            self._record(
-                result,
-                t,
-                duration,
-                self.cluster.network.total_bytes() - bytes_before,
-                evaluate,
-            )
+        run_training_loop(
+            cluster=self.cluster,
+            run_round=self.run_round,
+            iterations=iterations,
+            eval_every=self.config.eval_every,
+            record=lambda t, duration, bytes_sent, evaluate: self._record(
+                result, t, duration, bytes_sent, evaluate
+            ),
+            handle_failures=self._handle_failures,
+            checker=checker,
+        )
 
         result.final_params = np.array(self._params, copy=True)
         return result
 
     # ------------------------------------------------------------------
-    def _run_iteration(self, t: int) -> float:
-        """One Algorithm 2 iteration; returns its simulated duration."""
-        slowdowns = self.straggler.slowdowns(t)
+    def run_round(self, t: int):
+        """One engine round (used by fit(), benchmarks and tests);
+        returns the :class:`~repro.engine.RoundOutcome`."""
+        if self._engine is None:
+            self._engine = RoundEngine(self, self.cluster, straggler=self.straggler)
+        return self._engine.run_round(t)
+
+    # ------------------------------------------------------------------
+    def _phase_compute_gradients(self, ctx) -> Dict[int, float]:
+        """One Algorithm 2 compute phase: per-shard sum gradients."""
         width = self.model.statistics_width
         grad_sum = np.zeros_like(self._params)
-        compute_times: List[float] = []
+        per_worker: Dict[int, float] = {}
         batch_parts: List[Dataset] = []
         for w in range(self.cluster.n_workers):
-            local = self._partitioner.sample_local_batch(t, self.config.batch_size, w)
+            local = self._partitioner.sample_local_batch(
+                ctx.t, self.config.batch_size, w
+            )
             batch_parts.append(local)
             if local.n_rows:
                 stats = self.model.compute_statistics(local.features, self._params)
@@ -194,19 +222,18 @@ class BaselineTrainer:
             task = self._task_overhead() + self.cluster.cost.sparse_work(
                 local.nnz, passes=2 * width
             )
-            compute_times.append(task * slowdowns[w])
+            per_worker[w] = task * ctx.slowdowns[w]
 
         batch = _concat_batches(batch_parts, self._dataset.n_features)
+        ctx.scratch["batch"] = batch
         gradient = grad_sum / max(batch.n_rows, 1) + self.model.regularizer.gradient(
             self._params
         )
-        self.optimizer.step(self._params, gradient, t)
+        self.optimizer.step(self._params, gradient, ctx.t)
+        return per_worker
 
-        return (
-            max(compute_times)
-            + self._communication_seconds(batch)
-            + self._center_update_seconds()
-        )
+    def _phase_center_update(self, ctx) -> float:
+        return self._center_update_seconds()
 
     def _task_overhead(self) -> float:
         return self.cluster.cost.task_overhead
@@ -241,7 +268,7 @@ class BaselineTrainer:
             raise TrainingError("call load() first")
         return np.array(self._params, copy=True)
 
-    def evaluate_loss(self, dataset: Dataset = None) -> float:
+    def evaluate_loss(self, dataset: Optional[Dataset] = None) -> float:
         """Full objective on the training set (not charged to sim time)."""
         data = dataset if dataset is not None else self._dataset
         return self.model.loss(data.features, data.labels, self._params)

@@ -8,7 +8,10 @@ linear in model size (Table IV's 55.8 s on kdd12).
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from repro.baselines.base import BaselineTrainer
+from repro.engine import CommPhase
 from repro.net.message import MessageKind
 from repro.storage.serialization import dense_vector_bytes
 
@@ -19,20 +22,29 @@ class MLlibTrainer(BaselineTrainer):
     def _system_name(self) -> str:
         return "MLlib"
 
-    def _communication_seconds(self, batch) -> float:
-        model_bytes = dense_vector_bytes(self.model_elements)
-        K = self.cluster.n_workers
-        pull = self.cluster.topology.broadcast(MessageKind.MODEL_PULL, model_bytes)
-        push = self.cluster.topology.gather(
-            MessageKind.GRADIENT_PUSH, [model_bytes] * K
-        )
+    def _comm_phases(self) -> Tuple[CommPhase, ...]:
         # Table I, MLlib row: 2 K m dense traffic through the master.
-        # R010 checks these kinds against the loop's emissions statically.
-        self._round_expected = {
-            MessageKind.MODEL_PULL: (K, K * model_bytes),
-            MessageKind.GRADIENT_PUSH: (K, K * model_bytes),
-        }
-        return pull + push
+        return (
+            CommPhase(
+                "pull",
+                kind=MessageKind.MODEL_PULL,
+                pattern="broadcast",
+                sizes="_model_pull_size",
+            ),
+            CommPhase(
+                "push",
+                kind=MessageKind.GRADIENT_PUSH,
+                pattern="gather",
+                sizes="_gradient_push_sizes",
+            ),
+        )
+
+    def _model_pull_size(self, ctx) -> int:
+        return dense_vector_bytes(self.model_elements)
+
+    def _gradient_push_sizes(self, ctx) -> list:
+        model_bytes = dense_vector_bytes(self.model_elements)
+        return [model_bytes] * self.cluster.n_workers
 
     def _center_update_seconds(self) -> float:
         # aggregate K gradients + apply the update, all dense on the master

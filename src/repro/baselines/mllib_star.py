@@ -5,19 +5,20 @@ mini-batch, steps its own optimizer, and then all copies are averaged
 with a ring AllReduce.  Statistically this is *not* mini-batch SGD — the
 averaging reduces variance, which is why the paper observes MLlib*
 sometimes converging to a lower loss (their Fig 8 discussion) — so this
-trainer overrides the numeric loop rather than the communication hooks.
+trainer overrides the whole :meth:`round_spec` rather than just the
+communication phases.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 import numpy as np
 
 from repro.baselines.base import BaselineTrainer
 from repro.datasets.dataset import Dataset
+from repro.engine import BarrierSync, CommPhase, ComputePhase, MasterPhase, RoundSpec
 from repro.net.message import MessageKind
-from repro.net.topology import allreduce_time
 from repro.storage.serialization import dense_vector_bytes
 
 
@@ -49,49 +50,63 @@ class MLlibStarTrainer(BaselineTrainer):
         ]
         return report
 
-    def _run_iteration(self, t: int) -> float:
-        slowdowns = self.straggler.slowdowns(t)
+    def round_spec(self) -> RoundSpec:
+        # Ring AllReduce: 2(K-1) hops, each carrying a 1/K model chunk.
+        return RoundSpec(
+            system=self._system_name(),
+            sync=BarrierSync(),
+            phases=(
+                ComputePhase(
+                    "local_steps", run="_phase_local_steps", synchronized=True
+                ),
+                CommPhase(
+                    "allreduce",
+                    kind=MessageKind.MODEL_AVG,
+                    pattern="allreduce",
+                    sizes="_model_avg_size",
+                ),
+                MasterPhase("apply_average", run="_phase_apply_average"),
+            ),
+        )
+
+    def _phase_local_steps(self, ctx) -> Dict[int, float]:
         width = self.model.statistics_width
-        compute_times = []
+        per_worker: Dict[int, float] = {}
         for w in range(self.cluster.n_workers):
             busy = 0.0
             for s in range(self.local_steps):
                 local = self._partitioner.sample_local_batch(
-                    t * self.local_steps + s, self.config.batch_size, w
+                    ctx.t * self.local_steps + s, self.config.batch_size, w
                 )
                 if local.n_rows:
                     gradient = self.model.gradient(
                         local.features, local.labels, self._local_params[w]
                     )
-                    self._local_optimizers[w].step(self._local_params[w], gradient, t)
+                    self._local_optimizers[w].step(
+                        self._local_params[w], gradient, ctx.t
+                    )
                 busy += self.cluster.cost.sparse_work(local.nnz, passes=2 * width)
-            compute_times.append((self._task_overhead() + busy) * slowdowns[w])
+            per_worker[w] = (self._task_overhead() + busy) * ctx.slowdowns[w]
 
-        # Model averaging via ring AllReduce.
+        # Model averaging via ring AllReduce (the comm phase charges the
+        # wire time; the numerics happen here, once, on the driver).
         averaged = np.mean(self._local_params, axis=0)
         for w in range(self.cluster.n_workers):
             self._local_params[w][...] = averaged
         self._params[...] = averaged
+        return per_worker
 
-        model_bytes = dense_vector_bytes(self.model_elements)
-        K = self.cluster.n_workers
-        comm = allreduce_time(self.cluster.network, model_bytes, K)
-        # Ring AllReduce: 2(K-1) hops, each carrying a 1/K model chunk.
-        # R010 checks these kinds against the loop's emissions statically.
-        steps = 2 * (K - 1)
-        self._round_expected = (
-            {MessageKind.MODEL_AVG: (steps, steps * int(model_bytes / K))}
-            if K > 1
-            else {}
-        )
-        update = self.cluster.cost.dense_work(self.model_elements)
-        return max(compute_times) + comm + update
+    def _model_avg_size(self, ctx) -> int:
+        return dense_vector_bytes(self.model_elements)
 
-    def _communication_seconds(self, batch) -> float:  # pragma: no cover
-        raise NotImplementedError("MLlib* overrides _run_iteration directly")
+    def _phase_apply_average(self, ctx) -> float:
+        return self.cluster.cost.dense_work(self.model_elements)
+
+    def _comm_phases(self):  # pragma: no cover
+        raise NotImplementedError("MLlib* overrides round_spec directly")
 
     def _center_update_seconds(self) -> float:  # pragma: no cover
-        raise NotImplementedError("MLlib* overrides _run_iteration directly")
+        raise NotImplementedError("MLlib* overrides round_spec directly")
 
     def _charge_setup_memory(self) -> None:
         model_bytes = self.model_elements * 8

@@ -10,8 +10,11 @@ about PS architectures.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.baselines.base import BaselineTrainer
 from repro.core.analysis import SERVER_SCAN_SECONDS_PER_ELEMENT, SPARSE_PAIR_BYTES
+from repro.engine import CommPhase
 from repro.net.message import MessageKind
 from repro.storage.serialization import dense_vector_bytes
 
@@ -19,7 +22,7 @@ from repro.storage.serialization import dense_vector_bytes
 class ParameterServerTrainer(BaselineTrainer):
     """Petuum-style PS RowSGD (full pull, sparse push)."""
 
-    def __init__(self, *args, n_servers: int = None, **kwargs):
+    def __init__(self, *args, n_servers: Optional[int] = None, **kwargs):
         super().__init__(*args, **kwargs)
         self.n_servers = n_servers if n_servers is not None else self.cluster.n_workers
 
@@ -32,29 +35,36 @@ class ParameterServerTrainer(BaselineTrainer):
 
         return PS_TASK_OVERHEAD
 
+    def _comm_phases(self) -> Tuple[CommPhase, ...]:
+        # Table I, Petuum row: K full-model pulls + K sparse pushes.
+        return (
+            CommPhase(
+                "pull",
+                kind=MessageKind.MODEL_PULL,
+                pattern="sharded_broadcast",
+                sizes="_model_pull_size",
+                servers="n_servers",
+            ),
+            CommPhase(
+                "push",
+                kind=MessageKind.GRADIENT_PUSH,
+                pattern="sharded_gather",
+                sizes="_gradient_push_sizes",
+                servers="n_servers",
+            ),
+        )
+
+    def _model_pull_size(self, ctx) -> int:
+        return dense_vector_bytes(self.model_elements)
+
     def _push_sizes(self, batch) -> list:
         """Sparse gradient push bytes per worker (its batch share's nnz)."""
         ppf = self.model.params_per_feature()
         per_worker_nnz = batch.nnz / self.cluster.n_workers
         return [int(per_worker_nnz * ppf * SPARSE_PAIR_BYTES)] * self.cluster.n_workers
 
-    def _communication_seconds(self, batch) -> float:
-        model_bytes = dense_vector_bytes(self.model_elements)
-        push_sizes = self._push_sizes(batch)
-        K = self.cluster.n_workers
-        pull = self.cluster.topology.sharded_broadcast(
-            MessageKind.MODEL_PULL, model_bytes, self.n_servers
-        )
-        push = self.cluster.topology.sharded_gather(
-            MessageKind.GRADIENT_PUSH, push_sizes, self.n_servers
-        )
-        # Table I, Petuum row: K full-model pulls + K sparse pushes.
-        # R010 checks these kinds against the loop's emissions statically.
-        self._round_expected = {
-            MessageKind.MODEL_PULL: (K, K * model_bytes),
-            MessageKind.GRADIENT_PUSH: (len(push_sizes), sum(push_sizes)),
-        }
-        return pull + push
+    def _gradient_push_sizes(self, ctx) -> list:
+        return self._push_sizes(ctx.scratch["batch"])
 
     def _center_update_seconds(self) -> float:
         # per-iteration dense maintenance of each server's shard

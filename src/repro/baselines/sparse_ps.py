@@ -10,8 +10,11 @@ small-model avazu.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from repro.baselines.parameter_server import ParameterServerTrainer
 from repro.core.analysis import SPARSE_PAIR_BYTES
+from repro.engine import CommPhase
 from repro.net.message import MessageKind
 
 
@@ -21,21 +24,24 @@ class SparsePSTrainer(ParameterServerTrainer):
     def _system_name(self) -> str:
         return "MXNet"
 
-    def _communication_seconds(self, batch) -> float:
-        sizes = self._push_sizes(batch)
-        pull = self.cluster.topology.sharded_gather(
-            MessageKind.MODEL_PULL, sizes, self.n_servers
-        )
-        push = self.cluster.topology.sharded_gather(
-            MessageKind.GRADIENT_PUSH, sizes, self.n_servers
-        )
+    def _comm_phases(self) -> Tuple[CommPhase, ...]:
         # Table I, MXNet row: both directions scale with the batch's nnz.
-        # R010 checks these kinds against the loop's emissions statically.
-        self._round_expected = {
-            MessageKind.MODEL_PULL: (len(sizes), sum(sizes)),
-            MessageKind.GRADIENT_PUSH: (len(sizes), sum(sizes)),
-        }
-        return pull + push
+        return (
+            CommPhase(
+                "pull",
+                kind=MessageKind.MODEL_PULL,
+                pattern="sharded_gather",
+                sizes="_gradient_push_sizes",
+                servers="n_servers",
+            ),
+            CommPhase(
+                "push",
+                kind=MessageKind.GRADIENT_PUSH,
+                pattern="sharded_gather",
+                sizes="_gradient_push_sizes",
+                servers="n_servers",
+            ),
+        )
 
     def _charge_setup_memory(self) -> None:
         model_bytes = self.model_elements * 8

@@ -16,52 +16,170 @@ every peer.  Gradients may therefore be computed on a model up to
 arrive.  ``staleness = 0`` degenerates to BSP and reproduces the exact
 synchronous trajectory (tested).
 
-Timing uses an explicit pipeline recurrence over per-worker completion
-times; numerics replay the same recurrence to decide which historical
-model version each worker saw.
+The pipeline recurrence lives in :class:`~repro.engine.StaleSync`
+(per-worker free times, commit times); the executor here replays the
+same recurrence to decide which historical model version each worker
+saw.  Because batch sparsity makes exact per-round gradient bytes
+unpredictable under staleness, the spec declares a
+:class:`~repro.engine.TrafficEnvelope` for ``GRADIENT_PUSH`` — so SSP
+runs are protocol-*checked* (bounded), not exempted.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.baselines.parameter_server import ParameterServerTrainer
 from repro.core.analysis import SPARSE_PAIR_BYTES
 from repro.core.results import TrainingResult
+from repro.engine import (
+    CommPhase,
+    ComputePhase,
+    MasterPhase,
+    RoundEngine,
+    RoundSpec,
+    StaleSync,
+    TrafficEnvelope,
+    run_training_loop,
+)
 from repro.errors import TrainingError
-from repro.net.message import Message, MessageKind
+from repro.net.message import MessageKind
+from repro.net.protocol import ProtocolChecker
 from repro.storage.serialization import dense_vector_bytes
 from repro.utils.validation import check_non_negative
 
 
 class StaleSyncPSTrainer(ParameterServerTrainer):
-    """Petuum-style PS with bounded staleness.
-
-    Deliberately declares no ``_round_expected``: bounded staleness lets
-    messages cross the BSP barrier, so neither the runtime
-    ProtocolChecker (rejected in :meth:`fit`) nor the static extractor
-    (rule R010, which only audits classes that declare expected
-    traffic) applies to it.
-    """
+    """Petuum-style PS with bounded staleness."""
 
     def __init__(self, *args, staleness: int = 0, **kwargs):
         super().__init__(*args, **kwargs)
         check_non_negative(staleness, "staleness")
         self.staleness = int(staleness)
+        self._history: List[np.ndarray] = []
+        self._max_row_nnz = 0
 
     def _system_name(self) -> str:
         return "Petuum-SSP{}".format(self.staleness)
 
+    def load(self, dataset):
+        report = super().load(dataset)
+        # Worst-case rows for the GRADIENT_PUSH envelope's byte ceiling.
+        self._max_row_nnz = int(self._dataset.features.row_nnz().max())
+        return report
+
     # ------------------------------------------------------------------
-    def fit(self, dataset=None, iterations: int = None) -> TrainingResult:
-        """Run the pipelined SSP schedule."""
-        if self.config.check_protocol:
-            raise TrainingError(
-                "check_protocol is unsupported for SSP: bounded staleness "
-                "deliberately lets messages cross the BSP barrier"
+    def round_spec(self) -> RoundSpec:
+        # Same traffic shape as BSP Petuum: workers pull the full dense
+        # model and push sparse gradients through S server NICs.  The
+        # StaleSync policy (fresh per fit) turns the barrier into the
+        # bounded-staleness pipeline recurrence.
+        return RoundSpec(
+            system=self._system_name(),
+            sync=StaleSync(self.staleness, self.cluster.n_workers),
+            phases=(
+                ComputePhase(
+                    "compute_gradients",
+                    run="_phase_stale_compute",
+                    synchronized=True,
+                ),
+                CommPhase(
+                    "pull",
+                    kind=MessageKind.MODEL_PULL,
+                    pattern="sharded_broadcast",
+                    sizes="_model_pull_size",
+                    servers="n_servers",
+                ),
+                CommPhase(
+                    "push",
+                    kind=MessageKind.GRADIENT_PUSH,
+                    pattern="sharded_gather",
+                    sizes="_ssp_push_sizes",
+                    servers="n_servers",
+                ),
+                MasterPhase("server_update", run="_phase_center_update"),
+            ),
+            envelopes="_traffic_envelopes",
+        )
+
+    def _phase_stale_compute(self, ctx) -> Dict[int, float]:
+        """Per-worker gradient tasks against possibly-stale models."""
+        K = self.cluster.n_workers
+        width = self.model.statistics_width
+        commits = ctx.sync.commits
+        grad_sum = np.zeros_like(self._params)
+        batch_rows = 0
+        batch_nnz = 0
+        per_worker: Dict[int, float] = {}
+        for w in range(K):
+            local = self._partitioner.sample_local_batch(
+                ctx.t, self.config.batch_size, w
             )
+            batch_rows += local.n_rows
+            batch_nnz += local.nnz
+            # --- numerics: which committed version had this worker seen
+            # when it started iteration t?
+            version = 0
+            while version < len(commits) and commits[version] <= ctx.start_times[w]:
+                version += 1
+            seen = self._history[min(version, len(self._history) - 1)]
+            if local.n_rows:
+                stats = self.model.compute_statistics(local.features, seen)
+                mean_grad = self.model.gradient_from_statistics(
+                    local.features, local.labels, stats, np.zeros_like(seen)
+                )
+                grad_sum += mean_grad * local.n_rows
+            per_worker[w] = (
+                self._task_overhead()
+                + self.cluster.cost.sparse_work(local.nnz, passes=2 * width)
+            ) * ctx.slowdowns[w]
+
+        gradient = grad_sum / max(batch_rows, 1) + self.model.regularizer.gradient(
+            self._params
+        )
+        self.optimizer.step(self._params, gradient, ctx.t)
+        # Full history is kept so commit-count -> model-version indexing
+        # stays direct; runs are a few hundred iterations on scaled
+        # models, so this is cheap.
+        self._history.append(np.array(self._params, copy=True))
+        ctx.scratch["batch_nnz"] = batch_nnz
+        return per_worker
+
+    def _ssp_push_sizes(self, ctx) -> list:
+        K = self.cluster.n_workers
+        push_bytes = int(
+            ctx.scratch["batch_nnz"] / K
+            * self.model.params_per_feature()
+            * SPARSE_PAIR_BYTES
+        )
+        return [push_bytes] * K
+
+    def _traffic_envelopes(self, ctx) -> Dict[MessageKind, TrafficEnvelope]:
+        """Bounded-staleness traffic bounds (satisfied every round).
+
+        Pull traffic is deterministic (K full-model pulls); push bytes
+        vary with the sampled batch's sparsity, bounded above by every
+        sampled row hitting the densest row of the dataset.
+        """
+        K = self.cluster.n_workers
+        model_bytes = dense_vector_bytes(self.model_elements)
+        max_push = int(
+            self.config.batch_size
+            * self._max_row_nnz
+            / K
+            * self.model.params_per_feature()
+            * SPARSE_PAIR_BYTES
+        )
+        return {
+            MessageKind.MODEL_PULL: TrafficEnvelope.exact(K, K * model_bytes),
+            MessageKind.GRADIENT_PUSH: TrafficEnvelope(K, K, 0, K * max_push),
+        }
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset=None, iterations: Optional[int] = None) -> TrainingResult:
+        """Run the pipelined SSP schedule."""
         if dataset is not None and self._dataset is None:
             self.load(dataset)
         if self._dataset is None:
@@ -78,82 +196,21 @@ class StaleSyncPSTrainer(ParameterServerTrainer):
         if self.config.eval_every:
             self._record(result, -1, 0.0, 0, evaluate=True)
 
-        K = self.cluster.n_workers
-        width = self.model.statistics_width
-        history: List[np.ndarray] = [np.array(self._params, copy=True)]
-        worker_free = [0.0] * K
-        commits: List[float] = []
-
-        for t in range(iterations):
-            bytes_before = self.cluster.network.total_bytes()
-            slowdowns = self.straggler.slowdowns(t)
-
-            # --- timing: pipeline recurrence --------------------------
-            gate = commits[t - 1 - self.staleness] if t - 1 - self.staleness >= 0 else 0.0
-            starts = [max(worker_free[w], gate) for w in range(K)]
-            grad_sum = np.zeros_like(self._params)
-            batch_rows = 0
-            batch_nnz = 0
-            for w in range(K):
-                local = self._partitioner.sample_local_batch(
-                    t, self.config.batch_size, w
-                )
-                batch_rows += local.n_rows
-                batch_nnz += local.nnz
-                # --- numerics: which committed version had this worker
-                # seen when it started iteration t?
-                version = 0
-                while version < len(commits) and commits[version] <= starts[w]:
-                    version += 1
-                seen = history[min(version, len(history) - 1)]
-                if local.n_rows:
-                    stats = self.model.compute_statistics(local.features, seen)
-                    mean_grad = self.model.gradient_from_statistics(
-                        local.features, local.labels, stats, np.zeros_like(seen)
-                    )
-                    grad_sum += mean_grad * local.n_rows
-                task = (
-                    self._task_overhead()
-                    + self.cluster.cost.sparse_work(local.nnz, passes=2 * width)
-                ) * slowdowns[w]
-                worker_free[w] = starts[w] + task
-
-            gradient = grad_sum / max(batch_rows, 1) + self.model.regularizer.gradient(
-                self._params
-            )
-            self.optimizer.step(self._params, gradient, t)
-            # Full history is kept so commit-count -> model-version
-            # indexing stays direct; runs are a few hundred iterations
-            # on scaled models, so this is cheap.
-            history.append(np.array(self._params, copy=True))
-
-            # --- commit: pulls + pushes + server maintenance -----------
-            # Same traffic as BSP Petuum: workers pull the full dense
-            # model and push sparse gradients through S server NICs.
-            model_bytes = dense_vector_bytes(self.model_elements)
-            push_bytes = int(
-                batch_nnz / K * self.model.params_per_feature() * SPARSE_PAIR_BYTES
-            )
-            net = self.cluster.network
-            for w in range(K):
-                net.send(Message(MessageKind.MODEL_PULL, Message.MASTER, w, model_bytes))
-                net.send(Message(MessageKind.GRADIENT_PUSH, w, Message.MASTER, push_bytes))
-            comm = (
-                net.latency + K * model_bytes / (self.n_servers * net.bandwidth)
-                + net.latency + K * push_bytes / (self.n_servers * net.bandwidth)
-            )
-            commit_time = max(worker_free) + comm + self._center_update_seconds()
-            commits.append(commit_time)
-
-            duration = commit_time - (commits[t - 1] if t else 0.0)
-            self.cluster.clock.advance(max(duration, 0.0))
-            evaluate = bool(self.config.eval_every) and (
-                (t + 1) % self.config.eval_every == 0 or t == iterations - 1
-            )
-            self._record(
-                result, t, max(duration, 0.0),
-                self.cluster.network.total_bytes() - bytes_before, evaluate,
-            )
+        self._history = [np.array(self._params, copy=True)]
+        self._engine = RoundEngine(self, self.cluster, straggler=self.straggler)
+        checker = ProtocolChecker(self.cluster) if self.config.check_protocol else None
+        # SSP has no failure hook: a crashed worker's pipeline slot is
+        # simply re-provisioned by the PS runtime, outside our model.
+        run_training_loop(
+            cluster=self.cluster,
+            run_round=self.run_round,
+            iterations=iterations,
+            eval_every=self.config.eval_every,
+            record=lambda t, duration, bytes_sent, evaluate: self._record(
+                result, t, duration, bytes_sent, evaluate
+            ),
+            checker=checker,
+        )
 
         result.final_params = np.array(self._params, copy=True)
         return result

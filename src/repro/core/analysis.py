@@ -27,6 +27,8 @@ Calibrated constants (documented in EXPERIMENTS.md):
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dataclasses import dataclass
 
 from repro.net.network import NetworkModel
@@ -123,7 +125,7 @@ def predict_iteration_time(
     cost: ComputeCostModel = None,
     statistics_width: int = 1,
     params_per_feature: int = 1,
-    n_servers: int = None,
+    n_servers: Optional[int] = None,
 ) -> float:
     """Predicted per-iteration seconds for one system at given scale.
 

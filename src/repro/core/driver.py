@@ -6,6 +6,12 @@ straggler slowdowns), network (statistics gather/broadcast through the
 master), and BSP barriers (two Spark-scheduled stages per iteration:
 computeStatistics and updateModel).
 
+The round itself is declared as a :class:`~repro.engine.RoundSpec` —
+computeStatistics, gather, reduce, broadcast, updateModel — and
+executed by :class:`~repro.engine.RoundEngine`; S-backup recovery is
+the spec's :class:`~repro.engine.BackupSync` policy (S = 0 degenerates
+to the plain barrier).
+
 Exactness invariant: with no failures, the parameter trajectory is
 identical (to float tolerance) to single-machine mini-batch SGD on the
 same draw sequence — tests assert this for every model and optimizer.
@@ -14,7 +20,7 @@ same draw sequence — tests assert this for every model and optimizer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -23,6 +29,16 @@ from repro.core.master import ColumnMaster
 from repro.core.results import IterationRecord, TrainingResult
 from repro.core.worker import ColumnWorker, PartitionState
 from repro.datasets.dataset import Dataset
+from repro.engine import (
+    BackupSync,
+    CommPhase,
+    ComputePhase,
+    MasterPhase,
+    RoundEngine,
+    RoundOutcome,
+    RoundSpec,
+    run_training_loop,
+)
 from repro.errors import MasterFailedError, TrainingError
 from repro.models.base import StatisticsModel
 from repro.net.message import MessageKind
@@ -87,9 +103,9 @@ class ColumnSGDDriver:
         model: StatisticsModel,
         optimizer: Optimizer,
         cluster: SimulatedCluster,
-        config: ColumnSGDConfig = None,
-        straggler: StragglerModel = None,
-        failures: FailureInjector = None,
+        config: Optional[ColumnSGDConfig] = None,
+        straggler: Optional[StragglerModel] = None,
+        failures: Optional[FailureInjector] = None,
     ):
         self.model = model
         self.optimizer = optimizer
@@ -107,6 +123,7 @@ class ColumnSGDDriver:
         self._partitions: List[PartitionState] = []
         self._workers: List[ColumnWorker] = []
         self._index: Optional[TwoPhaseIndex] = None
+        self._engine: Optional[RoundEngine] = None
         self.load_report: Optional[LoadReport] = None
         #: phase durations of the most recent iteration (seconds), keyed
         #: by phase name — the input to time-breakdown analyses
@@ -117,11 +134,6 @@ class ColumnSGDDriver:
         self.last_worker_seconds: Dict[str, Dict[int, float]] = {}
         #: workers the master killed after recovery in the last iteration
         self.last_killed: set = set()
-        #: per-kind (count, bytes) the cost model predicts for the round
-        #: just run — consumed by the runtime protocol checker, and
-        #: cross-checked against the round loop's actual emissions at
-        #: lint time by the static extractor (rule R010)
-        self._round_expected: Optional[Dict[MessageKind, Tuple[int, int]]] = None
 
     # ------------------------------------------------------------------
     # loading (Algorithm 3 lines 2-3 + Section IV transformation)
@@ -183,9 +195,9 @@ class ColumnSGDDriver:
     # ------------------------------------------------------------------
     def fit(
         self,
-        dataset: Dataset = None,
-        iterations: int = None,
-        eval_dataset: Dataset = None,
+        dataset: Optional[Dataset] = None,
+        iterations: Optional[int] = None,
+        eval_dataset: Optional[Dataset] = None,
     ) -> TrainingResult:
         """Run SGD; returns the loss/time trace and final parameters.
 
@@ -213,24 +225,24 @@ class ColumnSGDDriver:
         if self.config.eval_every:
             self._record(result, iteration=-1, duration=0.0, bytes_sent=0, evaluate=True)
 
+        self._engine = RoundEngine(
+            self, self.cluster, straggler=self.straggler
+        )
         checker = ProtocolChecker(self.cluster) if self.config.check_protocol else None
-        for t in range(iterations):
-            bytes_before = self.cluster.network.total_bytes()
-            if checker is not None:
-                checker.begin_round(t)
-            duration = self._handle_failures(t)
-            duration += self._run_iteration(t)
-            self.cluster.clock.advance(duration)
-            if checker is not None:
-                checker.end_round(t, expected=self._round_expected)
-            bytes_sent = self.cluster.network.total_bytes() - bytes_before
-            evaluate = bool(self.config.eval_every) and (
-                (t + 1) % self.config.eval_every == 0 or t == iterations - 1
-            )
-            self._record(result, t, duration, bytes_sent, evaluate)
-            if evaluate and self._should_stop_early(result):
-                result.notes = "early stop at iteration {}".format(t)
-                break
+        stopped_at = run_training_loop(
+            cluster=self.cluster,
+            run_round=self.run_round,
+            iterations=iterations,
+            eval_every=self.config.eval_every,
+            record=lambda t, duration, bytes_sent, evaluate: self._record(
+                result, t, duration, bytes_sent, evaluate
+            ),
+            handle_failures=self._handle_failures,
+            checker=checker,
+            should_stop=lambda: self._should_stop_early(result),
+        )
+        if stopped_at is not None:
+            result.notes = "early stop at iteration {}".format(stopped_at)
 
         result.final_params = self.current_params()
         return result
@@ -247,73 +259,122 @@ class ColumnSGDDriver:
         recent_best = min(losses[-patience:])
         return recent_best > best_before - self.config.early_stop_min_improvement
 
-    def _run_iteration(self, t: int) -> float:
-        """One BSP iteration; returns its simulated duration."""
-        B, width = self.config.batch_size, self.model.statistics_width
-        draws = self._index.sample(t, B)
-        slowdowns = self.straggler.slowdowns(t)
-        cost = self.cluster.cost
+    # ------------------------------------------------------------------
+    # the round, declared (Algorithm 3's phases) and executed by the engine
+    # ------------------------------------------------------------------
+    def round_spec(self) -> RoundSpec:
+        """Algorithm 3 as a declarative spec: two Spark stages
+        (computeStatistics, updateModel) around the master's
+        gather-reduce-broadcast interlude.  Table I, ColumnSGD row:
+        K pushes + K broadcasts of ``B * width`` values per round."""
+        return RoundSpec(
+            system="ColumnSGD",
+            sync=BackupSync(self.groups),
+            phases=(
+                ComputePhase(
+                    "compute_statistics",
+                    run="_phase_compute_statistics",
+                    synchronized=True,
+                ),
+                CommPhase(
+                    "gather",
+                    kind=MessageKind.STATISTICS_PUSH,
+                    pattern="gather",
+                    sizes="_statistics_push_sizes",
+                ),
+                MasterPhase("reduce", run="_phase_reduce"),
+                CommPhase(
+                    "broadcast",
+                    kind=MessageKind.STATISTICS_BCAST,
+                    pattern="broadcast",
+                    sizes="_statistics_size",
+                ),
+                ComputePhase("update_model", run="_phase_update_model"),
+            ),
+        )
 
-        # ---- Step 1: computeStatistics on every worker ----------------
-        # A worker's task time is task launch + kernel time; the paper's
-        # StragglerLevel is the ratio of a straggler's *whole task* time
-        # to a normal worker's, so the slowdown multiplies both.
+    def run_round(self, t: int) -> RoundOutcome:
+        """Execute one engine round (public: benches drive this directly).
+
+        Does not advance the clock; refreshes ``last_phase_seconds``,
+        ``last_worker_seconds`` and ``last_killed``.
+        """
+        if self._engine is None:
+            self._engine = RoundEngine(self, self.cluster, straggler=self.straggler)
+        outcome = self._engine.run_round(t)
+        self.last_phase_seconds = dict(outcome.phase_seconds)
+        self.last_worker_seconds = {
+            name: dict(per_worker)
+            for name, per_worker in outcome.worker_seconds.items()
+        }
+        self.last_killed = set(outcome.killed)
+        return outcome
+
+    def _phase_compute_statistics(self, ctx) -> Dict[int, float]:
+        """Step 1: computeStatistics on every worker.
+
+        A worker's task time is task launch + kernel time; the paper's
+        StragglerLevel is the ratio of a straggler's *whole task* time
+        to a normal worker's, so the slowdown multiplies both.
+        """
+        B, width = self.config.batch_size, self.model.statistics_width
+        draws = self._index.sample(ctx.t, B)
+        cost = self.cluster.cost
         stats_by_worker: Dict[int, Optional[np.ndarray]] = {}
-        finish: List[float] = []
+        per_worker: Dict[int, float] = {}
         for worker in self._workers:
             if worker.failed:
                 stats_by_worker[worker.worker_id] = None
-                finish.append(float("inf"))
+                per_worker[worker.worker_id] = float("inf")
                 continue
             stats, nnz = worker.compute_statistics(draws)
             stats_by_worker[worker.worker_id] = self._through_wire(stats)
             task = cost.task_overhead + cost.sparse_work(nnz, passes=width)
-            finish.append(task * slowdowns[worker.worker_id])
-
-        # ---- Step 2: gather, reduce, broadcast -------------------------
-        chosen = self.master.groups.fastest_per_group(finish)
-        chosen_set = set(chosen)
-        killed = set()
-        if self.config.backup > 0:
-            recovery_time = max(finish[w] for w in chosen)
-            killed = {
-                w
-                for w in range(self.cluster.n_workers)
-                if finish[w] > recovery_time and not self._workers[w].failed
-            }
-            phase1 = recovery_time
-        else:
-            phase1 = max(f for f in finish if f != float("inf"))
-
-        stats_size = OBJECT_OVERHEAD_BYTES + B * width * self.config.wire_value_bytes
-        gather_time = self.cluster.topology.gather(
-            MessageKind.STATISTICS_PUSH, [stats_size] * len(chosen_set)
+            per_worker[worker.worker_id] = task * ctx.slowdowns[worker.worker_id]
+        ctx.failed = frozenset(
+            w.worker_id for w in self._workers if w.failed
         )
+        ctx.scratch["stats_by_worker"] = stats_by_worker
+        ctx.scratch["finish"] = [
+            per_worker[w] for w in range(self.cluster.n_workers)
+        ]
+        return per_worker
+
+    def _statistics_size(self, ctx) -> int:
+        """Wire bytes of one statistics buffer (B * width values)."""
+        B, width = self.config.batch_size, self.model.statistics_width
+        return OBJECT_OVERHEAD_BYTES + B * width * self.config.wire_value_bytes
+
+    def _statistics_push_sizes(self, ctx) -> List[int]:
+        """One push per worker the sync policy selected."""
+        return [self._statistics_size(ctx)] * len(ctx.chosen)
+
+    def _phase_reduce(self, ctx) -> float:
+        """Master sums one contribution per group (reduceStatistics)."""
         reduced = self._through_wire(
-            self.master.reduce(stats_by_worker, finish_times=finish)
+            self.master.reduce(
+                ctx.scratch["stats_by_worker"],
+                finish_times=ctx.scratch["finish"],
+            )
         )
-        reduce_time = cost.dense_work(len(chosen_set) * B * width)
-        bcast_time = self.cluster.topology.broadcast(MessageKind.STATISTICS_BCAST, stats_size)
-        # Table I, ColumnSGD row: K pushes + K broadcasts of B*width values.
-        self._round_expected = {
-            MessageKind.STATISTICS_PUSH: (
-                len(chosen_set),
-                len(chosen_set) * stats_size,
-            ),
-            MessageKind.STATISTICS_BCAST: (
-                self.cluster.n_workers,
-                self.cluster.n_workers * stats_size,
-            ),
-        }
+        ctx.scratch["reduced"] = reduced
+        B, width = self.config.batch_size, self.model.statistics_width
+        return self.cluster.cost.dense_work(len(ctx.chosen) * B * width)
 
-        # ---- Step 3: updateModel ---------------------------------------
-        # Each partition is numerically updated exactly once, by its
-        # first live, non-killed replica; every live replica is charged
-        # the update time for the partitions it maintains.
+    def _phase_update_model(self, ctx) -> Dict[int, float]:
+        """Step 3: updateModel.
+
+        Each partition is numerically updated exactly once, by its
+        first live, non-killed replica; every live replica is charged
+        the update time for the partitions it maintains.
+        """
+        width = self.model.statistics_width
+        cost = self.cluster.cost
+        reduced = ctx.scratch["reduced"]
         updater_of: Dict[int, int] = {}
         for p in range(self.cluster.n_workers):
             for w in self.groups.replicas_of_partition(p):
-                if not self._workers[w].failed and w not in killed:
+                if not self._workers[w].failed and w not in ctx.killed:
                     updater_of[p] = w
                     break
             else:
@@ -322,10 +383,10 @@ class ColumnSGDDriver:
                 )
         update_times: Dict[int, float] = {}
         for worker in self._workers:
-            if worker.failed or worker.worker_id in killed:
+            if worker.failed or worker.worker_id in ctx.killed:
                 continue
             mine = {p for p, w in updater_of.items() if w == worker.worker_id}
-            worker.update_model(reduced, t, only_partitions=mine)
+            worker.update_model(reduced, ctx.t, only_partitions=mine)
             # Time is charged for every replica the worker maintains (in
             # the real system each group member updates all S+1 copies);
             # numerically each partition was touched exactly once above
@@ -333,26 +394,8 @@ class ColumnSGDDriver:
             task = cost.task_overhead + cost.sparse_work(
                 worker.cached_batch_nnz(), passes=width
             )
-            update_times[worker.worker_id] = task * slowdowns[worker.worker_id]
-        phase3 = max(update_times.values()) if update_times else 0.0
-
-        # Two Spark stages per iteration (computeStatistics, updateModel),
-        # each already carrying its task overhead inside the phase times.
-        self.last_phase_seconds = {
-            "compute_statistics": phase1,
-            "gather": gather_time,
-            "reduce": reduce_time,
-            "broadcast": bcast_time,
-            "update_model": phase3,
-        }
-        self.last_worker_seconds = {
-            "compute_statistics": {
-                w: finish[w] for w in range(self.cluster.n_workers)
-            },
-            "update_model": dict(update_times),
-        }
-        self.last_killed = set(killed)
-        return phase1 + gather_time + reduce_time + bcast_time + phase3
+            update_times[worker.worker_id] = task * ctx.slowdowns[worker.worker_id]
+        return update_times
 
     def _through_wire(self, statistics: np.ndarray) -> np.ndarray:
         """Apply the configured wire precision to a statistics buffer.
@@ -461,7 +504,7 @@ class ColumnSGDDriver:
             state.params[...] = full_params[state.columns]
             state.optimizer.reset()
 
-    def evaluate_loss(self, dataset: Dataset = None) -> float:
+    def evaluate_loss(self, dataset: Optional[Dataset] = None) -> float:
         """Full objective on the (training) dataset — not charged to time."""
         data = dataset if dataset is not None else self._dataset
         return self.model.loss(data.features, data.labels, self.current_params())

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Iterator, Tuple, Union
+from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
 
@@ -68,7 +68,7 @@ def iter_libsvm(source: PathOrStream) -> Iterator[Tuple[float, np.ndarray, np.nd
 
 def read_libsvm(
     source: PathOrStream,
-    n_features: int = None,
+    n_features: Optional[int] = None,
     zero_based: bool = None,
     name: str = "libsvm",
 ) -> Dataset:

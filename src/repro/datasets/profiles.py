@@ -17,7 +17,7 @@ Learning rates follow the paper's Table III.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.datasets.dataset import Dataset
 from repro.datasets.synthetic import make_classification
@@ -48,7 +48,7 @@ class DatasetProfile:
         """Paper-scale fraction of zero cells (rho in the analysis)."""
         return 1.0 - self.avg_nnz_per_row / self.paper_features
 
-    def generate(self, seed=0, rows: int = None, features: int = None) -> Dataset:
+    def generate(self, seed=0, rows: Optional[int] = None, features: Optional[int] = None) -> Dataset:
         """Materialise the scaled synthetic stand-in (deterministic per seed)."""
         return make_classification(
             n_rows=rows if rows is not None else self.scaled_rows,

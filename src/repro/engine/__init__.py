@@ -1,0 +1,41 @@
+"""repro.engine — the declarative, event-scheduled round engine.
+
+Every trainer declares its round as a :class:`RoundSpec` — typed phases
+(compute / comm / master) with per-phase message kinds and byte
+formulas — and :class:`RoundEngine` schedules those phases on an event
+queue over the simulated clock and network, with synchronization
+semantics (BSP barrier, S-backup recovery, bounded staleness) supplied
+by pluggable :class:`SyncPolicy` objects.  See ``docs/engine.md``.
+"""
+
+from repro.engine.engine import RoundContext, RoundEngine, RoundOutcome
+from repro.engine.events import EventQueue
+from repro.engine.loop import run_training_loop
+from repro.engine.policy import BackupSync, BarrierSync, StaleSync, SyncPolicy
+from repro.engine.spec import (
+    CommPhase,
+    ComputePhase,
+    MasterPhase,
+    RoundSpec,
+    TrafficEnvelope,
+)
+from repro.engine.trace import EngineTrace, PhaseEvent
+
+__all__ = [
+    "BackupSync",
+    "BarrierSync",
+    "CommPhase",
+    "ComputePhase",
+    "EngineTrace",
+    "EventQueue",
+    "MasterPhase",
+    "PhaseEvent",
+    "RoundContext",
+    "RoundEngine",
+    "RoundOutcome",
+    "RoundSpec",
+    "StaleSync",
+    "SyncPolicy",
+    "TrafficEnvelope",
+    "run_training_loop",
+]

@@ -1,0 +1,45 @@
+"""Deterministic discrete-event queue for the round engine.
+
+A minimal priority queue over simulated time with a strict FIFO
+tie-break: events pushed earlier pop earlier among equals.  The engine
+schedules each round phase as one event at its computed start offset and
+drains the queue in time order, which is what makes overlapping phases
+(``after=()``) interleave correctly with the sequential chain while
+keeping replays bit-for-bit deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator, List, Tuple
+
+
+class EventQueue:
+    """Min-heap of ``(time, payload)`` with deterministic ordering."""
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._seq = 0
+
+    def push(self, time: float, payload: Any) -> None:
+        """Schedule ``payload`` at simulated offset ``time``."""
+        heapq.heappush(self._heap, (time, self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> Tuple[float, Any]:
+        """Earliest event as ``(time, payload)``."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        time, _, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[Tuple[float, Any]]:
+        """Pop every event in time order."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,54 @@
+"""The shared training loop over engine rounds.
+
+Every trainer's ``fit()`` used to hand-roll the same per-iteration
+scaffolding: snapshot traffic, open the protocol checker's round, apply
+failures, run the round, advance the clock, close the round, record,
+maybe stop early.  :func:`run_training_loop` is that scaffolding, once.
+Trainers keep only what is genuinely theirs — result metadata, the
+recording callback, and failure/early-stop hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+def run_training_loop(
+    *,
+    cluster,
+    run_round: Callable[[int], object],
+    iterations: int,
+    eval_every: int,
+    record: Callable[[int, float, int, bool], None],
+    handle_failures: Optional[Callable[[int], float]] = None,
+    checker=None,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> Optional[int]:
+    """Drive ``iterations`` engine rounds; returns the early-stop
+    iteration, or ``None`` when the loop ran to completion.
+
+    ``run_round(t)`` must return a
+    :class:`~repro.engine.engine.RoundOutcome`;
+    ``record(t, duration, bytes_sent, evaluate)`` appends the iteration
+    to the trainer's result; ``handle_failures(t)``, when given, runs
+    *before* the round and returns extra recovery seconds;
+    ``should_stop()`` is consulted only at evaluation points.
+    """
+    for t in range(iterations):
+        bytes_before = cluster.network.total_bytes()
+        if checker is not None:
+            checker.begin_round(t)
+        extra = handle_failures(t) if handle_failures is not None else 0.0
+        outcome = run_round(t)
+        duration = extra + outcome.duration
+        cluster.clock.advance(duration)
+        if checker is not None:
+            checker.end_round(t, expected=outcome.expected)
+        bytes_sent = cluster.network.total_bytes() - bytes_before
+        evaluate = bool(eval_every) and (
+            (t + 1) % eval_every == 0 or t == iterations - 1
+        )
+        record(t, duration, bytes_sent, evaluate)
+        if evaluate and should_stop is not None and should_stop():
+            return t
+    return None

@@ -1,0 +1,128 @@
+"""Pluggable synchronization policies.
+
+The paper's Section VI framing: backup computation and bounded
+staleness are not different algorithms, they are different answers to
+"when may a round's synchronized compute phase end?".  A
+:class:`SyncPolicy` encapsulates exactly that decision, so every
+trainer shares one engine and swaps the policy:
+
+* :class:`BarrierSync` — classic BSP: wait for the slowest worker.
+* :class:`BackupSync` — the paper's S-backup recovery: the phase ends
+  when every group has reported; slower replicas are killed.
+* :class:`StaleSync` — SSP's bounded staleness: worker ``w`` may start
+  round ``t`` once round ``t - 1 - staleness`` has committed; the
+  policy carries the pipeline recurrence (per-worker free times and
+  commit times) across rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.utils.validation import check_non_negative
+
+
+class SyncPolicy:
+    """Strategy hooks the engine calls around a round's phases."""
+
+    def before_round(self, ctx) -> None:
+        """Prepare round state (e.g. stale start gates) on ``ctx``."""
+
+    def resolve(self, ctx, per_worker: Dict[int, float]) -> float:
+        """Duration of a *synchronized* compute phase.
+
+        ``per_worker`` maps worker id to its task seconds
+        (``float('inf')`` for failed workers).  May record survivors and
+        kills on ``ctx`` (``ctx.chosen`` / ``ctx.killed``).
+        """
+        raise NotImplementedError
+
+    def round_duration(self, ctx, critical_path_end: float) -> float:
+        """Round duration given the phase DAG's critical-path end."""
+        return critical_path_end
+
+
+class BarrierSync(SyncPolicy):
+    """Full BSP barrier: every live worker must report."""
+
+    def resolve(self, ctx, per_worker: Dict[int, float]) -> float:
+        finite = [s for s in per_worker.values() if s != float("inf")]
+        ctx.chosen = set(
+            w for w, s in per_worker.items() if s != float("inf")
+        )
+        return max(finite) if finite else 0.0
+
+
+class BackupSync(SyncPolicy):
+    """S-backup recovery (Section IV-B): first finisher per group wins.
+
+    With ``S = 0`` the groups are singletons and this degenerates to
+    :class:`BarrierSync` semantics — which is why the plain ColumnSGD
+    driver and its backup variant share one spec.
+    """
+
+    def __init__(self, groups):
+        self.groups = groups
+
+    def resolve(self, ctx, per_worker: Dict[int, float]) -> float:
+        finish = [per_worker[w] for w in range(self.groups.n_workers)]
+        chosen = self.groups.fastest_per_group(finish)
+        ctx.chosen = set(chosen)
+        ctx.killed = set()
+        if self.groups.backup > 0:
+            recovery_time = max(finish[w] for w in chosen)
+            ctx.killed = {
+                w
+                for w in range(self.groups.n_workers)
+                if finish[w] > recovery_time and w not in ctx.failed
+            }
+            return recovery_time
+        return max(f for f in finish if f != float("inf"))
+
+
+class StaleSync(SyncPolicy):
+    """SSP bounded staleness (Cui et al., ATC'14) as a policy.
+
+    Carries the pipeline recurrence across rounds: ``worker_free[w]``
+    is when worker ``w``'s last task ended, ``commits[t]`` is when
+    round ``t``'s update was committed at the servers.  Round ``t``'s
+    compute may start at ``commits[t - 1 - staleness]``; the round's
+    *duration* is the commit-to-commit delta (clamped at zero — a
+    pipelined commit can land before its predecessor's wall time).
+
+    A fresh policy instance is built per ``fit()`` (inside the
+    trainer's ``round_spec()``), so the recurrence state never leaks
+    between runs.
+    """
+
+    def __init__(self, staleness: int, n_workers: int):
+        check_non_negative(staleness, "staleness")
+        self.staleness = int(staleness)
+        self.worker_free: List[float] = [0.0] * int(n_workers)
+        self.commits: List[float] = []
+
+    def before_round(self, ctx) -> None:
+        t = ctx.t
+        gate = (
+            self.commits[t - 1 - self.staleness]
+            if t - 1 - self.staleness >= 0
+            else 0.0
+        )
+        ctx.start_times = [
+            max(self.worker_free[w], gate) for w in range(len(self.worker_free))
+        ]
+
+    def resolve(self, ctx, per_worker: Dict[int, float]) -> float:
+        for w, task in per_worker.items():
+            self.worker_free[w] = ctx.start_times[w] + task
+        ctx.chosen = set(per_worker)
+        base = self.commits[ctx.t - 1] if ctx.t else 0.0
+        # Round-relative busy span; may be negative when the pipeline
+        # runs ahead of the previous commit.
+        return max(self.worker_free) - base
+
+    def round_duration(self, ctx, critical_path_end: float) -> float:
+        base = self.commits[ctx.t - 1] if ctx.t else 0.0
+        commit_time = base + critical_path_end
+        self.commits.append(commit_time)
+        return max(critical_path_end, 0.0)

@@ -1,0 +1,66 @@
+"""Per-phase trace events emitted by the round engine.
+
+Every phase the engine runs adds one :class:`PhaseEvent` carrying its
+round, category, and simulated ``[start, end)`` interval — offsets are
+round-relative, ``sim_start``/``sim_end`` absolute.  The trace is
+attached to the cluster as ``cluster.engine_trace`` so analyses find it
+next to the clock and network counters it complements, and
+:func:`repro.experiments.gantt.render_engine_trace` renders it.
+``SimulatedCluster.reset()`` clears it along with the other ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """One executed phase of one round."""
+
+    round: int
+    phase: str
+    category: str            # 'compute' | 'comm' | 'master'
+    start: float             # round-relative offset (s)
+    end: float
+    sim_start: float         # absolute simulated time (s)
+    sim_end: float
+    kind: Optional[str] = None  # message kind for comm phases
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class EngineTrace:
+    """Ordered phase events of an engine-driven run."""
+
+    system: str = ""
+    events: List[PhaseEvent] = field(default_factory=list)
+
+    def add(self, event: PhaseEvent) -> None:
+        self.events.append(event)
+
+    def rounds(self) -> List[int]:
+        """Round indices present, in order of first appearance."""
+        seen: List[int] = []
+        for event in self.events:
+            if event.round not in seen:
+                seen.append(event.round)
+        return seen
+
+    def round_events(self, round_index: int) -> List[PhaseEvent]:
+        """Events of one round, in schedule order."""
+        return [e for e in self.events if e.round == round_index]
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Total seconds per phase name across all rounds (time breakdown)."""
+        totals: Dict[str, float] = {}
+        for event in self.events:
+            totals[event.phase] = totals.get(event.phase, 0.0) + event.duration
+        return totals
+
+    def __len__(self) -> int:
+        return len(self.events)

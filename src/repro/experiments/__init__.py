@@ -18,7 +18,7 @@ from repro.experiments.report import (
     loss_series,
     render_curve,
 )
-from repro.experiments.gantt import render_iteration_gantt
+from repro.experiments.gantt import render_engine_trace, render_iteration_gantt
 from repro.experiments.paper_report import build_report, collect_results, write_report
 from repro.experiments.sweeps import (
     sweep,
@@ -42,6 +42,7 @@ __all__ = [
     "sweep_workers",
     "sweep_learning_rates",
     "best_learning_rate",
+    "render_engine_trace",
     "render_iteration_gantt",
     "build_report",
     "collect_results",

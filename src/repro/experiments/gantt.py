@@ -13,11 +13,16 @@ backup dynamics visible at a glance::
 
 ``#`` = worker busy, ``-`` = waiting on the master interlude, blank =
 killed / not participating.
+
+:func:`render_engine_trace` is the engine-era complement: it draws the
+per-phase lanes of a :class:`~repro.engine.trace.EngineTrace`
+(``cluster.engine_trace``), making declared comm/compute overlap
+visible.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.utils.format import format_duration
 
@@ -89,5 +94,69 @@ def render_iteration_gantt(
     lines.append(
         "legend: # busy, - waiting (slowest peer + master "
         "gather/reduce/broadcast); iteration = {}".format(format_duration(duration))
+    )
+    return "\n".join(lines)
+
+
+#: one-character bar fill per phase category
+_CATEGORY_FILL = {"compute": "#", "comm": "=", "master": "*"}
+
+
+def render_engine_trace(
+    trace,
+    round_index: Optional[int] = None,
+    width: int = 72,
+) -> str:
+    """Render one round of an :class:`~repro.engine.trace.EngineTrace`.
+
+    Each phase gets its own lane positioned at its scheduled
+    ``[start, end)`` offset within the round, so comm/compute overlap
+    (phases with ``after=()``) is visible as horizontally overlapping
+    bars::
+
+        round 0 (ColumnSGD, 14.2 ms)
+        compute_statistics compute |########                    |
+        gather             comm    |        ====                |
+        ...
+
+    Parameters
+    ----------
+    trace:
+        The ``cluster.engine_trace`` left behind by an engine run.
+    round_index:
+        Which round to draw; defaults to the last round in the trace.
+    """
+    if trace is None or not len(trace):
+        return "(no engine trace; run a round first)"
+    rounds = trace.rounds()
+    if round_index is None:
+        round_index = rounds[-1]
+    events = trace.round_events(round_index)
+    if not events:
+        return "(round {} not in trace; have {})".format(round_index, rounds)
+    span = max(event.end for event in events)
+    name_width = max(len(event.phase) for event in events)
+    label_width = name_width + 1 + max(len(c) for c in _CATEGORY_FILL)
+    bar_width = max(8, width - label_width - 3)
+    scale = (bar_width / span) if span > 0 else 0.0
+
+    lines = [
+        "round {} ({}, {})".format(
+            round_index, trace.system, format_duration(span)
+        )
+    ]
+    for event in events:
+        lead = int(round(event.start * scale))
+        fill = _CATEGORY_FILL.get(event.category, "?")
+        length = max(1, int(round(event.duration * scale))) if scale else 1
+        lead = min(lead, bar_width - length)
+        bar = " " * lead + fill * length
+        label = "{:<{}} {:<7}".format(event.phase, name_width, event.category)
+        kind = " ({})".format(event.kind) if event.kind else ""
+        lines.append(
+            "{}|{:<{}}|{}".format(label, bar, bar_width, kind)
+        )
+    lines.append(
+        "legend: # compute, = comm, * master; offsets are round-relative"
     )
     return "\n".join(lines)

@@ -59,7 +59,7 @@ class ExperimentSpec:
         return load_profile(self.dataset).learning_rate(self.model)
 
 
-def run_system(spec: ExperimentSpec, system: str, data: Dataset = None) -> TrainingResult:
+def run_system(spec: ExperimentSpec, system: str, data: Optional[Dataset] = None) -> TrainingResult:
     """Run one system under ``spec`` on a fresh simulated cluster."""
     data = data if data is not None else spec.materialize_data()
     model = make_model(spec.model, **spec.model_kwargs)
@@ -85,6 +85,6 @@ def run_comparison(spec: ExperimentSpec) -> Dict[str, TrainingResult]:
     return {system: run_system(spec, system, data) for system in spec.systems}
 
 
-def per_iteration_seconds(spec: ExperimentSpec, system: str, data: Dataset = None) -> float:
+def per_iteration_seconds(spec: ExperimentSpec, system: str, data: Optional[Dataset] = None) -> float:
     """Average simulated per-iteration time (Table IV/V metric)."""
     return run_system(spec, system, data).avg_iteration_seconds()

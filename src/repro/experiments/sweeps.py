@@ -7,7 +7,7 @@ space) share: run one system across a grid of one knob and collect
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.results import TrainingResult
 from repro.datasets.dataset import Dataset
@@ -19,7 +19,7 @@ def sweep(
     system: str,
     values: Iterable,
     apply: Callable[[ExperimentSpec, object], ExperimentSpec],
-    data: Dataset = None,
+    data: Optional[Dataset] = None,
 ) -> Dict[object, TrainingResult]:
     """Generic sweep: for each value, derive a spec and run ``system``.
 
@@ -41,7 +41,7 @@ def _copy(spec: ExperimentSpec, **overrides) -> ExperimentSpec:
 
 
 def sweep_batch_sizes(
-    spec: ExperimentSpec, system: str, batch_sizes: List[int], data: Dataset = None
+    spec: ExperimentSpec, system: str, batch_sizes: List[int], data: Optional[Dataset] = None
 ) -> Dict[int, TrainingResult]:
     """Fig 4 style: same data and budget, varying batch size."""
     return sweep(
@@ -52,7 +52,7 @@ def sweep_batch_sizes(
 
 
 def sweep_workers(
-    spec: ExperimentSpec, system: str, worker_counts: List[int], data: Dataset = None
+    spec: ExperimentSpec, system: str, worker_counts: List[int], data: Optional[Dataset] = None
 ) -> Dict[int, TrainingResult]:
     """Fig 11 style: same workload across cluster widths."""
     return sweep(
@@ -63,7 +63,7 @@ def sweep_workers(
 
 
 def sweep_learning_rates(
-    spec: ExperimentSpec, system: str, rates: List[float], data: Dataset = None
+    spec: ExperimentSpec, system: str, rates: List[float], data: Optional[Dataset] = None
 ) -> Dict[float, TrainingResult]:
     """Grid search in the paper's Table III spirit."""
     return sweep(
@@ -74,7 +74,7 @@ def sweep_learning_rates(
 
 
 def best_learning_rate(
-    spec: ExperimentSpec, system: str, rates: List[float], data: Dataset = None
+    spec: ExperimentSpec, system: str, rates: List[float], data: Optional[Dataset] = None
 ) -> float:
     """The rate with the lowest final training loss (ties: first)."""
     results = sweep_learning_rates(spec, system, rates, data=data)

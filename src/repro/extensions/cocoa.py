@@ -35,6 +35,15 @@ import numpy as np
 
 from repro.core.results import IterationRecord, TrainingResult
 from repro.datasets.dataset import Dataset
+from repro.engine import (
+    BarrierSync,
+    CommPhase,
+    ComputePhase,
+    MasterPhase,
+    RoundEngine,
+    RoundSpec,
+    run_training_loop,
+)
 from repro.errors import TrainingError
 from repro.linalg.ops import row_dots
 from repro.net.message import MessageKind
@@ -93,6 +102,7 @@ class CoCoATrainer:
         self._alphas: List[np.ndarray] = []
         self._shard_sq_norms: List[np.ndarray] = []
         self._rngs = None
+        self._engine: Optional[RoundEngine] = None
 
     # ------------------------------------------------------------------
     def load(self, dataset: Dataset):
@@ -116,7 +126,7 @@ class CoCoATrainer:
         return None
 
     # ------------------------------------------------------------------
-    def fit(self, dataset: Dataset = None) -> TrainingResult:
+    def fit(self, dataset: Optional[Dataset] = None) -> TrainingResult:
         """Run CoCoA rounds; returns the usual loss/time trace."""
         if dataset is not None and self._dataset is None:
             self.load(dataset)
@@ -131,21 +141,53 @@ class CoCoATrainer:
         )
         if self.eval_every:
             self._record(result, -1, 0.0, 0)
-        for t in range(self.iterations):
-            bytes_before = self.cluster.network.total_bytes()
-            duration = self._run_round(t)
-            self.cluster.clock.advance(duration)
-            evaluate = bool(self.eval_every) and (
-                (t + 1) % self.eval_every == 0 or t == self.iterations - 1
-            )
-            self._record(
-                result, t, duration,
-                self.cluster.network.total_bytes() - bytes_before,
-                evaluate=evaluate,
-            )
+
+        self._engine = RoundEngine(self, self.cluster)
+        run_training_loop(
+            cluster=self.cluster,
+            run_round=self.run_round,
+            iterations=self.iterations,
+            eval_every=self.eval_every,
+            record=lambda t, duration, bytes_sent, evaluate: self._record(
+                result, t, duration, bytes_sent, evaluate=evaluate
+            ),
+        )
         return result
 
-    def _run_round(self, t: int) -> float:
+    def run_round(self, t: int):
+        """One engine round (used by fit(), benchmarks and tests)."""
+        if self._engine is None:
+            self._engine = RoundEngine(self, self.cluster)
+        return self._engine.run_round(t)
+
+    # ------------------------------------------------------------------
+    def round_spec(self) -> RoundSpec:
+        """One CoCoA round: local SDCA passes, then the O(m) combine —
+        workers push primal deltas, the master averages and broadcasts."""
+        return RoundSpec(
+            system="CoCoA+" if self.aggregation == "safe" else "CoCoA-naive",
+            sync=BarrierSync(),
+            phases=(
+                ComputePhase(
+                    "local_sdca", run="_phase_local_sdca", synchronized=True
+                ),
+                CommPhase(
+                    "push",
+                    kind=MessageKind.GRADIENT_PUSH,
+                    pattern="gather",
+                    sizes="_model_delta_sizes",
+                ),
+                MasterPhase("combine", run="_phase_combine"),
+                CommPhase(
+                    "broadcast",
+                    kind=MessageKind.MODEL_PULL,
+                    pattern="broadcast",
+                    sizes="_model_delta_size",
+                ),
+            ),
+        )
+
+    def _phase_local_sdca(self, ctx):
         K = self.cluster.n_workers
         n = self._dataset.n_rows
         lam_n = self.lam * n
@@ -155,7 +197,7 @@ class CoCoATrainer:
         sigma = float(K) if self.aggregation == "safe" else 1.0
 
         total_delta_w = np.zeros_like(self._w)
-        compute = []
+        per_worker = {}
         for k in range(K):
             shard = self._partitioner.shard(k)
             alphas = self._alphas[k]
@@ -180,19 +222,21 @@ class CoCoATrainer:
                     local_w[idx] += sigma * step * val
                     delta_w[idx] += step * val
             total_delta_w += delta_w
-            compute.append(
-                cost.task_overhead + cost.sparse_work(nnz_touched, passes=2)
+            per_worker[k] = cost.task_overhead + cost.sparse_work(
+                nnz_touched, passes=2
             )
 
-        # combine: workers push O(m) primal deltas; master broadcasts w
         self._w += total_delta_w
-        model_bytes = dense_vector_bytes(self._w.size)
-        gather = self.cluster.topology.gather(
-            MessageKind.GRADIENT_PUSH, [model_bytes] * K
-        )
-        bcast = self.cluster.topology.broadcast(MessageKind.MODEL_PULL, model_bytes)
-        reduce_time = cost.dense_work(K * self._w.size)
-        return max(compute) + gather + reduce_time + bcast
+        return per_worker
+
+    def _model_delta_size(self, ctx) -> int:
+        return dense_vector_bytes(self._w.size)
+
+    def _model_delta_sizes(self, ctx) -> List[int]:
+        return [self._model_delta_size(ctx)] * self.cluster.n_workers
+
+    def _phase_combine(self, ctx) -> float:
+        return self.cluster.cost.dense_work(self.cluster.n_workers * self._w.size)
 
     # ------------------------------------------------------------------
     def current_params(self) -> np.ndarray:
@@ -217,7 +261,7 @@ class CoCoATrainer:
         reconstructed /= self.lam * n
         return float(np.max(np.abs(reconstructed - self._w)))
 
-    def evaluate_loss(self, dataset: Dataset = None) -> float:
+    def evaluate_loss(self, dataset: Optional[Dataset] = None) -> float:
         """Primal objective P(w)."""
         data = dataset if dataset is not None else self._dataset
         residual = row_dots(data.features, self._w) - data.labels

@@ -28,6 +28,15 @@ import numpy as np
 
 from repro.core.results import IterationRecord, TrainingResult
 from repro.datasets.dataset import Dataset
+from repro.engine import (
+    BarrierSync,
+    CommPhase,
+    ComputePhase,
+    MasterPhase,
+    RoundEngine,
+    RoundSpec,
+    run_training_loop,
+)
 from repro.errors import TrainingError
 from repro.linalg import CSRMatrix
 from repro.net.message import MessageKind
@@ -109,6 +118,7 @@ class RidgeCDTrainer:
         self._residual: Optional[np.ndarray] = None
         self._labels: Optional[np.ndarray] = None
         self._rngs = None
+        self._engine: Optional[RoundEngine] = None
 
     # ------------------------------------------------------------------
     def load(self, dataset: Dataset):
@@ -137,7 +147,7 @@ class RidgeCDTrainer:
         return report
 
     # ------------------------------------------------------------------
-    def fit(self, dataset: Dataset = None) -> TrainingResult:
+    def fit(self, dataset: Optional[Dataset] = None) -> TrainingResult:
         """Run CD rounds; returns the usual loss/time trace."""
         if dataset is not None and self._dataset is None:
             self.load(dataset)
@@ -152,25 +162,55 @@ class RidgeCDTrainer:
         )
         if self.eval_every:
             self._record(result, -1, 0.0, 0)
-        for t in range(self.iterations):
-            bytes_before = self.cluster.network.total_bytes()
-            duration = self._run_round(t)
-            self.cluster.clock.advance(duration)
-            evaluate = bool(self.eval_every) and (
-                (t + 1) % self.eval_every == 0 or t == self.iterations - 1
-            )
-            self._record(
-                result, t, duration,
-                self.cluster.network.total_bytes() - bytes_before,
-                evaluate=evaluate,
-            )
+
+        self._engine = RoundEngine(self, self.cluster)
+        run_training_loop(
+            cluster=self.cluster,
+            run_round=self.run_round,
+            iterations=self.iterations,
+            eval_every=self.eval_every,
+            record=lambda t, duration, bytes_sent, evaluate: self._record(
+                result, t, duration, bytes_sent, evaluate=evaluate
+            ),
+        )
         return result
 
-    def _run_round(self, t: int) -> float:
+    def run_round(self, t: int):
+        """One engine round (used by fit(), benchmarks and tests)."""
+        if self._engine is None:
+            self._engine = RoundEngine(self, self.cluster)
+        return self._engine.run_round(t)
+
+    # ------------------------------------------------------------------
+    def round_spec(self) -> RoundSpec:
+        """One CD round: local exact coordinate minimisations, then the
+        O(N) residual-delta gather/sum/broadcast."""
+        return RoundSpec(
+            system="RidgeCD",
+            sync=BarrierSync(),
+            phases=(
+                ComputePhase("local_cd", run="_phase_local_cd", synchronized=True),
+                CommPhase(
+                    "push",
+                    kind=MessageKind.STATISTICS_PUSH,
+                    pattern="gather",
+                    sizes="_residual_sizes",
+                ),
+                MasterPhase("reduce", run="_phase_reduce"),
+                CommPhase(
+                    "broadcast",
+                    kind=MessageKind.STATISTICS_BCAST,
+                    pattern="broadcast",
+                    sizes="_residual_size",
+                ),
+            ),
+        )
+
+    def _phase_local_cd(self, ctx):
         n = self._dataset.n_rows
         cost = self.cluster.cost
         total_delta = np.zeros(n)
-        compute_times = []
+        per_worker = {}
         for k, shard in enumerate(self._shards):
             want = self.coords_per_round or max(1, shard.local_dim // 4)
             want = min(want, shard.local_dim)
@@ -191,21 +231,24 @@ class RidgeCDTrainer:
                 local_residual[rows] += delta * vals
                 local_delta[rows] += delta * vals
             total_delta += local_delta
-            compute_times.append(
-                cost.task_overhead + cost.sparse_work(nnz_touched, passes=2)
+            per_worker[k] = cost.task_overhead + cost.sparse_work(
+                nnz_touched, passes=2
             )
+        ctx.scratch["total_delta"] = total_delta
+        return per_worker
 
+    def _residual_size(self, ctx) -> int:
+        return dense_vector_bytes(self._dataset.n_rows)
+
+    def _residual_sizes(self, ctx) -> List[int]:
+        return [self._residual_size(ctx)] * self.cluster.n_workers
+
+    def _phase_reduce(self, ctx) -> float:
         # master sums residual deltas and broadcasts the total: O(N)
-        residual_bytes = dense_vector_bytes(n)
-        gather = self.cluster.topology.gather(
-            MessageKind.STATISTICS_PUSH, [residual_bytes] * self.cluster.n_workers
+        self._residual += ctx.scratch["total_delta"]
+        return self.cluster.cost.dense_work(
+            self.cluster.n_workers * self._dataset.n_rows
         )
-        bcast = self.cluster.topology.broadcast(
-            MessageKind.STATISTICS_BCAST, residual_bytes
-        )
-        reduce_time = cost.dense_work(self.cluster.n_workers * n)
-        self._residual += total_delta
-        return max(compute_times) + gather + reduce_time + bcast
 
     # ------------------------------------------------------------------
     def current_params(self) -> np.ndarray:
@@ -219,7 +262,7 @@ class RidgeCDTrainer:
         """The synchronized residual ``X w - y``."""
         return self._residual.copy()
 
-    def evaluate_loss(self, dataset: Dataset = None) -> float:
+    def evaluate_loss(self, dataset: Optional[Dataset] = None) -> float:
         """Objective value (mean squared residual / 2 + ridge penalty)."""
         if dataset is None:
             r = self._residual

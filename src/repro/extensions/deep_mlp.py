@@ -208,6 +208,7 @@ class DeepMLPColumnTrainer:
         self._w1_optimizers = []
         self._tail: Dict[str, np.ndarray] = {}
         self._tail_optimizers: Dict[str, object] = {}
+        self._engine = None
 
     def load(self, dataset):
         """Column-partition the data and W1; replicate the tail."""
@@ -260,59 +261,124 @@ class DeepMLPColumnTrainer:
 
         if self.eval_every:
             record(-1, 0.0, 0, True)
-        for t in range(self.iterations):
-            bytes_before = self.cluster.network.total_bytes()
-            duration = self._run_iteration(t)
-            self.cluster.clock.advance(duration)
-            evaluate = bool(self.eval_every) and (
-                (t + 1) % self.eval_every == 0 or t == self.iterations - 1
-            )
-            record(t, duration, self.cluster.network.total_bytes() - bytes_before,
-                   evaluate)
+
+        from repro.engine import RoundEngine, run_training_loop
+
+        self._engine = RoundEngine(self, self.cluster)
+        run_training_loop(
+            cluster=self.cluster,
+            run_round=self.run_round,
+            iterations=self.iterations,
+            eval_every=self.eval_every,
+            record=record,
+        )
         return result
 
-    def _run_iteration(self, t: int) -> float:
-        from repro.net.message import MessageKind
-        from repro.storage.serialization import dense_vector_bytes
+    def run_round(self, t: int):
+        """One engine round (used by fit(), benchmarks and tests)."""
+        if self._engine is None:
+            from repro.engine import RoundEngine
 
-        K = self.cluster.n_workers
+            self._engine = RoundEngine(self, self.cluster)
+        return self._engine.run_round(t)
+
+    # ------------------------------------------------------------------
+    def round_spec(self):
+        """One ``B x H1`` statistics round; the replicated tail updates
+        identically on every worker from the broadcast Z."""
+        from repro.engine import (
+            BarrierSync,
+            CommPhase,
+            ComputePhase,
+            MasterPhase,
+            RoundSpec,
+        )
+        from repro.net.message import MessageKind
+
+        return RoundSpec(
+            system="ColumnSGD-DeepMLP",
+            sync=BarrierSync(),
+            phases=(
+                ComputePhase(
+                    "partial_statistics",
+                    run="_phase_partial_statistics",
+                    synchronized=True,
+                ),
+                CommPhase(
+                    "gather",
+                    kind=MessageKind.STATISTICS_PUSH,
+                    pattern="gather",
+                    sizes="_statistics_push_sizes",
+                ),
+                MasterPhase("reduce", run="_phase_reduce"),
+                CommPhase(
+                    "broadcast",
+                    kind=MessageKind.STATISTICS_BCAST,
+                    pattern="broadcast",
+                    sizes="_statistics_size",
+                ),
+                ComputePhase("update_model", run="_phase_update_model"),
+                MasterPhase("update_tail", run="_phase_update_tail"),
+            ),
+        )
+
+    def _phase_partial_statistics(self, ctx) -> Dict[int, float]:
         cost = self.cluster.cost
         width = self.model.statistics_width
-        draws = self._index.sample(t, self.batch_size)
-
+        draws = self._index.sample(ctx.t, self.batch_size)
         shards = []
         labels = None
         z_total = None
-        compute = []
-        for k in range(K):
+        per_worker: Dict[int, float] = {}
+        for k in range(self.cluster.n_workers):
             shard, shard_labels = self._stores[k].assemble_batch(draws)
             shards.append(shard)
             labels = shard_labels
             part = self.model.partial_statistics(shard, self._w1_parts[k])
             z_total = part if z_total is None else z_total + part
-            compute.append(cost.task_overhead + cost.sparse_work(shard.nnz, passes=width))
-        phase1 = max(compute)
+            per_worker[k] = cost.task_overhead + cost.sparse_work(
+                shard.nnz, passes=width
+            )
+        ctx.scratch["shards"] = shards
+        ctx.scratch["labels"] = labels
+        ctx.scratch["z_total"] = z_total
+        return per_worker
 
-        stats_size = dense_vector_bytes(self.batch_size * width)
-        gather = self.cluster.topology.gather(
-            MessageKind.STATISTICS_PUSH, [stats_size] * K
-        )
-        reduce_time = cost.dense_work(K * self.batch_size * width)
-        bcast = self.cluster.topology.broadcast(
-            MessageKind.STATISTICS_BCAST, stats_size
+    def _statistics_size(self, ctx) -> int:
+        from repro.storage.serialization import dense_vector_bytes
+
+        return dense_vector_bytes(self.batch_size * self.model.statistics_width)
+
+    def _statistics_push_sizes(self, ctx) -> List[int]:
+        return [self._statistics_size(ctx)] * self.cluster.n_workers
+
+    def _phase_reduce(self, ctx) -> float:
+        return self.cluster.cost.dense_work(
+            self.cluster.n_workers * self.batch_size * self.model.statistics_width
         )
 
-        tail_grads, delta1 = self.model.backward(z_total, labels, self._tail)
-        update = []
-        for k in range(K):
+    def _phase_update_model(self, ctx) -> Dict[int, float]:
+        cost = self.cluster.cost
+        width = self.model.statistics_width
+        shards = ctx.scratch["shards"]
+        tail_grads, delta1 = self.model.backward(
+            ctx.scratch["z_total"], ctx.scratch["labels"], self._tail
+        )
+        ctx.scratch["tail_grads"] = tail_grads
+        per_worker: Dict[int, float] = {}
+        for k in range(self.cluster.n_workers):
             grad = self.model.w1_gradient(shards[k], delta1, self.batch_size)
-            self._w1_optimizers[k].step(self._w1_parts[k], grad, t)
-            update.append(cost.task_overhead + cost.sparse_work(shards[k].nnz, passes=width))
-        for key, grad in tail_grads.items():
-            self._tail_optimizers[key].step(self._tail[key], grad, t)
+            self._w1_optimizers[k].step(self._w1_parts[k], grad, ctx.t)
+            per_worker[k] = cost.task_overhead + cost.sparse_work(
+                shards[k].nnz, passes=width
+            )
+        return per_worker
+
+    def _phase_update_tail(self, ctx) -> float:
+        for key, grad in ctx.scratch["tail_grads"].items():
+            self._tail_optimizers[key].step(self._tail[key], grad, ctx.t)
         tail_elements = sum(v.size for v in self._tail.values())
-        phase2 = max(update) + cost.dense_work(tail_elements)
-        return phase1 + gather + reduce_time + bcast + phase2
+        return self.cluster.cost.dense_work(tail_elements)
 
     def current_w1(self) -> np.ndarray:
         """Reassemble the full embedding matrix."""

@@ -42,6 +42,15 @@ import numpy as np
 
 from repro.core.results import IterationRecord, TrainingResult
 from repro.datasets.dataset import Dataset
+from repro.engine import (
+    BarrierSync,
+    CommPhase,
+    ComputePhase,
+    MasterPhase,
+    RoundEngine,
+    RoundSpec,
+    run_training_loop,
+)
 from repro.errors import TrainingError
 from repro.linalg import CSRMatrix, row_dots
 from repro.linalg.ops import accumulate_rows
@@ -198,6 +207,7 @@ class MLPColumnTrainer:
         self._w1_optimizers: List[Optimizer] = []
         self._head: Dict[str, np.ndarray] = {}
         self._head_optimizers: Dict[str, Optimizer] = {}
+        self._engine: Optional[RoundEngine] = None
 
     # ------------------------------------------------------------------
     def load(self, dataset: Dataset):
@@ -223,7 +233,7 @@ class MLPColumnTrainer:
         return report
 
     # ------------------------------------------------------------------
-    def fit(self, dataset: Dataset = None) -> TrainingResult:
+    def fit(self, dataset: Optional[Dataset] = None) -> TrainingResult:
         """Train; returns the usual loss/time trace."""
         if dataset is not None and self._dataset is None:
             self.load(dataset)
@@ -239,60 +249,113 @@ class MLPColumnTrainer:
         if self.eval_every:
             self._record(result, -1, 0.0, 0)
 
-        for t in range(self.iterations):
-            bytes_before = self.cluster.network.total_bytes()
-            duration = self._run_iteration(t)
-            self.cluster.clock.advance(duration)
-            evaluate = bool(self.eval_every) and (
-                (t + 1) % self.eval_every == 0 or t == self.iterations - 1
-            )
-            self._record(
-                result, t, duration,
-                self.cluster.network.total_bytes() - bytes_before,
-                evaluate=evaluate,
-            )
+        self._engine = RoundEngine(self, self.cluster)
+        run_training_loop(
+            cluster=self.cluster,
+            run_round=self.run_round,
+            iterations=self.iterations,
+            eval_every=self.eval_every,
+            record=lambda t, duration, bytes_sent, evaluate: self._record(
+                result, t, duration, bytes_sent, evaluate=evaluate
+            ),
+        )
         return result
 
-    def _run_iteration(self, t: int) -> float:
-        K = self.cluster.n_workers
-        cost = self.cluster.cost
-        draws = self._index.sample(t, self.batch_size)
-        H = self.model.hidden
+    def run_round(self, t: int):
+        """One engine round (used by fit(), benchmarks and tests)."""
+        if self._engine is None:
+            self._engine = RoundEngine(self, self.cluster)
+        return self._engine.run_round(t)
 
-        # Phase 1: each worker's partial Z over its shard.
+    # ------------------------------------------------------------------
+    def round_spec(self) -> RoundSpec:
+        """One statistics round per iteration (Section III-C, FC layer):
+        gather/broadcast the ``B x H`` pre-activations, then local
+        backward on each W1 partition plus the replicated head."""
+        return RoundSpec(
+            system="ColumnSGD-MLP",
+            sync=BarrierSync(),
+            phases=(
+                ComputePhase(
+                    "partial_statistics",
+                    run="_phase_partial_statistics",
+                    synchronized=True,
+                ),
+                CommPhase(
+                    "gather",
+                    kind=MessageKind.STATISTICS_PUSH,
+                    pattern="gather",
+                    sizes="_statistics_push_sizes",
+                ),
+                MasterPhase("reduce", run="_phase_reduce"),
+                CommPhase(
+                    "broadcast",
+                    kind=MessageKind.STATISTICS_BCAST,
+                    pattern="broadcast",
+                    sizes="_statistics_size",
+                ),
+                ComputePhase("update_model", run="_phase_update_model"),
+                MasterPhase("update_head", run="_phase_update_head"),
+            ),
+        )
+
+    def _phase_partial_statistics(self, ctx) -> Dict[int, float]:
+        """Each worker's partial Z over its shard."""
+        cost = self.cluster.cost
+        draws = self._index.sample(ctx.t, self.batch_size)
+        H = self.model.hidden
         shards = []
         labels = None
         z_total = None
-        compute = []
-        for k in range(K):
+        per_worker: Dict[int, float] = {}
+        for k in range(self.cluster.n_workers):
             shard, shard_labels = self._stores[k].assemble_batch(draws)
             shards.append(shard)
             labels = shard_labels
             part = self.model.partial_statistics(shard, self._w1_parts[k])
             z_total = part if z_total is None else z_total + part
-            compute.append(cost.task_overhead + cost.sparse_work(shard.nnz, passes=H))
-        phase1 = max(compute)
+            per_worker[k] = cost.task_overhead + cost.sparse_work(shard.nnz, passes=H)
+        ctx.scratch["shards"] = shards
+        ctx.scratch["labels"] = labels
+        ctx.scratch["z_total"] = z_total
+        return per_worker
 
-        stats_size = dense_vector_bytes(self.batch_size * H)
-        gather = self.cluster.topology.gather(
-            MessageKind.STATISTICS_PUSH, [stats_size] * K
+    def _statistics_size(self, ctx) -> int:
+        return dense_vector_bytes(self.batch_size * self.model.hidden)
+
+    def _statistics_push_sizes(self, ctx) -> List[int]:
+        return [self._statistics_size(ctx)] * self.cluster.n_workers
+
+    def _phase_reduce(self, ctx) -> float:
+        return self.cluster.cost.dense_work(
+            self.cluster.n_workers * self.batch_size * self.model.hidden
         )
-        reduce_time = cost.dense_work(K * self.batch_size * H)
-        bcast = self.cluster.topology.broadcast(MessageKind.STATISTICS_BCAST, stats_size)
 
-        # Phase 2: local backward; W1 partitions and the replicated head.
-        a, c, delta = self.model.backward(z_total, labels, self._head)
-        update = []
-        for k in range(K):
+    def _phase_update_model(self, ctx) -> Dict[int, float]:
+        """Local backward; W1 partitions step their optimizers."""
+        cost = self.cluster.cost
+        H = self.model.hidden
+        shards = ctx.scratch["shards"]
+        a, c, delta = self.model.backward(
+            ctx.scratch["z_total"], ctx.scratch["labels"], self._head
+        )
+        ctx.scratch["backward"] = (a, c, delta)
+        per_worker: Dict[int, float] = {}
+        for k in range(self.cluster.n_workers):
             grad = self.model.w1_gradient(shards[k], delta, self.batch_size)
-            self._w1_optimizers[k].step(self._w1_parts[k], grad, t)
-            update.append(cost.task_overhead + cost.sparse_work(shards[k].nnz, passes=H))
+            self._w1_optimizers[k].step(self._w1_parts[k], grad, ctx.t)
+            per_worker[k] = cost.task_overhead + cost.sparse_work(
+                shards[k].nnz, passes=H
+            )
+        return per_worker
+
+    def _phase_update_head(self, ctx) -> float:
+        """The replicated head's identical update (no communication)."""
+        a, c, delta = ctx.scratch["backward"]
         head_grads = self.model.head_gradients(a, c, delta, self.batch_size)
         for key, grad in head_grads.items():
-            self._head_optimizers[key].step(self._head[key], grad, t)
-        phase2 = max(update) + cost.dense_work(2 * H + 1)
-
-        return phase1 + gather + reduce_time + bcast + phase2
+            self._head_optimizers[key].step(self._head[key], grad, ctx.t)
+        return self.cluster.cost.dense_work(2 * self.model.hidden + 1)
 
     # ------------------------------------------------------------------
     def current_w1(self) -> np.ndarray:
@@ -306,7 +369,7 @@ class MLPColumnTrainer:
         """The replicated head parameters."""
         return {k: v.copy() for k, v in self._head.items()}
 
-    def evaluate_loss(self, dataset: Dataset = None) -> float:
+    def evaluate_loss(self, dataset: Optional[Dataset] = None) -> float:
         """Full-train loss (not charged to simulated time)."""
         data = dataset if dataset is not None else self._dataset
         z = self.model.partial_statistics(data.features, self.current_w1())

@@ -10,7 +10,7 @@ stitching for reassembly tests, and the SGD kernels in
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -62,7 +62,7 @@ class CSRMatrix:
     # constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_rows(cls, rows: Sequence[SparseVector], n_cols: int = None) -> "CSRMatrix":
+    def from_rows(cls, rows: Sequence[SparseVector], n_cols: Optional[int] = None) -> "CSRMatrix":
         """Stack sparse vectors as matrix rows.
 
         All rows must share one dimension; ``n_cols`` overrides it (useful

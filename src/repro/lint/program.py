@@ -61,7 +61,7 @@ SERIALIZATION_MODULE = "repro.storage.serialization"
 #: Import-layering contract (R011): modules in a pure layer must never
 #: reach a simulator layer through the import graph.
 PURE_LAYERS = ("models", "linalg", "optim")
-SIMULATOR_LAYERS = ("sim", "net", "core")
+SIMULATOR_LAYERS = ("sim", "net", "core", "engine")
 
 #: Attribute-call fallback resolution gives up beyond this many
 #: same-named candidates — over-linking ubiquitous names would make the
@@ -895,72 +895,239 @@ def _round_expected_dicts(method: FunctionInfo) -> List[Tuple[ast.AST, Set[str]]
     return out
 
 
+#: Per phase-constructor: keyword arguments whose string values name
+#: trainer methods the engine will call (the statically-known executor
+#: entry points of a RoundSpec).
+_EXECUTOR_ARGS = {
+    "ComputePhase": ("run",),
+    "MasterPhase": ("run",),
+    "CommPhase": ("sizes", "servers"),
+}
+
+
+def _call_kwarg(call: ast.Call, name: str) -> Optional[ast.AST]:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def _string_value(expr: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    return None
+
+
+def _spec_declarations(
+    method: FunctionInfo,
+) -> Tuple[Set[str], Set[str], Set[str], Optional[ast.AST]]:
+    """Spec-style declarations in one method body.
+
+    Returns ``(declared kinds, executor method names, envelope-provider
+    names, first CommPhase node)`` from the ``CommPhase``/
+    ``ComputePhase``/``MasterPhase``/``RoundSpec`` constructor calls.
+    """
+    declared: Set[str] = set()
+    executors: Set[str] = set()
+    envelopes: Set[str] = set()
+    node: Optional[ast.AST] = None
+    for call, chain in method.calls:
+        ctor = chain[-1]
+        if ctor == "CommPhase":
+            kind_expr = _call_kwarg(call, "kind")
+            if kind_expr is None and len(call.args) > 1:
+                kind_expr = call.args[1]
+            kind = _kind_of(kind_expr) if kind_expr is not None else None
+            if kind is not None:
+                declared.add(kind)
+                if node is None:
+                    node = call
+        if ctor in _EXECUTOR_ARGS:
+            for arg_name in _EXECUTOR_ARGS[ctor]:
+                name = _string_value(_call_kwarg(call, arg_name))
+                if name is None and arg_name == "run" and len(call.args) > 1:
+                    name = _string_value(call.args[1])
+                if name is not None:
+                    executors.add(name)
+        if ctor == "RoundSpec":
+            name = _string_value(_call_kwarg(call, "envelopes"))
+            if name is not None:
+                envelopes.add(name)
+    return declared, executors, envelopes, node
+
+
+def _envelope_kinds(method: FunctionInfo) -> Set[str]:
+    """MessageKind keys of dict literals in an envelope provider."""
+    kinds: Set[str] = set()
+    for sub in ast.walk(method.node):
+        if isinstance(sub, ast.Dict):
+            for keynode in sub.keys:
+                if keynode is None:
+                    continue
+                kind = _kind_of(keynode)
+                if kind is not None:
+                    kinds.add(kind)
+    return kinds
+
+
+def _walk_round_emissions(
+    index: ProgramIndex,
+    summaries: Dict[FunctionInfo, "EmissionSummary"],
+    cls: ClassInfo,
+    mro: Sequence[ClassInfo],
+    roots: List[FunctionInfo],
+) -> Tuple[Set[str], Set[str], Optional[ast.AST], Optional[ModuleInfo]]:
+    """Transitive ``Message`` kinds reachable from ``roots`` under
+    ``cls``'s MRO, plus any legacy ``_round_expected`` declarations
+    found along the way."""
+    emitted: Set[str] = set()
+    declared: Set[str] = set()
+    decl_node: Optional[ast.AST] = None
+    decl_module: Optional[ModuleInfo] = None
+    visited: Set[str] = set()
+    stack: List[FunctionInfo] = list(roots)
+    while stack:
+        method = stack.pop()
+        if method.qualname in visited:
+            continue
+        visited.add(method.qualname)
+        for node, kinds in _round_expected_dicts(method):
+            declared |= kinds
+            if decl_node is None:
+                decl_node, decl_module = node, method.module
+        for call, chain in method.calls:
+            if chain[0] == "self" and len(chain) == 2:
+                target = index.resolve_self_method(chain[1], mro)
+                if target is not None:
+                    stack.append(target)
+                continue
+            if chain[-1] == "Message":
+                kind = _kind_of(_message_kind_argument(call) or ast.Name(id="?"))
+                if kind is not None:
+                    emitted.add(kind)
+                continue
+            for callee in index.resolve_call(
+                chain, method, method.module, view_class=cls
+            ):
+                callee_summary = summaries[callee]
+                emitted |= callee_summary.kinds
+                for param in callee_summary.kind_params:
+                    arg = callee.arg_for_param(call, param)
+                    kind = _kind_of(arg) if arg is not None else None
+                    if kind is not None:
+                        emitted.add(kind)
+    return emitted, declared, decl_node, decl_module
+
+
+def _extract_spec_protocol(
+    index: ProgramIndex,
+    summaries: Dict[FunctionInfo, "EmissionSummary"],
+    module: ModuleInfo,
+    cls: ClassInfo,
+) -> Optional[dict]:
+    """Spec-style record: declared = CommPhase kinds (+ envelope keys)
+    across the class's resolved MRO methods; emitted = Message kinds
+    reachable from the spec's executor methods.
+
+    The engine emits each CommPhase's declared kind by construction, so
+    the residual drift class is an executor sending on the wire behind
+    the spec's back — that is what the emitted set captures.
+    """
+    mro = index.mro(cls)
+    if index.resolve_self_method("round_spec", mro) is None:
+        return None
+    names: Set[str] = set()
+    for klass in mro:
+        names.update(klass.methods)
+    declared: Set[str] = set()
+    executors: Set[str] = set()
+    envelope_names: Set[str] = set()
+    decl_node: Optional[ast.AST] = None
+    decl_module: Optional[ModuleInfo] = None
+    for name in sorted(names):
+        method = index.resolve_self_method(name, mro)
+        if method is None:
+            continue
+        kinds, runs, envelopes, node = _spec_declarations(method)
+        declared |= kinds
+        executors |= runs
+        envelope_names |= envelopes
+        if node is not None and decl_node is None:
+            decl_node, decl_module = node, method.module
+    if not declared:
+        return None
+    roots: List[FunctionInfo] = []
+    for name in sorted(executors | envelope_names):
+        method = index.resolve_self_method(name, mro)
+        if method is not None:
+            roots.append(method)
+    for name in sorted(envelope_names):
+        method = index.resolve_self_method(name, mro)
+        if method is not None:
+            declared |= _envelope_kinds(method)
+    emitted, _, _, _ = _walk_round_emissions(index, summaries, cls, mro, roots)
+    return {
+        "style": "spec",
+        "emitted": emitted - set(UNCHECKED_KINDS),
+        "declared": declared - set(UNCHECKED_KINDS),
+        "module": decl_module or module,
+        "node": decl_node or cls.node,
+    }
+
+
+def _extract_legacy_protocol(
+    index: ProgramIndex,
+    summaries: Dict[FunctionInfo, "EmissionSummary"],
+    module: ModuleInfo,
+    cls: ClassInfo,
+) -> Optional[dict]:
+    """Legacy record: a hand-rolled ``_run_iteration`` loop audited
+    against its ``self._round_expected`` dict literals."""
+    if not any(_round_expected_dicts(method) for method in cls.methods.values()):
+        return None
+    mro = index.mro(cls)
+    root = index.resolve_self_method("_run_iteration", mro)
+    if root is None:
+        return None
+    emitted, declared, decl_node, decl_module = _walk_round_emissions(
+        index, summaries, cls, mro, [root]
+    )
+    return {
+        "style": "legacy",
+        "emitted": emitted - set(UNCHECKED_KINDS),
+        "declared": declared - set(UNCHECKED_KINDS),
+        "module": decl_module or module,
+        "node": decl_node or cls.node,
+    }
+
+
 def extract_round_protocol(index: ProgramIndex) -> Dict[str, dict]:
     """Static per-trainer round protocol: emitted vs. declared kinds.
 
-    Walks each candidate class (one that assigns ``self._round_expected``
-    a dict literal and has ``_run_iteration`` in its MRO) from its round
-    loop, resolving ``self.method()`` calls against *that* class's MRO so
-    subclass overrides (``_communication_seconds``, ``_push_sizes``) are
-    honoured.  Returns ``{class qualname: {"emitted", "declared",
+    Two declaration styles are recognised, in order:
+
+    * **spec** — the class (or a base) defines ``round_spec`` and its
+      resolved MRO methods construct ``CommPhase`` declarations; the
+      declared kinds are read straight from the spec (plus any
+      ``TrafficEnvelope`` dict keys of the spec's ``envelopes``
+      provider) and the emitted kinds are whatever ``Message`` sends
+      are reachable from the spec's executor methods.
+    * **legacy** — the class assigns ``self._round_expected`` a dict
+      literal and has ``_run_iteration`` in its MRO; the round loop is
+      walked with subclass overrides honoured.
+
+    Returns ``{class qualname: {"style", "emitted", "declared",
     "module", "node"}}`` with :data:`UNCHECKED_KINDS` removed.
     """
     summaries = compute_emission_summaries(index)
     results: Dict[str, dict] = {}
     for module in index.modules:
         for cls in module.classes.values():
-            if not any(
-                _round_expected_dicts(method) for method in cls.methods.values()
-            ):
-                continue
-            mro = index.mro(cls)
-            root = index.resolve_self_method("_run_iteration", mro)
-            if root is None:
-                continue
-            emitted: Set[str] = set()
-            declared: Set[str] = set()
-            decl_node: Optional[ast.AST] = None
-            decl_module: Optional[ModuleInfo] = None
-            visited: Set[str] = set()
-            stack: List[FunctionInfo] = [root]
-            while stack:
-                method = stack.pop()
-                if method.qualname in visited:
-                    continue
-                visited.add(method.qualname)
-                for node, kinds in _round_expected_dicts(method):
-                    declared |= kinds
-                    if decl_node is None:
-                        decl_node, decl_module = node, method.module
-                for call, chain in method.calls:
-                    if chain[0] == "self" and len(chain) == 2:
-                        target = index.resolve_self_method(chain[1], mro)
-                        if target is not None:
-                            stack.append(target)
-                        continue
-                    if chain[-1] == "Message":
-                        kind = _kind_of(_message_kind_argument(call) or ast.Name(id="?"))
-                        if kind is not None:
-                            emitted.add(kind)
-                        continue
-                    for callee in index.resolve_call(
-                        chain, method, method.module, view_class=cls
-                    ):
-                        callee_summary = summaries[callee]
-                        emitted |= callee_summary.kinds
-                        for param in callee_summary.kind_params:
-                            arg = callee.arg_for_param(call, param)
-                            kind = _kind_of(arg) if arg is not None else None
-                            if kind is not None:
-                                emitted.add(kind)
-            emitted -= set(UNCHECKED_KINDS)
-            declared -= set(UNCHECKED_KINDS)
-            results[cls.qualname] = {
-                "emitted": emitted,
-                "declared": declared,
-                "module": decl_module or module,
-                "node": decl_node or cls.node,
-            }
+            record = _extract_spec_protocol(index, summaries, module, cls)
+            if record is None:
+                record = _extract_legacy_protocol(index, summaries, module, cls)
+            if record is not None:
+                results[cls.qualname] = record
     return results
 
 
@@ -973,7 +1140,10 @@ class ProtocolDriftRule(ProgramRule):
     rule_id = "R010"
     title = "round-loop traffic disagrees with declared expected traffic"
     severity = "error"
-    fix_hint = "update the _round_expected declaration (or the emission) so both agree"
+    fix_hint = (
+        "declare the kind as a CommPhase/envelope in the RoundSpec (or drop "
+        "the rogue emission); for legacy loops update _round_expected"
+    )
 
     def run(self) -> None:
         for qualname, record in sorted(extract_round_protocol(self.index).items()):
@@ -981,7 +1151,13 @@ class ProtocolDriftRule(ProgramRule):
             if module.ctx.is_test_code():
                 continue
             undeclared = sorted(record["emitted"] - record["declared"])
-            unemitted = sorted(record["declared"] - record["emitted"])
+            # Spec-style trainers: the engine emits every declared
+            # CommPhase itself, so only rogue emissions can drift.
+            unemitted = (
+                []
+                if record["style"] == "spec"
+                else sorted(record["declared"] - record["emitted"])
+            )
             if not undeclared and not unemitted:
                 continue
             details = []

@@ -38,7 +38,8 @@ be green merely because the declaration drifted along with a bug.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import ProtocolViolationError
 from repro.net.message import Message, MessageKind
@@ -46,6 +47,57 @@ from repro.net.message import Message, MessageKind
 #: Kinds that may appear in any round without being declared in the
 #: trainer's expectation (scheduling/barrier chatter).
 _UNCHECKED_KINDS = (MessageKind.CONTROL,)
+
+
+@dataclass(frozen=True)
+class TrafficEnvelope:
+    """Bounded per-round traffic for one message kind.
+
+    Protocols that relax the BSP barrier (bounded staleness) cannot
+    predict exact per-round traffic, but they *can* bound it: SSP with
+    staleness ``s`` still commits exactly one update per round through
+    the servers, while gradient bytes vary with the sampled batch's
+    sparsity.  An envelope declares those bounds so such trainers are
+    checked instead of exempted; an exact expectation is the degenerate
+    envelope with ``min == max``.
+    """
+
+    min_messages: int
+    max_messages: int
+    min_bytes: int
+    max_bytes: int
+
+    def __post_init__(self):
+        if not (0 <= self.min_messages <= self.max_messages):
+            raise ValueError("need 0 <= min_messages <= max_messages")
+        if not (0 <= self.min_bytes <= self.max_bytes):
+            raise ValueError("need 0 <= min_bytes <= max_bytes")
+
+    @classmethod
+    def exact(cls, messages: int, total_bytes: int) -> "TrafficEnvelope":
+        """Envelope matching exactly one (count, bytes) point."""
+        return cls(messages, messages, total_bytes, total_bytes)
+
+    def check(self, kind: MessageKind, count: int, total_bytes: int) -> List[str]:
+        """Problem strings for observed traffic outside the envelope."""
+        problems = []
+        if not self.min_messages <= count <= self.max_messages:
+            problems.append(
+                "{}: envelope allows {}..{} message(s), observed {}".format(
+                    kind.value, self.min_messages, self.max_messages, count
+                )
+            )
+        if not self.min_bytes <= total_bytes <= self.max_bytes:
+            problems.append(
+                "{}: envelope allows {}..{} byte(s), observed {}".format(
+                    kind.value, self.min_bytes, self.max_bytes, total_bytes
+                )
+            )
+        return problems
+
+
+#: One kind's expectation: an exact ``(count, bytes)`` pair or an envelope.
+ExpectedTraffic = Union[Tuple[int, int], TrafficEnvelope]
 
 
 class ProtocolChecker:
@@ -86,14 +138,16 @@ class ProtocolChecker:
     def end_round(
         self,
         iteration: int,
-        expected: Optional[Dict[MessageKind, Tuple[int, int]]] = None,
+        expected: Optional[Dict[MessageKind, ExpectedTraffic]] = None,
     ) -> None:
         """Close iteration ``iteration`` and verify its invariants.
 
         ``expected`` maps each message kind the trainer's cost model
-        predicts for the round to ``(message_count, total_bytes)``; when
-        given, observed traffic must match exactly and no undeclared
-        kind may appear (:data:`MessageKind.CONTROL` excepted).
+        predicts for the round to ``(message_count, total_bytes)`` — or
+        to a :class:`TrafficEnvelope` for bounded-staleness protocols
+        whose per-round traffic is bracketed rather than exact.  Observed
+        traffic must match, and no undeclared kind may appear
+        (:data:`MessageKind.CONTROL` excepted).
         """
         if not self._round_open:
             raise ProtocolViolationError(
@@ -149,9 +203,9 @@ class ProtocolChecker:
         self,
         counts: Dict[MessageKind, int],
         totals: Dict[MessageKind, int],
-        expected: Dict[MessageKind, Tuple[int, int]],
+        expected: Dict[MessageKind, ExpectedTraffic],
     ) -> List[str]:
-        """Observed counts/bytes must equal the analytic expectation."""
+        """Observed counts/bytes must satisfy the analytic expectation."""
         problems = []
         for kind in counts:
             if kind not in expected and kind not in _UNCHECKED_KINDS:
@@ -160,9 +214,13 @@ class ProtocolChecker:
                         kind.value, counts[kind], totals[kind]
                     )
                 )
-        for kind, (want_count, want_bytes) in expected.items():
+        for kind, want in expected.items():
             got_count = counts.get(kind, 0)
             got_bytes = totals.get(kind, 0)
+            if isinstance(want, TrafficEnvelope):
+                problems.extend(want.check(kind, got_count, got_bytes))
+                continue
+            want_count, want_bytes = want
             if got_count != want_count:
                 problems.append(
                     "{}: cost model predicts {} message(s), observed {}".format(

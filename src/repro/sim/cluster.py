@@ -9,7 +9,7 @@ and ``CLUSTER2`` are the two testbeds of Section V-A.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import OutOfMemoryError
 from repro.net.network import NetworkModel, gbps
@@ -75,7 +75,7 @@ class SimulatedCluster:
 
     MASTER = -1
 
-    def __init__(self, spec: ClusterSpec, cost: ComputeCostModel = None):
+    def __init__(self, spec: ClusterSpec, cost: Optional[ComputeCostModel] = None):
         self.spec = spec
         self.clock = SimClock()
         self.network = NetworkModel(
@@ -83,6 +83,10 @@ class SimulatedCluster:
         )
         self.topology = StarTopology(self.network, spec.n_workers)
         self.cost = cost if cost is not None else ComputeCostModel()
+        #: per-phase trace of the most recent engine-driven run; set by
+        #: :class:`repro.engine.RoundEngine` (kept as a plain attribute so
+        #: the sim layer does not import the engine layer)
+        self.engine_trace = None
         self._memory: Dict[int, float] = {self.MASTER: 0.0}
         self._memory.update({w: 0.0 for w in range(spec.n_workers)})
         self._memory_peak: Dict[int, float] = dict(self._memory)
@@ -144,9 +148,10 @@ class SimulatedCluster:
         return self.cost.task_overhead + slowest
 
     def reset(self) -> None:
-        """Fresh clock, counters and ledgers for a new run."""
+        """Fresh clock, counters, ledgers and engine trace for a new run."""
         self.clock.reset()
         self.network.reset_counters()
+        self.engine_trace = None
         for node in self._memory:
             self._memory[node] = 0.0
             self._memory_peak[node] = 0.0

@@ -10,7 +10,7 @@ measured in Fig 7 come from shuffling and serialization, not raw reads.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.datasets.dataset import Dataset
 from repro.errors import DataError
@@ -85,7 +85,7 @@ class SimulatedHDFS:
         """Seconds to sequentially read one block from its location."""
         return self.block_bytes(block_id) / self.read_bandwidth
 
-    def scan_time(self, parallelism: int = None) -> float:
+    def scan_time(self, parallelism: Optional[int] = None) -> float:
         """Seconds for ``parallelism`` readers to scan the whole file.
 
         Blocks at one location are read sequentially; locations proceed in

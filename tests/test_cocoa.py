@@ -37,7 +37,7 @@ class TestCoCoA:
     def test_primal_dual_identity_maintained(self, data):
         trainer = make_trainer(data, iterations=1)
         for t in range(8):
-            trainer._run_round(t)
+            trainer.run_round(t)
             assert trainer.primal_dual_consistency() < 1e-9
 
     def test_converges_near_closed_form(self, data):

@@ -37,7 +37,7 @@ class TestRidgeCD:
         """r == X w - y exactly after every sync, despite staleness."""
         trainer = make_trainer(data, iterations=1)
         for t in range(10):
-            trainer._run_round(t)
+            trainer.run_round(t)
             w = trainer.current_params()
             expected = row_dots(data.features, w) - data.labels
             assert np.allclose(trainer.residual(), expected, atol=1e-9)
@@ -88,7 +88,7 @@ class TestRidgeCD:
     def test_coords_per_round_respected(self, data):
         trainer = make_trainer(data, iterations=1, coords_per_round=1)
         before = trainer.current_params().copy()
-        trainer._run_round(0)
+        trainer.run_round(0)
         changed = np.sum(trainer.current_params() != before)
         assert changed <= 4  # at most one coordinate per worker
 

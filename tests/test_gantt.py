@@ -18,7 +18,7 @@ def run_one_iteration(data, backup=0, straggler=None):
         straggler=straggler,
     )
     driver.load(data)
-    driver._run_iteration(0)
+    driver.run_round(0)
     return driver
 
 

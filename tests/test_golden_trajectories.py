@@ -1,0 +1,54 @@
+"""Golden-trajectory regression tests (DESIGN invariant 1).
+
+``tests/golden/trajectories.json`` holds loss curves and final
+parameters — serialised as IEEE-754 hex, so equality means *bit*
+equality — recorded on the pre-engine round loops.  Every combo is
+replayed here on the current code; any drift in sampling, reduction
+order, or update arithmetic fails loudly.
+
+Regenerate the fixture only for an intentional numeric change::
+
+    PYTHONPATH=src python tests/golden/record_golden.py
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+FIXTURE = GOLDEN_DIR / "trajectories.json"
+
+sys.path.insert(0, str(GOLDEN_DIR))
+
+from record_golden import record_all  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def replayed():
+    return record_all()
+
+
+def _keys():
+    return sorted(json.loads(FIXTURE.read_text()))
+
+
+def test_fixture_covers_every_combo(golden, replayed):
+    assert sorted(replayed) == sorted(golden)
+
+
+@pytest.mark.parametrize("key", _keys())
+def test_trajectory_bit_identical(golden, replayed, key):
+    want, got = golden[key], replayed[key]
+    assert got["losses"] == want["losses"], (
+        "{}: loss trajectory drifted from the pre-engine recording".format(key)
+    )
+    assert got["final_params"] == want["final_params"], (
+        "{}: final parameters drifted from the pre-engine recording".format(key)
+    )

@@ -11,6 +11,7 @@ from repro.baselines.mllib import MLlibTrainer
 from repro.baselines.mllib_star import MLlibStarTrainer
 from repro.baselines.parameter_server import ParameterServerTrainer
 from repro.baselines.sparse_ps import SparsePSTrainer
+from repro.baselines.ssp import StaleSyncPSTrainer
 from repro.core.driver import ColumnSGDConfig, ColumnSGDDriver
 from repro.lint import LintEngine, discover_sources, registered_program_rules
 from repro.lint.cli import main as lint_main
@@ -217,23 +218,34 @@ BSP_BASELINES = [
     (MLlibStarTrainer, "repro.baselines.mllib_star.MLlibStarTrainer"),
     (ParameterServerTrainer, "repro.baselines.parameter_server.ParameterServerTrainer"),
     (SparsePSTrainer, "repro.baselines.sparse_ps.SparsePSTrainer"),
+    (StaleSyncPSTrainer, "repro.baselines.ssp.StaleSyncPSTrainer"),
 ]
 
+ENGINE_TRAINERS = {
+    "repro.core.driver.ColumnSGDDriver",
+    "repro.baselines.mllib.MLlibTrainer",
+    "repro.baselines.mllib_star.MLlibStarTrainer",
+    "repro.baselines.parameter_server.ParameterServerTrainer",
+    "repro.baselines.sparse_ps.SparsePSTrainer",
+    "repro.baselines.ssp.StaleSyncPSTrainer",
+    "repro.extensions.cocoa.CoCoATrainer",
+    "repro.extensions.coordinate_descent.RidgeCDTrainer",
+    "repro.extensions.deep_mlp.DeepMLPColumnTrainer",
+    "repro.extensions.mlp.MLPColumnTrainer",
+}
 
-def test_extraction_covers_exactly_the_bsp_trainers(src_protocols):
-    assert set(src_protocols) == {
-        "repro.core.driver.ColumnSGDDriver",
-        "repro.baselines.mllib.MLlibTrainer",
-        "repro.baselines.mllib_star.MLlibStarTrainer",
-        "repro.baselines.parameter_server.ParameterServerTrainer",
-        "repro.baselines.sparse_ps.SparsePSTrainer",
-    }
+
+def test_extraction_covers_every_engine_trainer(src_protocols):
+    assert set(src_protocols) == ENGINE_TRAINERS
 
 
 def test_extraction_is_internally_consistent(src_protocols):
     for qualname, record in src_protocols.items():
-        assert record["emitted"] == record["declared"], qualname
+        assert record["style"] == "spec", qualname
         assert record["declared"], qualname
+        # With the engine, only the CommPhase declarations emit traffic;
+        # any kind found inside an executor body must also be declared.
+        assert record["emitted"] <= record["declared"], qualname
 
 
 @pytest.mark.parametrize("trainer_cls,qualname", BSP_BASELINES)
@@ -246,9 +258,8 @@ def test_static_extraction_matches_runtime_declaration(
     trainer = trainer_cls(LogisticRegression(), SGD(0.1), cluster4, config=config)
     trainer.load(tiny_binary)
     trainer.fit()
-    runtime_kinds = {kind.name for kind in trainer._round_expected}
+    runtime_kinds = {kind.name for kind in trainer.round_spec().comm_kinds()}
     assert src_protocols[qualname]["declared"] == runtime_kinds
-    assert src_protocols[qualname]["emitted"] == runtime_kinds
 
 
 def test_static_extraction_matches_runtime_driver_declaration(
@@ -258,7 +269,6 @@ def test_static_extraction_matches_runtime_driver_declaration(
     driver = ColumnSGDDriver(LogisticRegression(), SGD(0.1), cluster4, config=config)
     driver.load(tiny_binary)
     driver.fit()
-    runtime_kinds = {kind.name for kind in driver._round_expected}
+    runtime_kinds = {kind.name for kind in driver.round_spec().comm_kinds()}
     record = src_protocols["repro.core.driver.ColumnSGDDriver"]
     assert record["declared"] == runtime_kinds
-    assert record["emitted"] == runtime_kinds

@@ -178,7 +178,7 @@ class TestPhaseBreakdown:
                                    block_size=64),
         )
         driver.load(tiny_binary)
-        duration = driver._run_iteration(0)
+        duration = driver.run_round(0).duration
         phases = driver.last_phase_seconds
         assert set(phases) == {
             "compute_statistics", "gather", "reduce", "broadcast", "update_model"
