@@ -4,32 +4,50 @@ Expected shape (paper): a task failure is invisible (data and model stay
 cached); a worker failure pauses for a data reload (23 s at paper scale)
 and the zeroed model partition bumps the loss before SGD re-converges.
 
+Beyond the paper, this bench also exercises the chaos-grade pipeline:
+
+* master restart from checkpoint (the paper aborts on MASTER failure;
+  with ``RecoveryPolicy(master_restart=True)`` the job survives and the
+  recovery cost is broken down into detect / reload / replay);
+* a seeded chaos matrix — ChaosSchedule worker crashes on top of a
+  1 %-drop :class:`~repro.net.FaultPlan`, protocol-checked every round.
+
 Wall-clock benchmark: one worker-failure recovery.
 """
 
-from repro.core import ColumnSGDConfig, ColumnSGDDriver
+from repro.core import ColumnSGDConfig, ColumnSGDDriver, RecoveryPolicy
 from repro.datasets import load_profile
-from repro.experiments import loss_series
+from repro.experiments import fault_timeline, loss_series, render_engine_trace
 from repro.models import LogisticRegression
+from repro.net import FaultPlan, LinkFaults
 from repro.optim import SGD
-from repro.sim import CLUSTER1, FailureInjector, SimulatedCluster
+from repro.sim import (
+    CLUSTER1,
+    ChaosSchedule,
+    FailureInjector,
+    SimulatedCluster,
+)
 from repro.utils import ascii_table, format_duration
 
 
-def run(data, failures=None):
-    cluster = SimulatedCluster(CLUSTER1)
-    config = ColumnSGDConfig(batch_size=500, iterations=80, eval_every=4, seed=10)
+def run(data, failures=None, recovery=None, fault_plan=None, check_protocol=False):
+    cluster = SimulatedCluster(CLUSTER1, fault_plan=fault_plan)
+    config = ColumnSGDConfig(
+        batch_size=500, iterations=80, eval_every=4, seed=10,
+        check_protocol=check_protocol,
+    )
     driver = ColumnSGDDriver(
-        LogisticRegression(), SGD(1.0), cluster, config=config, failures=failures
+        LogisticRegression(), SGD(1.0), cluster, config=config,
+        failures=failures, recovery=recovery,
     )
     driver.load(data)
-    return driver.fit()
+    return driver.fit(), driver
 
 
 def fig13_report(data):
-    clean = run(data)
-    task = run(data, FailureInjector.task_failure(40, worker_id=3))
-    worker = run(data, FailureInjector.worker_failure(40, worker_id=3))
+    clean, _ = run(data)
+    task, _ = run(data, FailureInjector.task_failure(40, worker_id=3))
+    worker, _ = run(data, FailureInjector.worker_failure(40, worker_id=3))
     table = ascii_table(
         ["scenario", "total sim time", "final loss", "loss right after failure"],
         [
@@ -74,7 +92,7 @@ def ft_asymmetry_table(data):
     )
     trainer.load(data)
     mllib = trainer.fit()
-    column = run(data, FailureInjector.worker_failure(40, worker_id=3))
+    column, _ = run(data, FailureInjector.worker_failure(40, worker_id=3))
     return ascii_table(
         ["system", "worker failure @40 costs", "loss right after", "model state lost"],
         [
@@ -86,10 +104,75 @@ def ft_asymmetry_table(data):
     )
 
 
+def master_restart_report(data):
+    """MASTER failure no longer aborts: restart from the latest
+    checkpoint and replay the missed iterations deterministically."""
+    recovery = RecoveryPolicy(
+        checkpoint_every=10, heartbeat_interval_s=0.05, master_restart=True
+    )
+    result, driver = run(
+        data,
+        failures=FailureInjector.master_failure(44),
+        recovery=recovery,
+        check_protocol=True,
+    )
+    trace = driver.cluster.engine_trace
+    clean, _ = run(data)
+    table = ascii_table(
+        ["scenario", "total sim time", "final loss"],
+        [
+            ("no failure", format_duration(clean.total_sim_time),
+             "{:.4f}".format(clean.final_loss())),
+            ("master failure @44, restart", format_duration(result.total_sim_time),
+             "{:.4f}".format(result.final_loss())),
+        ],
+    )
+    return "\n\n".join([
+        table,
+        "fault episodes (detect / reload / replay):\n" + fault_timeline(trace),
+        "round 44 engine trace:\n" + render_engine_trace(trace, round_index=44),
+    ])
+
+
+# one worker crash roughly every CHAOS_MTBF_S of sim time
+CHAOS_MTBF_S = 30.0
+
+
+def chaos_matrix(data, seeds=(1, 2, 3)):
+    """Seeded chaos runs: Poisson worker/task crashes + 1 % link drop,
+    protocol-checked every round (raises on any Table-I violation)."""
+    clean, _ = run(data)
+    plan = FaultPlan(default=LinkFaults(drop=0.01), seed=0)
+    rows = []
+    for seed in seeds:
+        chaos = ChaosSchedule(mtbf_s=CHAOS_MTBF_S, seed=seed)
+        result, driver = run(
+            data, failures=chaos, fault_plan=plan, check_protocol=True
+        )
+        net = driver.cluster.network
+        trace = driver.cluster.engine_trace
+        rows.append((
+            str(seed),
+            "{:.4f}".format(result.final_loss()),
+            "{:+.4f}".format(result.final_loss() - clean.final_loss()),
+            str(len(trace.recoveries)),
+            str(net.dropped),
+            str(net.retry_messages()),
+            format_duration(result.total_sim_time),
+        ))
+    return ascii_table(
+        ["chaos seed", "final loss", "vs clean", "recoveries",
+         "drops", "retransmits", "total sim time"],
+        rows,
+    )
+
+
 def test_fig13(benchmark, emit):
     data = load_profile("kdd12").generate(seed=10, rows=4000)
     emit("fig13_fault_tolerance", fig13_report(data))
     emit("fig13_ft_asymmetry", ft_asymmetry_table(data))
+    emit("fig13_master_restart", master_restart_report(data))
+    emit("fig13_chaos_matrix", chaos_matrix(data))
 
     cluster = SimulatedCluster(CLUSTER1)
     config = ColumnSGDConfig(batch_size=500, iterations=2, eval_every=0, seed=10)

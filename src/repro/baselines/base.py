@@ -92,6 +92,10 @@ class BaselineTrainer:
             straggler if straggler is not None else StragglerModel.none(cluster.n_workers)
         )
         self.failures = failures if failures is not None else FailureInjector.none()
+        if hasattr(self.failures, "attach"):
+            self.failures.attach(cluster)  # ChaosSchedule needs the clock
+        if hasattr(self.failures, "validate"):
+            self.failures.validate(cluster.n_workers)
         self._dataset: Optional[Dataset] = None
         self._partitioner: Optional[RowPartitioner] = None
         self._params: Optional[np.ndarray] = None
@@ -254,11 +258,25 @@ class BaselineTrainer:
                 continue
             shard = self._partitioner.shard(event.worker_id)
             reload_bytes = shard.nnz * 12 + shard.n_rows * 8
-            extra += (
+            reload_s = (
                 self.cluster.cost.task_overhead
                 + reload_bytes / self.cluster.spec.disk_bandwidth_bytes_per_s
                 + reload_bytes / self.cluster.network.bandwidth
             )
+            extra += reload_s
+            trace = getattr(self.cluster, "engine_trace", None)
+            if trace is not None:
+                from repro.engine import RecoveryEvent
+
+                trace.add_recovery(
+                    RecoveryEvent(
+                        round=t,
+                        kind="worker",
+                        mode="reload",
+                        worker=event.worker_id,
+                        reload_s=reload_s,
+                    )
+                )
         return extra
 
     # ------------------------------------------------------------------

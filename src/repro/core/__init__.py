@@ -17,6 +17,7 @@ from repro.core.worker import ColumnWorker, PartitionState
 from repro.core.master import ColumnMaster
 from repro.core.driver import ColumnSGDConfig, ColumnSGDDriver, train_columnsgd
 from repro.core.interface import UserDefinedModel
+from repro.core.recovery import CheckpointStore, RecoveryManager, RecoveryPolicy
 from repro.core.analysis import (
     OverheadEstimate,
     rowsgd_overheads,
@@ -35,6 +36,9 @@ __all__ = [
     "ColumnSGDDriver",
     "train_columnsgd",
     "UserDefinedModel",
+    "CheckpointStore",
+    "RecoveryManager",
+    "RecoveryPolicy",
     "OverheadEstimate",
     "rowsgd_overheads",
     "columnsgd_overheads",

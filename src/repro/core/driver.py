@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.backup import BackupGroups
 from repro.core.master import ColumnMaster
+from repro.core.recovery import RecoveryManager, RecoveryPolicy
 from repro.core.results import IterationRecord, TrainingResult
 from repro.core.worker import ColumnWorker, PartitionState
 from repro.datasets.dataset import Dataset
@@ -37,9 +38,10 @@ from repro.engine import (
     RoundEngine,
     RoundOutcome,
     RoundSpec,
+    TimeoutSync,
     run_training_loop,
 )
-from repro.errors import MasterFailedError, TrainingError
+from repro.errors import ConfigurationError, MasterFailedError, TrainingError
 from repro.models.base import StatisticsModel
 from repro.net.message import MessageKind
 from repro.net.protocol import ProtocolChecker
@@ -74,6 +76,14 @@ class ColumnSGDConfig:
     early_stop_min_improvement: float = 1e-4
     check_protocol: bool = False  # verify BSP invariants every round
                                   # (see repro.net.protocol)
+    sync_policy: str = "backup"   # 'backup' (Fig 6 recovery), 'timeout'
+                                  # (suspect by deadline), or 'retry'
+                                  # (timeout + backoff retries)
+    sync_alpha: float = 3.0       # deadline = alpha * median(finish)
+    sync_max_retries: int = 2     # gather retries before degrading
+    sync_backoff: float = 2.0     # deadline multiplier per retry
+    sync_on_exhausted: str = "stale"  # 'stale' reuses cached group
+                                      # statistics; 'raise' escalates
 
     def __post_init__(self):
         check_positive(self.batch_size, "batch_size")
@@ -86,6 +96,11 @@ class ColumnSGDConfig:
         check_in(self.wire_precision, ("fp64", "fp32"), "wire_precision")
         check_non_negative(self.early_stop_patience, "early_stop_patience")
         check_non_negative(self.early_stop_min_improvement, "early_stop_min_improvement")
+        check_in(self.sync_policy, ("backup", "timeout", "retry"), "sync_policy")
+        check_positive(self.sync_alpha, "sync_alpha")
+        check_non_negative(self.sync_max_retries, "sync_max_retries")
+        check_positive(self.sync_backoff, "sync_backoff")
+        check_in(self.sync_on_exhausted, ("raise", "stale"), "sync_on_exhausted")
         if self.early_stop_patience and not self.eval_every:
             raise ValueError("early stopping requires eval_every > 0")
 
@@ -106,6 +121,7 @@ class ColumnSGDDriver:
         config: Optional[ColumnSGDConfig] = None,
         straggler: Optional[StragglerModel] = None,
         failures: Optional[FailureInjector] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ):
         self.model = model
         self.optimizer = optimizer
@@ -115,8 +131,16 @@ class ColumnSGDDriver:
             straggler if straggler is not None else StragglerModel.none(cluster.n_workers)
         )
         self.failures = failures if failures is not None else FailureInjector.none()
+        if hasattr(self.failures, "attach"):
+            self.failures.attach(cluster)  # ChaosSchedule needs the clock
+        if hasattr(self.failures, "validate"):
+            self.failures.validate(cluster.n_workers)
+        self.recovery_policy = recovery if recovery is not None else RecoveryPolicy.disabled()
+        self.recovery_manager: Optional[RecoveryManager] = None
         self.groups = BackupGroups(cluster.n_workers, self.config.backup)
         self.master = ColumnMaster(self.groups)
+        if self.config.sync_policy != "backup" and self.config.sync_on_exhausted == "stale":
+            self.master.cache_contributions = True
 
         self._dataset: Optional[Dataset] = None
         self._assignment = None
@@ -174,6 +198,14 @@ class ColumnSGDDriver:
             for w in range(K)
         ]
         self._charge_setup_memory()
+        self.recovery_manager = RecoveryManager(
+            self.cluster,
+            self.groups,
+            self.recovery_policy,
+            self._workers,
+            self._partitions,
+            replay_fn=self._replay_iteration,
+        )
         return report
 
     def _charge_setup_memory(self) -> None:
@@ -269,7 +301,7 @@ class ColumnSGDDriver:
         K pushes + K broadcasts of ``B * width`` values per round."""
         return RoundSpec(
             system="ColumnSGD",
-            sync=BackupSync(self.groups),
+            sync=self._sync_policy(),
             phases=(
                 ComputePhase(
                     "compute_statistics",
@@ -291,6 +323,22 @@ class ColumnSGDDriver:
                 ),
                 ComputePhase("update_model", run="_phase_update_model"),
             ),
+        )
+
+    def _sync_policy(self):
+        """The spec's sync policy, from the config's ``sync_*`` knobs."""
+        if self.config.sync_policy == "backup":
+            return BackupSync(self.groups)
+        return TimeoutSync(
+            self.groups,
+            alpha=self.config.sync_alpha,
+            max_retries=(
+                self.config.sync_max_retries
+                if self.config.sync_policy == "retry"
+                else 0
+            ),
+            backoff=self.config.sync_backoff,
+            on_exhausted=self.config.sync_on_exhausted,
         )
 
     def run_round(self, t: int) -> RoundOutcome:
@@ -355,6 +403,7 @@ class ColumnSGDDriver:
             self.master.reduce(
                 ctx.scratch["stats_by_worker"],
                 finish_times=ctx.scratch["finish"],
+                stale_groups=ctx.stale_groups or None,
             )
         )
         ctx.scratch["reduced"] = reduced
@@ -373,6 +422,10 @@ class ColumnSGDDriver:
         reduced = ctx.scratch["reduced"]
         updater_of: Dict[int, int] = {}
         for p in range(self.cluster.n_workers):
+            if p // self.groups.group_size in ctx.stale_groups:
+                # the group never reported this round; its partitions
+                # skip the update and catch up when the group rejoins
+                continue
             for w in self.groups.replicas_of_partition(p):
                 if not self._workers[w].failed and w not in ctx.killed:
                     updater_of[p] = w
@@ -423,51 +476,107 @@ class ColumnSGDDriver:
         worker's partition statistics are unrecoverable.
         """
         if not 0 <= worker_id < self.cluster.n_workers:
-            raise ValueError("unknown worker {}".format(worker_id))
+            raise ConfigurationError(
+                "unknown worker {}; cluster has workers 0..{}".format(
+                    worker_id, self.cluster.n_workers - 1
+                )
+            )
         self._workers[worker_id].fail()
 
     # ------------------------------------------------------------------
     # failures (Section X)
     # ------------------------------------------------------------------
     def _handle_failures(self, t: int) -> float:
-        """Apply scheduled failures; returns the extra recovery seconds."""
-        extra = 0.0
+        """Apply upkeep and scheduled failures; returns extra recovery seconds.
+
+        Runs inside the protocol checker's round window, so heartbeat,
+        checkpoint, and replay traffic is audited (as unchecked kinds)
+        rather than crossing the barrier.
+        """
+        manager = self.recovery_manager
+        extra = manager.on_iteration(t) if manager is not None else 0.0
         for event in self.failures.events_at(t):
             if event.kind == FailureKind.MASTER:
-                raise MasterFailedError("master failed at iteration {}".format(t))
+                if manager is None or not self.recovery_policy.master_restart:
+                    raise MasterFailedError(
+                        "master failed at iteration {}".format(t)
+                    )
+                extra += manager.recover_master(t)
+                continue
             if event.kind == FailureKind.TASK:
                 # Spark relaunches the task; data and model are cached, so
-                # the cost is one extra task launch.
-                extra += self.cluster.cost.task_overhead
+                # the cost is one extra task launch (plus detection delay
+                # when a heartbeat detector is configured).
+                extra += (
+                    manager.restart_task(t)
+                    if manager is not None
+                    else self.cluster.cost.task_overhead
+                )
                 continue
-            extra += self._recover_worker(event.worker_id)
+            extra += self._recover_worker(event.worker_id, iteration=t)
         return extra
 
-    def _recover_worker(self, worker_id: int) -> float:
-        """Worker crash: reload the shard; model partition handling
-        depends on backup availability (replica copy vs zero re-init)."""
-        worker = self._workers[worker_id]
-        worker.fail()
-        reload_bytes = sum(
-            self._partitions[p].store.stored_bytes()
-            for p in self.groups.partitions_of_worker(worker_id)
+    def _recover_worker(self, worker_id: int, iteration: int = -1) -> float:
+        """Worker crash: reload the shard; model-partition handling
+        escalates replica copy -> checkpoint restore -> zero re-init
+        (see :class:`~repro.core.recovery.RecoveryManager`)."""
+        if self.recovery_manager is None:
+            raise TrainingError("call load() before recovering workers")
+        return self.recovery_manager.recover_worker(worker_id, iteration=iteration)
+
+    def _replay_iteration(self, tau: int) -> float:
+        """Re-execute iteration ``tau`` after a master restart.
+
+        Numerically identical to the original round (same deterministic
+        draws, same wire rounding, same reduce order); communication is
+        accounted under :data:`~repro.net.message.MessageKind.CHECKPOINT`
+        (recovery traffic, unchecked by Table-I envelopes) through the
+        same star patterns, so replay bytes and seconds stay honest.
+        Returns the replayed round's duration.
+        """
+        B, width = self.config.batch_size, self.model.statistics_width
+        draws = self._index.sample(tau, B)
+        cost = self.cluster.cost
+        stats_by_worker: Dict[int, Optional[np.ndarray]] = {}
+        finish: List[float] = []
+        for worker in self._workers:
+            if worker.failed:
+                stats_by_worker[worker.worker_id] = None
+                finish.append(float("inf"))
+                continue
+            stats, nnz = worker.compute_statistics(draws)
+            stats_by_worker[worker.worker_id] = self._through_wire(stats)
+            finish.append(cost.task_overhead + cost.sparse_work(nnz, passes=width))
+        compute_s = max((f for f in finish if f != float("inf")), default=0.0)
+
+        reduced = self._through_wire(
+            self.master.reduce(stats_by_worker, finish_times=finish)
         )
-        seconds = (
-            self.cluster.cost.task_overhead
-            + reload_bytes / self.cluster.spec.disk_bandwidth_bytes_per_s
-            + reload_bytes / self.cluster.network.bandwidth
+        size = OBJECT_OVERHEAD_BYTES + B * width * self.config.wire_value_bytes
+        pushers = sum(1 for f in finish if f != float("inf"))
+        gather_s = self.cluster.topology.gather(
+            MessageKind.CHECKPOINT, [size] * pushers
         )
-        partitions = []
-        for p in self.groups.partitions_of_worker(worker_id):
-            state = self._partitions[p]
-            if self.config.backup == 0:
-                # No replica anywhere: the model partition is lost.  Re-init
-                # to zeros and rely on SGD's robustness (Section X).
-                state.params[...] = 0.0
-                state.optimizer.reset()
-            partitions.append(state)
-        worker.recover(partitions)
-        return seconds
+        reduce_s = cost.dense_work(self.groups.n_groups * B * width)
+        bcast_s = self.cluster.topology.broadcast(MessageKind.CHECKPOINT, size)
+
+        update_s = 0.0
+        updater_of: Dict[int, int] = {}
+        for p in range(self.cluster.n_workers):
+            for w in self.groups.replicas_of_partition(p):
+                if not self._workers[w].failed:
+                    updater_of[p] = w
+                    break
+        for worker in self._workers:
+            if worker.failed:
+                continue
+            mine = {p for p, w in updater_of.items() if w == worker.worker_id}
+            worker.update_model(reduced, tau, only_partitions=mine)
+            task = cost.task_overhead + cost.sparse_work(
+                worker.cached_batch_nnz(), passes=width
+            )
+            update_s = max(update_s, task)
+        return compute_s + gather_s + reduce_s + bcast_s + update_s
 
     # ------------------------------------------------------------------
     # evaluation helpers

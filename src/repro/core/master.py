@@ -4,17 +4,20 @@ The master is deliberately lightweight (the paper's headline design
 point): it never sees the model, only per-batch statistics buffers of
 shape ``(B, statistics_width)``.  With backup computation it additionally
 runs the recovery rule: inspect arrivals until every group is covered,
-then kill the rest.
+then kill the rest.  Under timeout-based suspicion
+(:class:`~repro.engine.policy.TimeoutSync` with ``on_exhausted='stale'``)
+the master may also substitute a group's *previous* contribution for one
+that never arrived — enabled by setting :attr:`cache_contributions`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Set
 
 import numpy as np
 
 from repro.core.backup import BackupGroups
-from repro.errors import SimulationError
+from repro.errors import SimulationError, StatisticsRecoveryError
 
 
 class ColumnMaster:
@@ -22,11 +25,16 @@ class ColumnMaster:
 
     def __init__(self, groups: BackupGroups):
         self.groups = groups
+        #: keep each group's last contribution so a stale round can
+        #: substitute it; off by default (costs one buffer per group)
+        self.cache_contributions = False
+        self._last_contribution: Dict[int, np.ndarray] = {}
 
     def reduce(
         self,
         stats_by_worker: Dict[int, Optional[np.ndarray]],
         finish_times: Optional[Sequence[float]] = None,
+        stale_groups: Optional[Set[int]] = None,
     ) -> np.ndarray:
         """Sum one contribution per group into the complete statistics.
 
@@ -34,29 +42,57 @@ class ColumnMaster:
         or ``None`` for workers that never reported (killed stragglers,
         crashes).  When ``finish_times`` is given, the earliest finisher
         of each group is chosen (the paper's recovery rule); otherwise
-        the first live member wins.
+        the first live member wins.  Groups listed in ``stale_groups``
+        contribute their cached previous statistics instead (requires
+        :attr:`cache_contributions`); a stale group with no cached
+        contribution yet (the first rounds) falls back to its live
+        statistics — the master waits for the straggler this once.
         """
-        if finish_times is not None:
-            adjusted = [
-                finish_times[w] if stats_by_worker.get(w) is not None else float("inf")
-                for w in range(self.groups.n_workers)
-            ]
-            chosen = self.groups.fastest_per_group(adjusted)
-        else:
-            dead = frozenset(
-                w
-                for w in range(self.groups.n_workers)
-                if stats_by_worker.get(w) is None
-            )
-            chosen = self.groups.select_survivors(dead)
-
-        total = None
-        for worker in chosen:
-            contribution = stats_by_worker[worker]
+        stale = stale_groups if stale_groups is not None else set()
+        contributions = []  # (group, contribution) in group order
+        missing = []
+        used_cache = set()
+        for g, members in enumerate(self.groups.groups()):
+            if g in stale:
+                cached = self._last_contribution.get(g)
+                if cached is not None:
+                    contributions.append((g, cached))
+                    used_cache.add(g)
+                    continue
+                # nothing cached yet — fall through to the live path
+            if finish_times is not None:
+                adjusted = {
+                    w: (
+                        finish_times[w]
+                        if stats_by_worker.get(w) is not None
+                        else float("inf")
+                    )
+                    for w in members
+                }
+                best = min(members, key=lambda w: adjusted[w])
+                if adjusted[best] == float("inf"):
+                    missing.append(g)
+                    continue
+                chosen = best
+            else:
+                alive = [w for w in members if stats_by_worker.get(w) is not None]
+                if not alive:
+                    missing.append(g)
+                    continue
+                chosen = alive[0]
+            contribution = stats_by_worker[chosen]
             if contribution is None:
                 raise SimulationError(
-                    "chosen worker {} has no statistics".format(worker)
+                    "chosen worker {} has no statistics".format(chosen)
                 )
+            contributions.append((g, contribution))
+        if missing:
+            raise StatisticsRecoveryError(missing)
+
+        total = None
+        for g, contribution in contributions:
+            if self.cache_contributions and g not in used_cache:
+                self._last_contribution[g] = np.array(contribution, copy=True)
             total = contribution.copy() if total is None else total + contribution
         if total is None:
             raise SimulationError("no statistics to reduce")

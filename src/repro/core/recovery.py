@@ -1,0 +1,359 @@
+"""Heartbeat failure detection, checkpointing, and recovery execution.
+
+The paper's Section X describes three recovery behaviours (task restart,
+worker reload, master restart); PRs before this one hand-rolled the
+first two inside ``ColumnSGDDriver._handle_failures`` and aborted on the
+third.  :class:`RecoveryManager` centralises all three behind one
+:class:`RecoveryPolicy`:
+
+* **detection** — a heartbeat failure detector: every live worker sends
+  one :data:`~repro.net.message.MessageKind.HEARTBEAT` probe per
+  iteration; a failure is *observed* only after
+  ``heartbeat_timeout_beats`` silent intervals, so every recovery pays a
+  detection delay of ``heartbeat_interval_s x heartbeat_timeout_beats``
+  seconds (zero when heartbeats are disabled — the legacy omniscient
+  detector).
+* **checkpointing** — every ``checkpoint_every`` iterations each model
+  partition's ``(params, optimizer state)`` is snapshotted to simulated
+  stable storage, charged at disk + network bandwidth and accounted as
+  :data:`~repro.net.message.MessageKind.CHECKPOINT` traffic (unchecked
+  by the protocol's Table-I envelopes, like control chatter).
+* **recovery modes** — per lost model partition, in preference order:
+  ``'replica'`` (a backup-group peer still holds the shared
+  :class:`~repro.core.worker.PartitionState` — free), ``'checkpoint'``
+  (restore the last snapshot), ``'zero-init'`` (the legacy Section X
+  fallback: zeros + optimizer reset).
+* **master restart** — with ``master_restart=True`` a MASTER failure no
+  longer raises :class:`~repro.errors.MasterFailedError`: the driver
+  restarts, restores *every* partition from the last checkpoint, and
+  replays the missed iterations (deterministic sampling makes the
+  replay exact), charging reload + replay time and recording the
+  breakdown as a :class:`~repro.engine.trace.RecoveryEvent`.
+
+The default :meth:`RecoveryPolicy.disabled` is pay-for-use: no
+heartbeats, no checkpoints, and recovery costs bit-identical to the
+pre-manager driver formulas.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.backup import BackupGroups
+from repro.core.worker import ColumnWorker, PartitionState
+from repro.engine.trace import RecoveryEvent
+from repro.errors import ConfigurationError
+from repro.net.message import Message, MessageKind
+from repro.storage.serialization import OBJECT_OVERHEAD_BYTES, dense_vector_bytes
+from repro.utils.validation import check_non_negative
+
+#: Dense vectors per partition snapshot: the params themselves plus one
+#: params-sized optimizer slot vector (every optimizer in repro.optim
+#: keeps at most one dense slot per parameter — momentum, Adagrad
+#: accumulator, ...).
+CHECKPOINT_VECTORS = 2
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs of the failure detector and checkpoint/recovery pipeline."""
+
+    checkpoint_every: int = 0       #: snapshot cadence in iterations (0 = never)
+    heartbeat_interval_s: float = 0.0  #: probe period in sim-seconds (0 = disabled)
+    heartbeat_timeout_beats: int = 3   #: silent probes before suspicion
+    master_restart: bool = False       #: restart-from-checkpoint on MASTER failure
+
+    def __post_init__(self):
+        check_non_negative(self.checkpoint_every, "checkpoint_every")
+        check_non_negative(self.heartbeat_interval_s, "heartbeat_interval_s")
+        if self.heartbeat_timeout_beats < 1:
+            raise ConfigurationError(
+                "heartbeat_timeout_beats must be >= 1, got {}".format(
+                    self.heartbeat_timeout_beats
+                )
+            )
+        if self.master_restart and not self.checkpoint_every:
+            raise ConfigurationError(
+                "master_restart requires checkpoint_every > 0 — with no "
+                "checkpoint there is nothing to restart from"
+            )
+
+    @classmethod
+    def disabled(cls) -> "RecoveryPolicy":
+        """No heartbeats, no checkpoints: the legacy recovery behaviour."""
+        return cls()
+
+    @property
+    def detection_delay_s(self) -> float:
+        """Seconds between a crash and the master observing it."""
+        return self.heartbeat_interval_s * self.heartbeat_timeout_beats
+
+
+class CheckpointStore:
+    """Per-partition snapshots on simulated stable storage.
+
+    A snapshot is ``(iteration, params copy, optimizer deep-copy)`` per
+    partition; writing is charged at the slower of disk and network, in
+    parallel across workers (each primary replica streams its own
+    partitions).
+    """
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self._snapshots: Dict[int, Tuple[int, np.ndarray, object]] = {}
+        self.last_iteration: Optional[int] = None
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def partition_bytes(self, state: PartitionState) -> int:
+        """Snapshot wire/disk footprint of one partition (params + state)."""
+        return CHECKPOINT_VECTORS * dense_vector_bytes(int(state.params.size))
+
+    def write(
+        self,
+        iteration: int,
+        partitions: List[PartitionState],
+        groups: BackupGroups,
+        workers: List[ColumnWorker],
+    ) -> float:
+        """Snapshot every partition from its primary live replica.
+
+        Returns the charge in seconds: workers stream concurrently, so
+        the wall time is the slowest worker's ``bytes/disk + bytes/net``.
+        """
+        network = self.cluster.network
+        per_worker_bytes: Dict[int, int] = {}
+        for state in partitions:
+            primary = None
+            for w in groups.replicas_of_partition(state.partition_id):
+                if not workers[w].failed:
+                    primary = w
+                    break
+            if primary is None:
+                continue  # whole group dead; nothing to snapshot from
+            self._snapshots[state.partition_id] = (
+                iteration,
+                np.array(state.params, copy=True),
+                copy.deepcopy(state.optimizer),
+            )
+            size = self.partition_bytes(state)
+            network.send(
+                Message(MessageKind.CHECKPOINT, primary, Message.MASTER, size)
+            )
+            per_worker_bytes[primary] = per_worker_bytes.get(primary, 0) + size
+        self.last_iteration = iteration
+        self.writes += 1
+        if not per_worker_bytes:
+            return network.consume_extra_seconds()
+        slowest = max(per_worker_bytes.values())
+        disk = self.cluster.spec.disk_bandwidth_bytes_per_s
+        return (
+            slowest / disk
+            + slowest / network.bandwidth
+            + network.consume_extra_seconds()
+        )
+
+    # ------------------------------------------------------------------
+    def snapshot_of(self, partition_id: int):
+        """``(iteration, params, optimizer)`` or ``None``."""
+        return self._snapshots.get(partition_id)
+
+    def has_snapshot(self, partition_id: int) -> bool:
+        return partition_id in self._snapshots
+
+    def read_seconds(self, num_bytes: int) -> float:
+        """Charge for pulling ``num_bytes`` back from stable storage."""
+        return (
+            num_bytes / self.cluster.spec.disk_bandwidth_bytes_per_s
+            + num_bytes / self.cluster.network.bandwidth
+        )
+
+
+class RecoveryManager:
+    """Execute the :class:`RecoveryPolicy` for one ColumnSGD job.
+
+    Owns the heartbeat cadence, the :class:`CheckpointStore`, and the
+    three recovery paths; every episode is recorded as a
+    :class:`~repro.engine.trace.RecoveryEvent` on
+    ``cluster.engine_trace`` so :mod:`repro.experiments.gantt` can
+    render it.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        groups: BackupGroups,
+        policy: RecoveryPolicy,
+        workers: List[ColumnWorker],
+        partitions: List[PartitionState],
+        replay_fn: Optional[Callable[[int], float]] = None,
+    ):
+        self.cluster = cluster
+        self.groups = groups
+        self.policy = policy
+        self.workers = workers
+        self.partitions = partitions
+        self.replay_fn = replay_fn
+        self.checkpoints = CheckpointStore(cluster)
+
+    # ------------------------------------------------------------------
+    def _record(self, event: RecoveryEvent) -> None:
+        trace = getattr(self.cluster, "engine_trace", None)
+        if trace is not None:
+            trace.add_recovery(event)
+
+    def on_iteration(self, t: int) -> float:
+        """Per-iteration upkeep: heartbeats and periodic checkpoints.
+
+        Returns the extra seconds charged to the round (checkpoint
+        writes; heartbeats ride the existing RPC fabric for free).
+        """
+        extra = 0.0
+        network = self.cluster.network
+        if self.policy.heartbeat_interval_s > 0:
+            for worker in self.workers:
+                if worker.failed:
+                    continue
+                network.send(
+                    Message(
+                        MessageKind.HEARTBEAT,
+                        worker.worker_id,
+                        Message.MASTER,
+                        OBJECT_OVERHEAD_BYTES,
+                    )
+                )
+            extra += network.consume_extra_seconds()
+        if self.policy.checkpoint_every and t % self.policy.checkpoint_every == 0:
+            extra += self.checkpoints.write(
+                t, self.partitions, self.groups, self.workers
+            )
+        return extra
+
+    # ------------------------------------------------------------------
+    def restart_task(self, t: int) -> float:
+        """TASK failure: Spark relaunches the task on cached state."""
+        seconds = self.policy.detection_delay_s + self.cluster.cost.task_overhead
+        self._record(
+            RecoveryEvent(
+                round=t,
+                kind="task",
+                mode="restart",
+                worker=None,
+                detect_s=self.policy.detection_delay_s,
+                reload_s=self.cluster.cost.task_overhead,
+            )
+        )
+        return seconds
+
+    def recover_worker(self, worker_id: int, iteration: int = -1) -> float:
+        """WORKER crash: reload the shard, then restore the model
+        partition by the best available mode (replica / checkpoint /
+        zero-init).  Returns the recovery seconds."""
+        worker = self.workers[worker_id]
+        worker.fail()
+        owned = self.groups.partitions_of_worker(worker_id)
+        reload_bytes = sum(
+            self.partitions[p].store.stored_bytes() for p in owned
+        )
+        seconds = (
+            self.policy.detection_delay_s
+            + self.cluster.cost.task_overhead
+            + reload_bytes / self.cluster.spec.disk_bandwidth_bytes_per_s
+            + reload_bytes / self.cluster.network.bandwidth
+        )
+        partitions = []
+        mode = "replica"
+        for p in owned:
+            state = self.partitions[p]
+            if self.groups.backup > 0:
+                # group peers share the PartitionState — nothing lost
+                pass
+            elif self.checkpoints.has_snapshot(p):
+                mode = "checkpoint"
+                _, params, optimizer = self.checkpoints.snapshot_of(p)
+                state.params[...] = params
+                state.optimizer = copy.deepcopy(optimizer)
+                seconds += self.checkpoints.read_seconds(
+                    self.checkpoints.partition_bytes(state)
+                )
+            else:
+                # No replica, no snapshot: the Section X fallback — re-init
+                # to zeros and rely on SGD's robustness.
+                mode = "zero-init"
+                state.params[...] = 0.0
+                state.optimizer.reset()
+            partitions.append(state)
+        worker.recover(partitions)
+        self._record(
+            RecoveryEvent(
+                round=iteration,
+                kind="worker",
+                mode=mode,
+                worker=worker_id,
+                detect_s=self.policy.detection_delay_s,
+                reload_s=seconds - self.policy.detection_delay_s,
+            )
+        )
+        return seconds
+
+    def recover_master(self, iteration: int) -> float:
+        """MASTER crash: restart the driver, restore every partition from
+        the last checkpoint, and replay the missed iterations.
+
+        The replay is numerically exact — deterministic per-iteration
+        sampling means re-running iterations ``c..t-1`` from checkpoint
+        ``c`` reproduces the pre-crash trajectory — so a recovered job
+        converges like a fault-free one.  Raises
+        :class:`~repro.errors.MasterFailedError` when no checkpoint
+        exists to restart from.
+        """
+        from repro.errors import MasterFailedError
+
+        c = self.checkpoints.last_iteration
+        if c is None:
+            raise MasterFailedError(
+                "master failed at iteration {} with no checkpoint to "
+                "restart from".format(iteration)
+            )
+        detect = self.policy.detection_delay_s
+        restart = self.cluster.cost.task_overhead
+
+        # reload: every worker pulls its partitions' snapshots in parallel
+        per_worker_bytes: Dict[int, int] = {}
+        for state in self.partitions:
+            snap = self.checkpoints.snapshot_of(state.partition_id)
+            if snap is None:
+                continue
+            _, params, optimizer = snap
+            state.params[...] = params
+            state.optimizer = copy.deepcopy(optimizer)
+            size = self.checkpoints.partition_bytes(state)
+            for w in self.groups.replicas_of_partition(state.partition_id):
+                per_worker_bytes[w] = per_worker_bytes.get(w, 0) + size
+        reload_s = restart + (
+            max(self.checkpoints.read_seconds(b) for b in per_worker_bytes.values())
+            if per_worker_bytes
+            else 0.0
+        )
+
+        replay_s = 0.0
+        if self.replay_fn is not None:
+            for tau in range(c, iteration):
+                replay_s += float(self.replay_fn(tau))
+
+        self._record(
+            RecoveryEvent(
+                round=iteration,
+                kind="master",
+                mode="restart",
+                worker=None,
+                detect_s=detect,
+                reload_s=reload_s,
+                replay_s=replay_s,
+            )
+        )
+        return detect + reload_s + replay_s

@@ -4,14 +4,22 @@ Every trainer declares its round as a :class:`RoundSpec` — typed phases
 (compute / comm / master) with per-phase message kinds and byte
 formulas — and :class:`RoundEngine` schedules those phases on an event
 queue over the simulated clock and network, with synchronization
-semantics (BSP barrier, S-backup recovery, bounded staleness) supplied
-by pluggable :class:`SyncPolicy` objects.  See ``docs/engine.md``.
+semantics (BSP barrier, S-backup recovery, bounded staleness,
+timeout-based suspicion) supplied by pluggable :class:`SyncPolicy`
+objects.  See ``docs/engine.md`` and ``docs/faults.md``.
 """
 
 from repro.engine.engine import RoundContext, RoundEngine, RoundOutcome
 from repro.engine.events import EventQueue
 from repro.engine.loop import run_training_loop
-from repro.engine.policy import BackupSync, BarrierSync, StaleSync, SyncPolicy
+from repro.engine.policy import (
+    BackupSync,
+    BarrierSync,
+    RetrySync,
+    StaleSync,
+    SyncPolicy,
+    TimeoutSync,
+)
 from repro.engine.spec import (
     CommPhase,
     ComputePhase,
@@ -19,7 +27,7 @@ from repro.engine.spec import (
     RoundSpec,
     TrafficEnvelope,
 )
-from repro.engine.trace import EngineTrace, PhaseEvent
+from repro.engine.trace import EngineTrace, PhaseEvent, RecoveryEvent, RetryEvent
 
 __all__ = [
     "BackupSync",
@@ -30,12 +38,16 @@ __all__ = [
     "EventQueue",
     "MasterPhase",
     "PhaseEvent",
+    "RecoveryEvent",
+    "RetryEvent",
+    "RetrySync",
     "RoundContext",
     "RoundEngine",
     "RoundOutcome",
     "RoundSpec",
     "StaleSync",
     "SyncPolicy",
+    "TimeoutSync",
     "TrafficEnvelope",
     "run_training_loop",
 ]

@@ -48,6 +48,10 @@ class RoundContext:
         self.killed: Set[int] = set()
         #: permanently failed workers (set by the compute executor)
         self.failed: frozenset = frozenset()
+        #: backup groups whose statistics never arrived this round; the
+        #: master substitutes their previous contribution (TimeoutSync /
+        #: RetrySync with ``on_exhausted='stale'``)
+        self.stale_groups: Set[int] = set()
         #: per-worker start offsets (set by StaleSync.before_round)
         self.start_times = None
         #: the round's sync policy, for executors that need its state
@@ -139,6 +143,7 @@ class RoundEngine:
 
         if self.spec.envelopes is not None:
             expected.update(getattr(self.trainer, self.spec.envelopes)(ctx))
+        self._expect_retries(expected)
         return RoundOutcome(
             duration=duration,
             phase_seconds=phase_seconds,
@@ -197,6 +202,36 @@ class RoundEngine:
     def _expect(expected, kind, count, total_bytes) -> None:
         have_count, have_bytes = expected.get(kind, (0, 0))
         expected[kind] = (have_count + count, have_bytes + total_bytes)
+
+    def _expect_retries(self, expected) -> None:
+        """Bound RETRY traffic when the fabric is lossy.
+
+        The fault layer retransmits under :data:`MessageKind.RETRY`, so
+        every base-kind expectation above stays *exact*; this derives
+        the matching retry envelope — at most ``max_attempts`` extra
+        copies of every declared message (stop-and-wait retries plus one
+        duplicate), at least zero.  On a lossless network no envelope is
+        added and any stray RETRY message is flagged as undeclared.
+        """
+        plan = getattr(self.cluster.network, "fault_plan", None)
+        if plan is None or not plan.any_faults():
+            return
+        from repro.net.protocol import TrafficEnvelope
+
+        max_messages = 0
+        max_bytes = 0
+        for want in expected.values():
+            if isinstance(want, TrafficEnvelope):
+                max_messages += want.max_messages
+                max_bytes += want.max_bytes
+            else:
+                count, total = want
+                max_messages += count
+                max_bytes += total
+        cap = plan.max_attempts
+        expected[MessageKind.RETRY] = TrafficEnvelope(
+            0, cap * max_messages, 0, cap * max_bytes
+        )
 
 
 _CATEGORY = {

@@ -13,12 +13,19 @@ trainer shares one engine and swaps the policy:
   round ``t`` once round ``t - 1 - staleness`` has committed; the
   policy carries the pipeline recurrence (per-worker free times and
   commit times) across rounds.
+* :class:`TimeoutSync` / :class:`RetrySync` — timeout-based failure
+  suspicion: the master waits ``alpha x median(finish)``, suspects
+  missing workers, optionally retries the gather with exponential
+  backoff, then degrades to group recovery / stale statistics instead
+  of hanging on a dead worker.
 """
 
 from __future__ import annotations
 
+from statistics import median
 from typing import Dict, List
 
+from repro.errors import ConfigurationError, StatisticsRecoveryError
 from repro.utils.validation import check_non_negative
 
 
@@ -78,6 +85,147 @@ class BackupSync(SyncPolicy):
             }
             return recovery_time
         return max(f for f in finish if f != float("inf"))
+
+
+class TimeoutSync(SyncPolicy):
+    """Timeout-based failure suspicion with optional gather retries.
+
+    The master cannot see ``float('inf')`` finish times — in a real
+    deployment it only observes *absence*.  This policy models that:
+    it waits until a deadline of ``alpha x median(finish of arrived
+    workers)`` in sim-time, then
+
+    1. if **every** worker reported, proceeds at the last arrival
+       (plain barrier semantics — no suspicion, no trace event);
+    2. if workers are missing but every backup group is covered,
+       proceeds at the deadline with the fastest arrived member per
+       group (Fig 6's recovery rule, reached by timeout rather than
+       omniscience);
+    3. otherwise retries the gather up to ``max_retries`` times,
+       stretching the deadline by ``backoff`` each attempt (late
+       stragglers arrive during a retry window; crashed workers never
+       do), and finally either raises
+       :class:`~repro.errors.StatisticsRecoveryError`
+       (``on_exhausted='raise'``) or marks the uncovered groups stale
+       (``on_exhausted='stale'``) so the master reuses their previous
+       round's contribution.
+
+    Every deadline expiry is recorded as a
+    :class:`~repro.engine.trace.RetryEvent` on ``cluster.engine_trace``
+    (``resolved``: ``'retry'`` for an expiry that triggered another
+    attempt, ``'arrived'`` / ``'stale'`` / ``'failed'`` for the final
+    one).  Workers are never killed by suspicion — a late straggler
+    keeps its partitions and rejoins the next round.
+    """
+
+    def __init__(
+        self,
+        groups,
+        alpha: float = 3.0,
+        max_retries: int = 0,
+        backoff: float = 2.0,
+        on_exhausted: str = "raise",
+    ):
+        if alpha < 1.0:
+            raise ConfigurationError(
+                "alpha must be >= 1 (a deadline below the median finish "
+                "would suspect half the cluster), got {}".format(alpha)
+            )
+        check_non_negative(max_retries, "max_retries")
+        if backoff < 1.0:
+            raise ConfigurationError(
+                "backoff must be >= 1, got {}".format(backoff)
+            )
+        if on_exhausted not in ("raise", "stale"):
+            raise ConfigurationError(
+                "on_exhausted must be 'raise' or 'stale', got {!r}".format(on_exhausted)
+            )
+        self.groups = groups
+        self.alpha = float(alpha)
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
+        self.on_exhausted = on_exhausted
+
+    # ------------------------------------------------------------------
+    def _coverage(self, arrived):
+        """(fastest arrived member per covered group, uncovered groups)."""
+        chosen: List[int] = []
+        missing: List[int] = []
+        for g, members in enumerate(self.groups.groups()):
+            present = [w for w in members if w in arrived]
+            if present:
+                chosen.append(min(present, key=lambda w: arrived[w]))
+            else:
+                missing.append(g)
+        return chosen, missing
+
+    def _record(self, ctx, attempt, suspects, deadline, resolved) -> None:
+        trace = getattr(ctx.cluster, "engine_trace", None)
+        if trace is not None:
+            from repro.engine.trace import RetryEvent
+
+            trace.add_retry(
+                RetryEvent(
+                    round=ctx.t,
+                    attempt=attempt,
+                    suspects=tuple(sorted(suspects)),
+                    deadline_s=deadline,
+                    resolved=resolved,
+                )
+            )
+
+    def resolve(self, ctx, per_worker: Dict[int, float]) -> float:
+        finish = [per_worker[w] for w in range(self.groups.n_workers)]
+        finite = [f for f in finish if f != float("inf")]
+        ctx.killed = set()
+        deadline = self.alpha * median(finite) if finite else 0.0
+        attempt = 0
+        while True:
+            arrived = {
+                w: finish[w]
+                for w in range(self.groups.n_workers)
+                if finish[w] <= deadline
+            }
+            if len(arrived) == self.groups.n_workers:
+                # nobody missing: plain barrier, no suspicion episode
+                ctx.chosen = set(arrived)
+                return max(finite) if attempt == 0 else max(deadline / self.backoff, max(finite))
+            suspects = [w for w in range(self.groups.n_workers) if w not in arrived]
+            chosen, missing = self._coverage(arrived)
+            if not missing:
+                self._record(ctx, attempt, suspects, deadline, "arrived")
+                ctx.chosen = set(chosen)
+                return deadline
+            if attempt >= self.max_retries:
+                if self.on_exhausted == "stale":
+                    self._record(ctx, attempt, suspects, deadline, "stale")
+                    ctx.chosen = set(chosen)
+                    ctx.stale_groups = set(missing)
+                    return deadline
+                self._record(ctx, attempt, suspects, deadline, "failed")
+                raise StatisticsRecoveryError(missing)
+            self._record(ctx, attempt, suspects, deadline, "retry")
+            attempt += 1
+            deadline *= self.backoff
+
+
+class RetrySync(TimeoutSync):
+    """:class:`TimeoutSync` preconfigured to retry before giving up.
+
+    The shorthand the chaos suite and the driver's
+    ``sync_policy='retry'`` use: two exponential-backoff retries, then
+    stale-statistics degradation instead of aborting the job.
+    """
+
+    def __init__(self, groups, alpha: float = 3.0, max_retries: int = 2,
+                 backoff: float = 2.0, on_exhausted: str = "stale"):
+        super().__init__(
+            groups,
+            alpha=alpha,
+            max_retries=max_retries,
+            backoff=backoff,
+            on_exhausted=on_exhausted,
+        )
 
 
 class StaleSync(SyncPolicy):

@@ -12,7 +12,7 @@ next to the clock and network counters it complements, and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -33,15 +33,67 @@ class PhaseEvent:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class RetryEvent:
+    """One gather retry by a timeout-based sync policy.
+
+    Recorded by :class:`~repro.engine.policy.TimeoutSync` every time the
+    master's deadline expires with workers still missing.  ``resolved``
+    tells how the episode ended: ``'arrived'`` (a retry succeeded),
+    ``'stale'`` (the policy substituted cached statistics), or
+    ``'failed'`` (escalated to :class:`StatisticsRecoveryError`).
+    """
+
+    round: int
+    attempt: int             # 0 = the initial deadline, 1.. = retries
+    suspects: Tuple[int, ...]  # workers missing at this deadline
+    deadline_s: float        # round-relative deadline that expired
+    resolved: str = "arrived"
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery episode (task / worker / master) with its cost split."""
+
+    round: int
+    kind: str                # 'task' | 'worker' | 'master'
+    mode: str                # 'restart' | 'replica' | 'checkpoint' | 'zero-init' | 'reload'
+    worker: Optional[int]    # None for master recovery
+    detect_s: float = 0.0    # failure-detection delay (heartbeat timeout)
+    reload_s: float = 0.0    # state reload (disk + network)
+    replay_s: float = 0.0    # master replay from last checkpoint
+
+    @property
+    def total_s(self) -> float:
+        return self.detect_s + self.reload_s + self.replay_s
+
+
 @dataclass
 class EngineTrace:
-    """Ordered phase events of an engine-driven run."""
+    """Ordered phase events of an engine-driven run, plus the fault
+    pipeline's retry and recovery episodes."""
 
     system: str = ""
     events: List[PhaseEvent] = field(default_factory=list)
+    retries: List[RetryEvent] = field(default_factory=list)
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
 
     def add(self, event: PhaseEvent) -> None:
         self.events.append(event)
+
+    def add_retry(self, event: RetryEvent) -> None:
+        self.retries.append(event)
+
+    def add_recovery(self, event: RecoveryEvent) -> None:
+        self.recoveries.append(event)
+
+    def round_retries(self, round_index: int) -> List[RetryEvent]:
+        """Retry episodes of one round, in order."""
+        return [e for e in self.retries if e.round == round_index]
+
+    def round_recoveries(self, round_index: int) -> List[RecoveryEvent]:
+        """Recovery episodes of one round, in order."""
+        return [e for e in self.recoveries if e.round == round_index]
 
     def rounds(self) -> List[int]:
         """Round indices present, in order of first appearance."""

@@ -28,6 +28,15 @@ class LibsvmFormatError(DataError):
         )
 
 
+class ConfigurationError(ReproError, ValueError):
+    """Raised for invalid user-facing configuration (bad ids, ranges,
+    mutually inconsistent knobs).
+
+    Subclasses :class:`ValueError` so call sites that predate the typed
+    hierarchy keep working.
+    """
+
+
 class PartitionError(ReproError):
     """Raised for invalid partitioning requests (bad worker counts, ...)."""
 

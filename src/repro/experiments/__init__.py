@@ -18,7 +18,11 @@ from repro.experiments.report import (
     loss_series,
     render_curve,
 )
-from repro.experiments.gantt import render_engine_trace, render_iteration_gantt
+from repro.experiments.gantt import (
+    fault_timeline,
+    render_engine_trace,
+    render_iteration_gantt,
+)
 from repro.experiments.paper_report import build_report, collect_results, write_report
 from repro.experiments.sweeps import (
     sweep,
@@ -42,6 +46,7 @@ __all__ = [
     "sweep_workers",
     "sweep_learning_rates",
     "best_learning_rate",
+    "fault_timeline",
     "render_engine_trace",
     "render_iteration_gantt",
     "build_report",

@@ -102,6 +102,46 @@ def render_iteration_gantt(
 _CATEGORY_FILL = {"compute": "#", "comm": "=", "master": "*"}
 
 
+def fault_timeline(trace) -> str:
+    """Summarize every retry/recovery episode of a run, one line each.
+
+    The run-level complement of :func:`render_engine_trace`'s per-round
+    annotations — ``bench_fig13`` prints it to show where the fault
+    pipeline intervened and what each episode cost.
+    """
+    if trace is None or (not trace.retries and not trace.recoveries):
+        return "(no fault episodes)"
+    lines: List[str] = []
+    for retry in trace.retries:
+        lines.append(
+            "round {:>3}  retry   attempt {} suspects {} deadline {} -> {}".format(
+                retry.round,
+                retry.attempt,
+                list(retry.suspects),
+                format_duration(retry.deadline_s),
+                retry.resolved,
+            )
+        )
+    for recovery in trace.recoveries:
+        who = (
+            "{} worker {}".format(recovery.kind, recovery.worker)
+            if recovery.worker is not None
+            else recovery.kind
+        )
+        lines.append(
+            "round {:>3}  recover {} ({}) detect {} reload {} replay {} total {}".format(
+                recovery.round,
+                who,
+                recovery.mode,
+                format_duration(recovery.detect_s),
+                format_duration(recovery.reload_s),
+                format_duration(recovery.replay_s),
+                format_duration(recovery.total_s),
+            )
+        )
+    return "\n".join(sorted(lines))
+
+
 def render_engine_trace(
     trace,
     round_index: Optional[int] = None,
@@ -155,6 +195,31 @@ def render_engine_trace(
         kind = " ({})".format(event.kind) if event.kind else ""
         lines.append(
             "{}|{:<{}}|{}".format(label, bar, bar_width, kind)
+        )
+    for retry in trace.round_retries(round_index):
+        lines.append(
+            "  ! retry attempt {}: suspects {} at deadline {} -> {}".format(
+                retry.attempt,
+                list(retry.suspects),
+                format_duration(retry.deadline_s),
+                retry.resolved,
+            )
+        )
+    for recovery in trace.round_recoveries(round_index):
+        who = (
+            "{} worker {}".format(recovery.kind, recovery.worker)
+            if recovery.worker is not None
+            else recovery.kind
+        )
+        lines.append(
+            "  ! {} via {}: detect {} + reload {} + replay {} = {}".format(
+                who,
+                recovery.mode,
+                format_duration(recovery.detect_s),
+                format_duration(recovery.reload_s),
+                format_duration(recovery.replay_s),
+                format_duration(recovery.total_s),
+            )
         )
     lines.append(
         "legend: # compute, = comm, * master; offsets are round-relative"

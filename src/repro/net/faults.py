@@ -1,0 +1,241 @@
+"""Seeded per-link fault injection for the simulated network.
+
+Real Spark/PS deployments lose messages; the simulator reproduces that
+regime with a :class:`FaultPlan` — per-link probabilities of dropping,
+duplicating, delaying, or corrupting a transfer — applied by
+:class:`LossyNetworkModel`, a drop-in :class:`~repro.net.network.NetworkModel`
+subclass.
+
+Design constraints (and how they are met):
+
+* **Pay-for-use** — with :meth:`FaultPlan.none` (or a plain
+  ``NetworkModel``) every code path is bit-identical to the lossless
+  simulator: ``send`` returns the same float, patterns add a literal
+  ``0.0`` via :meth:`~repro.net.network.NetworkModel.consume_extra_seconds`.
+* **Exact base accounting** — a retransmission is logged as a separate
+  :data:`MessageKind.RETRY` message (same link, same size), never as a
+  second copy of the original kind, so the ProtocolChecker's Table-I
+  per-kind counts stay *exact* under loss; retry traffic is bounded by
+  an engine-derived :class:`~repro.net.protocol.TrafficEnvelope`.
+  Retransmits of unchecked kinds (control/heartbeat/checkpoint) keep
+  their own kind — they are exempt either way.
+* **Determinism** — each directed link owns a generator derived from the
+  plan seed via the project's SplitMix64 mixing
+  (:func:`repro.utils.rng.iteration_seed`), so fault sequences are
+  reproducible per link regardless of interleaving across links.
+
+Timing model: the *first* transmission's time is returned by ``send`` as
+usual (patterns fold it into their analytic formulas); every retransmitted
+or duplicated copy and every random link delay accrues into a pending
+accumulator that the communication pattern drains once per collective via
+``consume_extra_seconds()``.  A lost attempt therefore costs one extra
+full store-and-forward of the message — a simple stop-and-wait ARQ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.message import Message, MessageKind
+from repro.net.network import NetworkModel
+from repro.net.protocol import UNCHECKED_KINDS
+from repro.utils.rng import iteration_seed, rng_from_seed
+from repro.utils.validation import check_non_negative
+
+
+def _check_probability(value: float, name: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(
+            "{} must be a probability in [0, 1], got {!r}".format(name, value)
+        )
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-transmission fault probabilities of one directed link.
+
+    ``drop`` and ``corrupt`` both force a retransmission (a corrupted
+    frame fails its checksum and is treated as lost by the receiver);
+    they are tracked separately only for diagnostics.  ``duplicate``
+    delivers one spurious extra copy of a successful transmission;
+    ``delay`` adds the plan's ``delay_s`` to the transfer (reordering in
+    a BSP round is indistinguishable from delay, since the barrier
+    resynchronises every iteration).
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    corrupt: float = 0.0
+
+    def __post_init__(self):
+        _check_probability(self.drop, "drop")
+        _check_probability(self.duplicate, "duplicate")
+        _check_probability(self.delay, "delay")
+        _check_probability(self.corrupt, "corrupt")
+        if self.drop + self.corrupt >= 1.0:
+            raise ConfigurationError(
+                "drop + corrupt must be < 1 (no transmission could ever "
+                "succeed), got {} + {}".format(self.drop, self.corrupt)
+            )
+
+    def any(self) -> bool:
+        """True when any probability is non-zero."""
+        return (self.drop or self.duplicate or self.delay or self.corrupt) != 0.0
+
+    @property
+    def loss(self) -> float:
+        """Probability one transmission attempt must be retried."""
+        return self.drop + self.corrupt
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded fault configuration for the whole cluster fabric.
+
+    ``default`` applies to every directed link; ``links`` overrides
+    specific ``(src, dst)`` pairs (node ids as in
+    :class:`~repro.net.message.Message`, master = ``Message.MASTER``).
+    """
+
+    default: LinkFaults = field(default_factory=LinkFaults)
+    links: Tuple[Tuple[Tuple[int, int], LinkFaults], ...] = ()
+    seed: int = 0
+    delay_s: float = 2e-3      #: extra seconds when a transfer is delayed
+    max_attempts: int = 5      #: transmission attempts before giving up
+
+    def __post_init__(self):
+        check_non_negative(self.seed, "seed")
+        check_non_negative(self.delay_s, "delay_s")
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                "max_attempts must be >= 1, got {}".format(self.max_attempts)
+            )
+        # normalise dict input for the overrides to a hashable tuple form
+        if isinstance(self.links, dict):
+            object.__setattr__(self, "links", tuple(sorted(self.links.items())))
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The lossless plan (the default everywhere)."""
+        return cls()
+
+    def any_faults(self) -> bool:
+        """True when some link can misbehave."""
+        return self.default.any() or any(f.any() for _, f in self.links)
+
+    def for_link(self, src: int, dst: int) -> LinkFaults:
+        """The fault profile of the directed link ``src -> dst``."""
+        for key, faults in self.links:
+            if key == (src, dst):
+                return faults
+        return self.default
+
+    def link_seed(self, src: int, dst: int) -> int:
+        """Deterministic per-link RNG seed (order-independent across links).
+
+        Two rounds of SplitMix64 mixing keep nearby node ids uncorrelated;
+        ``+ 2`` shifts ``Message.MASTER`` (= -1) into the non-negative range.
+        """
+        return iteration_seed(iteration_seed(self.seed, src + 2), dst + 2)
+
+
+class LossyNetworkModel(NetworkModel):
+    """A :class:`NetworkModel` whose links follow a :class:`FaultPlan`.
+
+    Extra per-kind counters expose what the fault layer did:
+
+    * ``retry_messages_by_kind`` / ``retry_bytes_by_kind`` — retransmitted
+      copies, keyed by the *original* kind (the log records them as
+      :data:`MessageKind.RETRY` unless the kind is unchecked);
+    * ``dropped`` / ``corrupted`` / ``duplicated`` / ``delayed`` — event
+      tallies across all links.
+    """
+
+    def __init__(self, fault_plan: Optional[FaultPlan] = None, **kwargs):
+        super().__init__(**kwargs)
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.none()
+        self.retry_messages_by_kind: Dict[MessageKind, int] = {}
+        self.retry_bytes_by_kind: Dict[MessageKind, int] = {}
+        self.dropped = 0
+        self.corrupted = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self._pending_extra = 0.0
+        self._link_rngs: Dict[Tuple[int, int], object] = {}
+
+    # ------------------------------------------------------------------
+    def _link_rng(self, src: int, dst: int):
+        key = (src, dst)
+        rng = self._link_rngs.get(key)
+        if rng is None:
+            rng = rng_from_seed(self.fault_plan.link_seed(src, dst))
+            self._link_rngs[key] = rng
+        return rng
+
+    def _account_retry(self, message: Message) -> None:
+        kind = message.kind
+        self.retry_messages_by_kind[kind] = self.retry_messages_by_kind.get(kind, 0) + 1
+        self.retry_bytes_by_kind[kind] = (
+            self.retry_bytes_by_kind.get(kind, 0) + message.size_bytes
+        )
+        wire_kind = kind if kind in UNCHECKED_KINDS else MessageKind.RETRY
+        copy = Message(wire_kind, message.src, message.dst, message.size_bytes)
+        self._pending_extra += NetworkModel.send(self, copy)
+
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> float:
+        """Account the message, roll the link's dice, return the *base* time.
+
+        Fault-induced extra seconds (retransmits, duplicate deliveries,
+        link delay) accumulate until :meth:`consume_extra_seconds`.
+        """
+        base = super().send(message)
+        faults = self.fault_plan.for_link(message.src, message.dst)
+        if not faults.any():
+            return base
+        rng = self._link_rng(message.src, message.dst)
+        # Stop-and-wait ARQ: attempt 1 is the base send above; each lost
+        # attempt triggers one retransmitted copy, up to max_attempts.
+        for _ in range(self.fault_plan.max_attempts - 1):
+            roll = rng.random()
+            if roll >= faults.loss:
+                break
+            if roll < faults.drop:
+                self.dropped += 1
+            else:
+                self.corrupted += 1
+            self._account_retry(message)
+        if faults.duplicate and rng.random() < faults.duplicate:
+            self.duplicated += 1
+            self._account_retry(message)
+        if faults.delay and rng.random() < faults.delay:
+            self.delayed += 1
+            self._pending_extra += self.fault_plan.delay_s
+        return base
+
+    def consume_extra_seconds(self) -> float:
+        extra = self._pending_extra
+        self._pending_extra = 0.0
+        return extra
+
+    # ------------------------------------------------------------------
+    def retry_messages(self) -> int:
+        """Total retransmitted/duplicated copies across all kinds."""
+        return sum(self.retry_messages_by_kind.values())
+
+    def retry_bytes(self) -> int:
+        """Total retransmitted/duplicated bytes across all kinds."""
+        return sum(self.retry_bytes_by_kind.values())
+
+    def reset_counters(self) -> None:
+        super().reset_counters()
+        self.retry_messages_by_kind.clear()
+        self.retry_bytes_by_kind.clear()
+        self.dropped = 0
+        self.corrupted = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self._pending_extra = 0.0

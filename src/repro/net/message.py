@@ -24,6 +24,9 @@ class MessageKind(enum.Enum):
     WORKSET = "workset"                  # data loading: column workset shipment
     BLOCK_ASSIGN = "block_assign"        # data loading: block id assignment
     CONTROL = "control"                  # scheduling / barrier control
+    RETRY = "retry"                      # faults: retransmission of a lost/corrupt message
+    HEARTBEAT = "heartbeat"              # faults: liveness probe worker -> master
+    CHECKPOINT = "checkpoint"            # faults: model-partition checkpoint traffic
 
 
 @dataclass(frozen=True)

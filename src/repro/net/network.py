@@ -52,6 +52,17 @@ class NetworkModel:
             self.log.append(message)
         return self.transfer_time(message.size_bytes)
 
+    def consume_extra_seconds(self) -> float:
+        """Drain any pending fault-induced delay (retransmits, link delay).
+
+        The base model is lossless, so this is always ``0.0``; the
+        :class:`~repro.net.faults.LossyNetworkModel` override returns the
+        seconds accrued by faults since the last drain.  Communication
+        patterns add this to their returned times — adding ``0.0`` keeps
+        the lossless path bit-identical.
+        """
+        return 0.0
+
     # ------------------------------------------------------------------
     def total_bytes(self) -> int:
         """All bytes ever sent."""

@@ -45,8 +45,20 @@ from repro.errors import ProtocolViolationError
 from repro.net.message import Message, MessageKind
 
 #: Kinds that may appear in any round without being declared in the
-#: trainer's expectation (scheduling/barrier chatter).
-_UNCHECKED_KINDS = (MessageKind.CONTROL,)
+#: trainer's expectation: scheduling/barrier chatter plus the fault
+#: layer's liveness and checkpoint traffic, whose cadence is governed by
+#: :class:`~repro.core.recovery.RecoveryPolicy` rather than the trainer's
+#: Table-I cost model.  Retransmissions of *checked* kinds are logged
+#: under :data:`MessageKind.RETRY`, which stays checked — the engine
+#: derives a retry envelope from the declared traffic (at most
+#: ``max_attempts`` extra copies per declared message), so lossy runs
+#: remain auditable without loosening the base-kind exact counts.
+UNCHECKED_KINDS = (
+    MessageKind.CONTROL,
+    MessageKind.HEARTBEAT,
+    MessageKind.CHECKPOINT,
+)
+_UNCHECKED_KINDS = UNCHECKED_KINDS
 
 
 @dataclass(frozen=True)

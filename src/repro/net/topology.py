@@ -43,7 +43,11 @@ class StarTopology:
         for worker_id, size in enumerate(sizes):
             self.network.send(Message(kind, worker_id, Message.MASTER, int(size)))
             total += int(size)
-        return self.network.latency + total / self.network.bandwidth
+        return (
+            self.network.latency
+            + total / self.network.bandwidth
+            + self.network.consume_extra_seconds()
+        )
 
     def broadcast(self, kind: MessageKind, size: int) -> float:
         """Master -> all workers; time until the last worker has the data.
@@ -52,7 +56,11 @@ class StarTopology:
         """
         for worker_id in range(self.n_workers):
             self.network.send(Message(kind, Message.MASTER, worker_id, int(size)))
-        return self.network.latency + self.n_workers * int(size) / self.network.bandwidth
+        return (
+            self.network.latency
+            + self.n_workers * int(size) / self.network.bandwidth
+            + self.network.consume_extra_seconds()
+        )
 
     def sharded_gather(self, kind: MessageKind, sizes: Sequence[int], n_servers: int) -> float:
         """Workers -> S parameter servers, bytes split evenly across servers.
@@ -65,15 +73,21 @@ class StarTopology:
         for worker_id, size in enumerate(sizes):
             self.network.send(Message(kind, worker_id, Message.MASTER, int(size)))
             total += int(size)
-        return self.network.latency + total / (n_servers * self.network.bandwidth)
+        return (
+            self.network.latency
+            + total / (n_servers * self.network.bandwidth)
+            + self.network.consume_extra_seconds()
+        )
 
     def sharded_broadcast(self, kind: MessageKind, size: int, n_servers: int) -> float:
         """S servers -> all workers, each server pushing its model shard."""
         check_positive(n_servers, "n_servers")
         for worker_id in range(self.n_workers):
             self.network.send(Message(kind, Message.MASTER, worker_id, int(size)))
-        return self.network.latency + self.n_workers * int(size) / (
-            n_servers * self.network.bandwidth
+        return (
+            self.network.latency
+            + self.n_workers * int(size) / (n_servers * self.network.bandwidth)
+            + self.network.consume_extra_seconds()
         )
 
 
@@ -92,4 +106,8 @@ def allreduce_time(network: NetworkModel, size_bytes: int, n_workers: int) -> fl
         src = step % n_workers
         dst = (step + 1) % n_workers
         network.send(Message(MessageKind.MODEL_AVG, src, dst, int(per_step_bytes)))
-    return steps * network.latency + steps * per_step_bytes / network.bandwidth
+    return (
+        steps * network.latency
+        + steps * per_step_bytes / network.bandwidth
+        + network.consume_extra_seconds()
+    )

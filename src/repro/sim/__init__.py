@@ -9,6 +9,7 @@ and charge the clock through these models.
 """
 
 from repro.sim.clock import SimClock
+from repro.sim.chaos import ChaosSchedule
 from repro.sim.cost import ComputeCostModel
 from repro.sim.straggler import StragglerModel
 from repro.sim.failures import FailureInjector, FailureEvent, FailureKind
@@ -16,6 +17,7 @@ from repro.sim.cluster import ClusterSpec, SimulatedCluster, CLUSTER1, CLUSTER2
 from repro.sim.presets import PRESETS, load_preset, MODERN_RACK, CROSS_AZ, EDGE
 
 __all__ = [
+    "ChaosSchedule",
     "SimClock",
     "ComputeCostModel",
     "StragglerModel",

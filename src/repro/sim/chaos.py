@@ -1,0 +1,115 @@
+"""MTBF-driven chaos failure process over simulated time.
+
+The fixed :class:`~repro.sim.failures.FailureInjector` replays the
+paper's Fig 13 scenarios exactly; :class:`ChaosSchedule` complements it
+for soak testing: failures arrive as a Poisson process in *sim-time*
+(exponential inter-arrival with mean ``mtbf_s``), each arrival striking
+a uniformly random worker with a uniformly random kind.  Because the
+process is seeded and driven by the simulated clock, a chaos run is
+exactly reproducible — same seed, same timing trajectory, same crashes.
+
+A schedule quacks like a ``FailureInjector`` (``events_at`` /
+``any_scheduled`` / ``validate``), so trainers accept either; it may
+also wrap a fixed injector (``base=``) to overlay scripted failures on
+the random background.  Trainers call :meth:`attach` at construction to
+hand it the cluster whose clock and width drive the process.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.failures import FailureEvent, FailureInjector, FailureKind
+from repro.utils.rng import rng_from_seed
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class ChaosSchedule:
+    """Seeded Poisson failure process composable with a fixed schedule.
+
+    Parameters
+    ----------
+    mtbf_s:
+        Mean time between failures, in simulated seconds.
+    seed:
+        Drives arrival times, victim choice, and failure kinds.
+    kinds:
+        Failure kinds drawn uniformly per arrival.  Master failures are
+        excluded by default; add :data:`FailureKind.MASTER` to soak the
+        checkpoint-restart path.
+    base:
+        Optional fixed :class:`FailureInjector` overlaid on the chaos
+        background (its events fire in addition to the random ones).
+    """
+
+    def __init__(
+        self,
+        mtbf_s: float,
+        seed: int = 0,
+        kinds: Tuple[FailureKind, ...] = (FailureKind.TASK, FailureKind.WORKER),
+        base: Optional[FailureInjector] = None,
+    ):
+        check_positive(mtbf_s, "mtbf_s")
+        check_non_negative(seed, "seed")
+        if not kinds:
+            raise ConfigurationError("kinds must name at least one FailureKind")
+        for kind in kinds:
+            if not isinstance(kind, FailureKind):
+                raise ConfigurationError(
+                    "kinds must be FailureKind members, got {!r}".format(kind)
+                )
+        self.mtbf_s = float(mtbf_s)
+        self.seed = int(seed)
+        self.kinds = tuple(kinds)
+        self.base = base if base is not None else FailureInjector.none()
+        self._rng = rng_from_seed(self.seed)
+        self._cluster = None
+        self._next_arrival = float(self._rng.exponential(self.mtbf_s))
+
+    # ------------------------------------------------------------------
+    def attach(self, cluster) -> None:
+        """Bind the cluster whose clock and worker count drive arrivals."""
+        self._cluster = cluster
+
+    def _require_cluster(self):
+        if self._cluster is None:
+            raise ConfigurationError(
+                "ChaosSchedule is not attached to a cluster; trainers call "
+                "attach(cluster) at construction"
+            )
+        return self._cluster
+
+    # ------------------------------------------------------------------
+    def events_at(self, iteration: int) -> List[FailureEvent]:
+        """Scripted events plus every chaos arrival due by the sim clock.
+
+        Arrival times are generated lazily from the seeded exponential
+        stream; an arrival 'due' (``<= clock.now()``) strikes at the
+        start of this iteration, mirroring how a BSP master only
+        *observes* a failure at the next synchronization point.
+        """
+        cluster = self._require_cluster()
+        events = list(self.base.events_at(iteration))
+        now = cluster.clock.now()
+        while self._next_arrival <= now:
+            kind = self.kinds[int(self._rng.integers(len(self.kinds)))]
+            worker: Optional[int] = None
+            if kind != FailureKind.MASTER:
+                worker = int(self._rng.integers(cluster.n_workers))
+            events.append(FailureEvent(iteration, kind, worker))
+            self._next_arrival += float(self._rng.exponential(self.mtbf_s))
+        return events
+
+    def any_scheduled(self) -> bool:
+        """Chaos always has more failures in store."""
+        return True
+
+    def validate(self, n_workers: int) -> None:
+        """Chaos victims are drawn in-range by construction; check the base."""
+        self.base.validate(n_workers)
+
+    def __repr__(self) -> str:
+        return "ChaosSchedule(mtbf_s={}, seed={}, kinds={})".format(
+            self.mtbf_s, self.seed, [k.value for k in self.kinds]
+        )

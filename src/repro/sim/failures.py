@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ConfigurationError
 from repro.utils.validation import check_non_negative
 
 
@@ -44,16 +45,48 @@ class FailureEvent:
     def __post_init__(self):
         check_non_negative(self.iteration, "iteration")
         if self.kind != FailureKind.MASTER and self.worker_id is None:
-            raise ValueError("{} failure needs a worker_id".format(self.kind.value))
+            raise ConfigurationError(
+                "{} failure needs a worker_id".format(self.kind.value)
+            )
+        if self.worker_id is not None and self.worker_id < 0:
+            raise ConfigurationError(
+                "worker_id must be >= 0, got {}".format(self.worker_id)
+            )
 
 
 class FailureInjector:
-    """A fixed schedule of failures, queried by iteration number."""
+    """A fixed schedule of failures, queried by iteration number.
 
-    def __init__(self, events: List[FailureEvent] = None):
+    The schedule is defensive-copied at construction and immutable
+    afterwards (``events`` exposes it as a tuple).
+    """
+
+    def __init__(self, events: Optional[Sequence[FailureEvent]] = None):
+        self._events: Tuple[FailureEvent, ...] = tuple(events or ())
+        for event in self._events:
+            if not isinstance(event, FailureEvent):
+                raise ConfigurationError(
+                    "events must be FailureEvent instances, got {!r}".format(event)
+                )
         self._by_iteration: Dict[int, List[FailureEvent]] = {}
-        for event in events or []:
+        for event in self._events:
             self._by_iteration.setdefault(event.iteration, []).append(event)
+
+    @property
+    def events(self) -> Tuple[FailureEvent, ...]:
+        """The full immutable schedule, in construction order."""
+        return self._events
+
+    def validate(self, n_workers: int) -> None:
+        """Check every targeted worker id fits a ``n_workers`` cluster."""
+        for event in self._events:
+            if event.worker_id is not None and event.worker_id >= n_workers:
+                raise ConfigurationError(
+                    "failure at iteration {} targets worker {} but the "
+                    "cluster has workers 0..{}".format(
+                        event.iteration, event.worker_id, n_workers - 1
+                    )
+                )
 
     @classmethod
     def none(cls) -> "FailureInjector":
@@ -69,6 +102,11 @@ class FailureInjector:
     def worker_failure(cls, iteration: int, worker_id: int = 0) -> "FailureInjector":
         """Single worker crash at ``iteration``."""
         return cls([FailureEvent(iteration, FailureKind.WORKER, worker_id)])
+
+    @classmethod
+    def master_failure(cls, iteration: int) -> "FailureInjector":
+        """Single master crash at ``iteration``."""
+        return cls([FailureEvent(iteration, FailureKind.MASTER)])
 
     def events_at(self, iteration: int) -> List[FailureEvent]:
         """Failures scheduled for this iteration (possibly empty)."""

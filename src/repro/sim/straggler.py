@@ -61,6 +61,11 @@ class StragglerModel:
         self.n_stragglers = int(n_stragglers)
         self.mode = mode
         self._rng = rng_from_seed(seed)
+        #: per-iteration victim cache — ``victims(i)`` must return the
+        #: same set no matter how many times (or from where) it is
+        #: called within a run, else ``victims(i)`` and ``slowdowns(i)``
+        #: could name different workers
+        self._victim_cache: Dict[int, FrozenSet[int]] = {}
         self._permanent: FrozenSet[int] = frozenset()
         if mode == "permanent":
             chosen = self._rng.choice(self.n_workers, size=self.n_stragglers, replace=False)
@@ -78,8 +83,14 @@ class StragglerModel:
             return frozenset()
         if self.mode == "permanent":
             return self._permanent
-        chosen = self._rng.choice(self.n_workers, size=self.n_stragglers, replace=False)
-        return frozenset(int(w) for w in chosen)
+        cached = self._victim_cache.get(iteration)
+        if cached is None:
+            chosen = self._rng.choice(
+                self.n_workers, size=self.n_stragglers, replace=False
+            )
+            cached = frozenset(int(w) for w in chosen)
+            self._victim_cache[iteration] = cached
+        return cached
 
     def slowdowns(self, iteration: int) -> Dict[int, float]:
         """Multiplier on compute time per worker for this iteration.

@@ -1,0 +1,163 @@
+"""Unit tests for the lossy network layer (repro.net.faults)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import (
+    FaultPlan,
+    LinkFaults,
+    LossyNetworkModel,
+    Message,
+    MessageKind,
+    NetworkModel,
+)
+
+
+class TestLinkFaults:
+    def test_defaults_are_lossless(self):
+        faults = LinkFaults()
+        assert not faults.any()
+        assert faults.loss == 0.0
+
+    def test_rejects_out_of_range_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            LinkFaults(drop=1.5)
+        with pytest.raises(ConfigurationError):
+            LinkFaults(duplicate=-0.1)
+
+    def test_rejects_certain_loss(self):
+        with pytest.raises(ConfigurationError):
+            LinkFaults(drop=0.6, corrupt=0.5)
+
+    def test_loss_combines_drop_and_corrupt(self):
+        assert LinkFaults(drop=0.1, corrupt=0.2).loss == pytest.approx(0.3)
+
+
+class TestFaultPlan:
+    def test_none_has_no_faults(self):
+        assert not FaultPlan.none().any_faults()
+
+    def test_link_override_wins(self):
+        loud = LinkFaults(drop=0.5)
+        plan = FaultPlan(links={(0, 1): loud})
+        assert plan.for_link(0, 1) is loud
+        assert plan.for_link(1, 0) == LinkFaults()
+        assert plan.any_faults()
+
+    def test_link_seed_is_directional_and_deterministic(self):
+        plan = FaultPlan(seed=7)
+        assert plan.link_seed(0, 1) != plan.link_seed(1, 0)
+        assert plan.link_seed(0, 1) == FaultPlan(seed=7).link_seed(0, 1)
+        assert plan.link_seed(0, 1) != FaultPlan(seed=8).link_seed(0, 1)
+
+    def test_master_link_seed_valid(self):
+        # Message.MASTER = -1 is shifted into the non-negative range
+        plan = FaultPlan(seed=3)
+        assert plan.link_seed(Message.MASTER, 0) >= 0
+
+    def test_rejects_bad_max_attempts(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(max_attempts=0)
+
+
+def _flood(net, n=400, size=1000):
+    """Send n identical worker->master messages; return total seconds."""
+    total = 0.0
+    for _ in range(n):
+        total += net.send(
+            Message(MessageKind.STATISTICS_PUSH, 0, Message.MASTER, size)
+        )
+        total += net.consume_extra_seconds()
+    return total
+
+
+class TestLossyNetworkModel:
+    def test_base_time_unchanged(self):
+        """send() returns the lossless time; fault costs accrue separately."""
+        plan = FaultPlan(default=LinkFaults(drop=0.5), seed=1)
+        lossy = LossyNetworkModel(fault_plan=plan, bandwidth=1e6, latency=0.01)
+        clean = NetworkModel(bandwidth=1e6, latency=0.01)
+        msg = Message(MessageKind.STATISTICS_PUSH, 0, Message.MASTER, 1000)
+        assert lossy.send(msg) == clean.send(msg)
+
+    def test_deterministic_given_seed(self):
+        plan = FaultPlan(default=LinkFaults(drop=0.2, duplicate=0.1), seed=5)
+        a = LossyNetworkModel(fault_plan=plan)
+        b = LossyNetworkModel(fault_plan=plan)
+        _flood(a)
+        _flood(b)
+        assert a.dropped == b.dropped
+        assert a.duplicated == b.duplicated
+        assert a.retry_bytes() == b.retry_bytes()
+        assert a.snapshot() == b.snapshot()
+
+    def test_drops_trigger_retry_accounting(self):
+        plan = FaultPlan(default=LinkFaults(drop=0.3), seed=2)
+        net = LossyNetworkModel(fault_plan=plan)
+        _flood(net)
+        assert net.dropped > 0
+        # every retransmitted copy is logged under MessageKind.RETRY,
+        # keyed by the original kind in the diagnostic counters
+        assert net.retry_messages_by_kind == {
+            MessageKind.STATISTICS_PUSH: net.retry_messages()
+        }
+        assert net.bytes_of_kind(MessageKind.RETRY) == net.retry_bytes()
+        # the base kind's count stays exact: one per send
+        assert (
+            net.bytes_of_kind(MessageKind.STATISTICS_PUSH) == 400 * 1000
+        )
+
+    def test_retries_bounded_by_max_attempts(self):
+        plan = FaultPlan(default=LinkFaults(drop=0.8), seed=3, max_attempts=3)
+        net = LossyNetworkModel(fault_plan=plan)
+        _flood(net, n=100)
+        # at most max_attempts - 1 retransmits per original message
+        assert net.retry_messages() <= 100 * (plan.max_attempts - 1)
+
+    def test_unchecked_kinds_retransmit_as_themselves(self):
+        plan = FaultPlan(default=LinkFaults(drop=0.8), seed=4)
+        net = LossyNetworkModel(fault_plan=plan)
+        for _ in range(100):
+            net.send(Message(MessageKind.HEARTBEAT, 0, Message.MASTER, 10))
+            net.consume_extra_seconds()
+        assert net.dropped > 0
+        assert net.bytes_of_kind(MessageKind.RETRY) == 0
+
+    def test_delay_charges_plan_delay(self):
+        plan = FaultPlan(default=LinkFaults(delay=1.0), seed=5, delay_s=0.25)
+        net = LossyNetworkModel(fault_plan=plan)
+        net.send(Message(MessageKind.STATISTICS_PUSH, 0, Message.MASTER, 10))
+        assert net.consume_extra_seconds() == pytest.approx(0.25)
+        # the accumulator drains: a second read is exactly zero
+        assert net.consume_extra_seconds() == 0.0
+
+    def test_duplicate_delivers_extra_copy(self):
+        plan = FaultPlan(default=LinkFaults(duplicate=1.0), seed=6)
+        net = LossyNetworkModel(fault_plan=plan)
+        net.send(Message(MessageKind.STATISTICS_PUSH, 0, Message.MASTER, 10))
+        assert net.duplicated == 1
+        assert net.retry_messages() == 1
+
+    def test_reset_counters_clears_fault_state(self):
+        plan = FaultPlan(default=LinkFaults(drop=0.5, delay=0.5), seed=7)
+        net = LossyNetworkModel(fault_plan=plan)
+        _flood(net, n=50)
+        net.reset_counters()
+        assert net.retry_messages() == 0
+        assert net.dropped == 0
+        assert net.consume_extra_seconds() == 0.0
+
+
+class TestPayForUse:
+    def test_plain_network_hook_is_exact_zero(self):
+        net = NetworkModel()
+        net.send(Message(MessageKind.CONTROL, 0, 1, 10))
+        assert net.consume_extra_seconds() == 0.0
+
+    def test_lossless_plan_is_bit_identical(self):
+        """FaultPlan.none() takes the exact lossless code path."""
+        lossy = LossyNetworkModel(fault_plan=FaultPlan.none())
+        clean = NetworkModel()
+        assert _flood(lossy) == _flood(clean)
+        assert lossy.retry_messages() == 0
+        assert lossy.snapshot() == clean.snapshot()

@@ -3,10 +3,11 @@ cluster specs and memory ledger."""
 
 import pytest
 
-from repro.errors import OutOfMemoryError
+from repro.errors import ConfigurationError, OutOfMemoryError
 from repro.sim import (
     CLUSTER1,
     CLUSTER2,
+    ChaosSchedule,
     ClusterSpec,
     ComputeCostModel,
     FailureEvent,
@@ -99,6 +100,21 @@ class TestStraggler:
         with pytest.raises(ValueError):
             StragglerModel(4, mode="sometimes")
 
+    def test_victims_memoized_per_iteration(self):
+        """Regression: repeated victims(t) calls must agree — the random
+        mode used to redraw on every call, so two consumers of the same
+        iteration (slowdowns, the engine, a gantt) could disagree."""
+        model = StragglerModel(8, level=5.0, seed=6)
+        for t in range(20):
+            assert model.victims(t) == model.victims(t)
+
+    def test_slowdowns_consistent_with_victims(self):
+        model = StragglerModel(8, level=5.0, seed=7)
+        for t in range(10):
+            victims = model.victims(t)
+            slow = model.slowdowns(t)
+            assert {w for w, s in slow.items() if s > 1.0} == set(victims)
+
 
 class TestFailures:
     def test_none(self):
@@ -130,6 +146,86 @@ class TestFailures:
         with pytest.raises(ValueError):
             FailureEvent(0, FailureKind.WORKER)
         FailureEvent(0, FailureKind.MASTER)  # fine without worker
+
+    def test_event_rejects_negative_worker(self):
+        with pytest.raises(ConfigurationError):
+            FailureEvent(0, FailureKind.WORKER, worker_id=-1)
+
+    def test_default_constructor_is_empty(self):
+        assert not FailureInjector().any_scheduled()
+
+    def test_schedule_is_defensively_copied(self):
+        events = [FailureEvent(1, FailureKind.TASK, 0)]
+        injector = FailureInjector(events)
+        events.append(FailureEvent(2, FailureKind.TASK, 0))
+        assert len(injector.events) == 1
+        assert isinstance(injector.events, tuple)
+
+    def test_rejects_non_event_entries(self):
+        with pytest.raises(ConfigurationError):
+            FailureInjector([(1, "worker")])
+
+    def test_validate_checks_worker_range(self):
+        injector = FailureInjector.worker_failure(3, worker_id=7)
+        injector.validate(8)  # in range
+        with pytest.raises(ConfigurationError):
+            injector.validate(4)
+
+    def test_master_failure_factory(self):
+        event = FailureInjector.master_failure(5).events_at(5)[0]
+        assert event.kind == FailureKind.MASTER
+        assert event.worker_id is None
+
+
+class TestChaosSchedule:
+    def test_requires_attach(self):
+        chaos = ChaosSchedule(mtbf_s=1.0, seed=1)
+        with pytest.raises(ConfigurationError):
+            chaos.events_at(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosSchedule(mtbf_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ChaosSchedule(mtbf_s=1.0, kinds=())
+        with pytest.raises(ConfigurationError):
+            ChaosSchedule(mtbf_s=1.0, kinds=("worker",))
+
+    def _drive(self, seed, mtbf_s=0.5):
+        cluster = SimulatedCluster(CLUSTER1.with_workers(4))
+        chaos = ChaosSchedule(mtbf_s=mtbf_s, seed=seed)
+        chaos.attach(cluster)
+        events = []
+        for t in range(20):
+            cluster.clock.advance(0.2)
+            events.extend(
+                (t, e.kind, e.worker_id) for e in chaos.events_at(t)
+            )
+        return events
+
+    def test_deterministic_given_seed(self):
+        assert self._drive(seed=3) == self._drive(seed=3)
+
+    def test_seeds_differ(self):
+        assert self._drive(seed=3) != self._drive(seed=4)
+
+    def test_poisson_rate_roughly_matches_mtbf(self):
+        # 4 sim-seconds at MTBF 0.5 -> ~8 arrivals
+        events = self._drive(seed=5)
+        assert 2 <= len(events) <= 20
+
+    def test_overlays_base_schedule(self):
+        cluster = SimulatedCluster(CLUSTER1.with_workers(4))
+        chaos = ChaosSchedule(
+            mtbf_s=100.0, seed=1, base=FailureInjector.task_failure(2, worker_id=1)
+        )
+        chaos.attach(cluster)
+        assert any(
+            e.kind == FailureKind.TASK for e in chaos.events_at(2)
+        )
+
+    def test_any_scheduled_always_true(self):
+        assert ChaosSchedule(mtbf_s=1.0).any_scheduled()
 
 
 class TestClusterSpec:

@@ -1,0 +1,164 @@
+"""TimeoutSync / RetrySync: timeout suspicion, backoff, degradation."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import BackupGroups, ColumnSGDConfig, ColumnSGDDriver
+from repro.engine import EngineTrace, RetrySync, TimeoutSync
+from repro.errors import ConfigurationError, StatisticsRecoveryError
+from repro.models import LogisticRegression
+from repro.optim import SGD
+from repro.sim import CLUSTER1, SimulatedCluster, StragglerModel
+
+INF = float("inf")
+
+
+def make_ctx():
+    return SimpleNamespace(
+        cluster=SimpleNamespace(engine_trace=EngineTrace(system="test")),
+        t=0,
+        failed=set(),
+    )
+
+
+class TestValidation:
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(ConfigurationError):
+            TimeoutSync(BackupGroups(4, 0), alpha=0.5)
+
+    def test_rejects_backoff_below_one(self):
+        with pytest.raises(ConfigurationError):
+            TimeoutSync(BackupGroups(4, 0), backoff=0.9)
+
+    def test_rejects_unknown_on_exhausted(self):
+        with pytest.raises(ConfigurationError):
+            TimeoutSync(BackupGroups(4, 0), on_exhausted="panic")
+
+    def test_retry_sync_defaults(self):
+        policy = RetrySync(BackupGroups(4, 0))
+        assert policy.max_retries == 2
+        assert policy.on_exhausted == "stale"
+
+
+class TestResolve:
+    def test_all_arrived_degenerates_to_barrier(self):
+        policy = TimeoutSync(BackupGroups(4, 0), alpha=3.0)
+        ctx = make_ctx()
+        duration = policy.resolve(ctx, {0: 1.0, 1: 1.2, 2: 0.9, 3: 1.1})
+        assert duration == pytest.approx(1.2)
+        assert ctx.chosen == {0, 1, 2, 3}
+        assert ctx.cluster.engine_trace.retries == []
+
+    def test_covered_group_proceeds_at_deadline(self):
+        """A straggler past the deadline is suspected, but its backup
+        peer covers the group — proceed without it, and don't kill it."""
+        policy = TimeoutSync(BackupGroups(4, 1), alpha=1.5)
+        ctx = make_ctx()
+        # groups {0,1} and {2,3}; worker 3 is a 10x straggler
+        duration = policy.resolve(ctx, {0: 1.0, 1: 1.0, 2: 1.0, 3: 10.0})
+        assert duration == pytest.approx(1.5)  # alpha * median
+        assert 3 not in ctx.chosen
+        assert ctx.killed == set()
+        (event,) = ctx.cluster.engine_trace.retries
+        assert event.suspects == (3,)
+        assert event.resolved == "arrived"
+
+    def test_uncovered_group_raises_when_exhausted(self):
+        policy = TimeoutSync(BackupGroups(4, 0), alpha=1.5, on_exhausted="raise")
+        ctx = make_ctx()
+        with pytest.raises(StatisticsRecoveryError):
+            policy.resolve(ctx, {0: 1.0, 1: 1.0, 2: 1.0, 3: INF})
+        (event,) = ctx.cluster.engine_trace.retries
+        assert event.resolved == "failed"
+
+    def test_uncovered_group_degrades_to_stale(self):
+        policy = TimeoutSync(BackupGroups(4, 0), alpha=1.5, on_exhausted="stale")
+        ctx = make_ctx()
+        duration = policy.resolve(ctx, {0: 1.0, 1: 1.0, 2: 1.0, 3: INF})
+        assert duration == pytest.approx(1.5)
+        assert ctx.stale_groups == {3}
+        assert ctx.chosen == {0, 1, 2}
+        (event,) = ctx.cluster.engine_trace.retries
+        assert event.resolved == "stale"
+
+    def test_backoff_retries_until_straggler_arrives(self):
+        """Deadline 1.5 -> 3.0 -> 6.0; the 5 s straggler arrives in the
+        third window, so two 'retry' expiries precede success."""
+        policy = TimeoutSync(
+            BackupGroups(4, 0), alpha=1.5, max_retries=3, backoff=2.0
+        )
+        ctx = make_ctx()
+        duration = policy.resolve(ctx, {0: 1.0, 1: 1.0, 2: 1.0, 3: 5.0})
+        assert duration == pytest.approx(5.0)
+        events = ctx.cluster.engine_trace.retries
+        assert [e.resolved for e in events] == ["retry", "retry"]
+        assert [e.attempt for e in events] == [0, 1]
+        assert [e.deadline_s for e in events] == [pytest.approx(1.5), pytest.approx(3.0)]
+
+    def test_dead_worker_exhausts_every_retry(self):
+        policy = RetrySync(BackupGroups(4, 0), alpha=1.5)
+        ctx = make_ctx()
+        policy.resolve(ctx, {0: 1.0, 1: 1.0, 2: 1.0, 3: INF})
+        events = ctx.cluster.engine_trace.retries
+        assert [e.resolved for e in events] == ["retry", "retry", "stale"]
+
+
+class TestDriverIntegration:
+    def make_driver(self, data, sync_policy, straggler=None, **overrides):
+        cluster = SimulatedCluster(CLUSTER1.with_workers(4))
+        config = ColumnSGDConfig(
+            batch_size=64, iterations=10, eval_every=5, seed=9, block_size=64,
+            sync_policy=sync_policy, **overrides,
+        )
+        driver = ColumnSGDDriver(
+            LogisticRegression(), SGD(1.0), cluster, config=config,
+            straggler=straggler,
+        )
+        driver.load(data)
+        return driver
+
+    def test_timeout_suspects_permanent_straggler(self, tiny_binary):
+        driver = self.make_driver(
+            tiny_binary, "timeout", sync_alpha=1.2,
+            straggler=StragglerModel(4, level=9.0, mode="permanent", seed=3),
+        )
+        result = driver.fit()
+        trace = driver.cluster.engine_trace
+        assert trace.retries  # the straggler blew the deadline
+        assert driver.last_killed == set()  # suspicion never kills
+        assert result.final_loss() < result.losses()[0][2]
+
+    def test_stale_survives_mid_run_kill(self, tiny_binary):
+        """kill_worker() mid-run (footnote 6) leaves an uncovered group;
+        with 'stale' the master substitutes the cached contribution
+        instead of raising."""
+        driver = self.make_driver(tiny_binary, "retry")
+        for t in range(3):
+            driver.run_round(t)
+        driver.kill_worker(1)
+        for t in range(3, 6):
+            driver.run_round(t)
+        trace = driver.cluster.engine_trace
+        assert any(e.resolved == "stale" for e in trace.retries)
+
+    def test_raise_mode_escalates_mid_run_kill(self, tiny_binary):
+        driver = self.make_driver(
+            tiny_binary, "timeout", sync_on_exhausted="raise"
+        )
+        for t in range(3):
+            driver.run_round(t)
+        driver.kill_worker(1)
+        with pytest.raises(StatisticsRecoveryError):
+            driver.run_round(3)
+
+    def test_stale_round_checks_protocol(self, tiny_binary):
+        """Stale rounds skip a group's statistics push; the per-round
+        byte audit must still pass (suspected workers did send — their
+        messages just arrived late)."""
+        driver = self.make_driver(
+            tiny_binary, "retry", check_protocol=True,
+            straggler=StragglerModel(4, level=9.0, mode="permanent", seed=3),
+            sync_alpha=1.2,
+        )
+        driver.fit()  # ProtocolViolation would raise here
