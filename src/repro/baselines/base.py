@@ -58,6 +58,9 @@ class RowSGDConfig:
     repartition: bool = False  # MLlib-Repartition loading for Fig 7
     check_protocol: bool = False  # verify BSP invariants every round
                                   # (see repro.net.protocol)
+    check_effects: bool = False   # record per-phase attribute accesses
+                                  # and fail on DAG-unordered conflicts
+                                  # (see repro.engine.effects)
 
     def __post_init__(self):
         check_positive(self.batch_size, "batch_size")
@@ -175,7 +178,10 @@ class BaselineTrainer:
         if self.config.eval_every:
             self._record(result, -1, 0.0, 0, evaluate=True)
 
-        self._engine = RoundEngine(self, self.cluster, straggler=self.straggler)
+        self._engine = RoundEngine(
+            self, self.cluster, straggler=self.straggler,
+            check_effects=self.config.check_effects,
+        )
         checker = ProtocolChecker(self.cluster) if self.config.check_protocol else None
         run_training_loop(
             cluster=self.cluster,
@@ -197,7 +203,10 @@ class BaselineTrainer:
         """One engine round (used by fit(), benchmarks and tests);
         returns the :class:`~repro.engine.RoundOutcome`."""
         if self._engine is None:
-            self._engine = RoundEngine(self, self.cluster, straggler=self.straggler)
+            self._engine = RoundEngine(
+                self, self.cluster, straggler=self.straggler,
+                check_effects=self.config.check_effects,
+            )
         return self._engine.run_round(t)
 
     # ------------------------------------------------------------------

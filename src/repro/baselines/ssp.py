@@ -197,7 +197,10 @@ class StaleSyncPSTrainer(ParameterServerTrainer):
             self._record(result, -1, 0.0, 0, evaluate=True)
 
         self._history = [np.array(self._params, copy=True)]
-        self._engine = RoundEngine(self, self.cluster, straggler=self.straggler)
+        self._engine = RoundEngine(
+            self, self.cluster, straggler=self.straggler,
+            check_effects=self.config.check_effects,
+        )
         checker = ProtocolChecker(self.cluster) if self.config.check_protocol else None
         # SSP has no failure hook: a crashed worker's pipeline slot is
         # simply re-provisioned by the PS runtime, outside our model.

@@ -84,6 +84,14 @@ class ColumnSGDConfig:
     sync_backoff: float = 2.0     # deadline multiplier per retry
     sync_on_exhausted: str = "stale"  # 'stale' reuses cached group
                                       # statistics; 'raise' escalates
+    overlap: bool = True          # overlap reduce with the statistics
+                                  # gather and prefetch the next batch
+                                  # (after= DAG proven race-free by
+                                  # lint rule R012); False restores the
+                                  # strictly sequential round
+    check_effects: bool = False   # record per-phase attribute accesses
+                                  # and fail on DAG-unordered conflicts
+                                  # (see repro.engine.effects)
 
     def __post_init__(self):
         check_positive(self.batch_size, "batch_size")
@@ -258,7 +266,10 @@ class ColumnSGDDriver:
             self._record(result, iteration=-1, duration=0.0, bytes_sent=0, evaluate=True)
 
         self._engine = RoundEngine(
-            self, self.cluster, straggler=self.straggler
+            self,
+            self.cluster,
+            straggler=self.straggler,
+            check_effects=self.config.check_effects,
         )
         checker = ProtocolChecker(self.cluster) if self.config.check_protocol else None
         stopped_at = run_training_loop(
@@ -298,7 +309,14 @@ class ColumnSGDDriver:
         """Algorithm 3 as a declarative spec: two Spark stages
         (computeStatistics, updateModel) around the master's
         gather-reduce-broadcast interlude.  Table I, ColumnSGD row:
-        K pushes + K broadcasts of ``B * width`` values per round."""
+        K pushes + K broadcasts of ``B * width`` values per round.
+
+        With ``config.overlap`` (the default) the spec declares real
+        ``after=`` overlap — streaming reduce concurrent with the
+        statistics gather, next-batch prefetch concurrent with the
+        whole network interlude — see :meth:`_overlap_round_spec`."""
+        if self.config.overlap:
+            return self._overlap_round_spec()
         return RoundSpec(
             system="ColumnSGD",
             sync=self._sync_policy(),
@@ -325,6 +343,71 @@ class ColumnSGDDriver:
             ),
         )
 
+    def _overlap_round_spec(self) -> RoundSpec:
+        """The same round with the race-free overlap made explicit.
+
+        Two ``after=`` relaxations, both proven conflict-free by lint
+        rule R012 (and guarded at runtime by ``check_effects``):
+
+        * ``reduce`` depends only on ``compute_statistics`` — the master
+          reduces contributions as they stream in, concurrently with the
+          tail of the gather.  The round's critical path drops from
+          ``gather + reduce`` to ``max(gather, reduce)``.
+        * ``prefetch_batch`` starts at round offset zero (``after=()``)
+          and overlaps everything up to ``update_model``: workers page
+          the next batch's shard rows while statistics are on the wire.
+
+        Execution stays in declaration order (the engine's overlap is a
+        scheduling statement), so the numerics — and hence the golden
+        trajectories — are bit-identical to the sequential spec.
+        """
+        return RoundSpec(
+            system="ColumnSGD",
+            sync=self._sync_policy(),
+            phases=(
+                ComputePhase(
+                    "compute_statistics",
+                    run="_phase_compute_statistics",
+                    synchronized=True,
+                ),
+                CommPhase(
+                    "gather",
+                    kind=MessageKind.STATISTICS_PUSH,
+                    pattern="gather",
+                    sizes="_statistics_push_sizes",
+                ),
+                ComputePhase(
+                    "prefetch_batch",
+                    run="_phase_prefetch_batch",
+                    after=(),
+                    reads=(
+                        "ctx.slowdowns",
+                        "self._dataset",
+                        "self.cluster",
+                        "self.config",
+                    ),
+                    writes=("ctx.scratch[prefetch_nnz]",),
+                ),
+                MasterPhase(
+                    "reduce",
+                    run="_phase_reduce",
+                    after=("compute_statistics",),
+                ),
+                CommPhase(
+                    "broadcast",
+                    kind=MessageKind.STATISTICS_BCAST,
+                    pattern="broadcast",
+                    sizes="_statistics_size",
+                    after=("gather", "reduce"),
+                ),
+                ComputePhase(
+                    "update_model",
+                    run="_phase_update_model",
+                    after=("broadcast", "prefetch_batch"),
+                ),
+            ),
+        )
+
     def _sync_policy(self):
         """The spec's sync policy, from the config's ``sync_*`` knobs."""
         if self.config.sync_policy == "backup":
@@ -348,7 +431,12 @@ class ColumnSGDDriver:
         ``last_worker_seconds`` and ``last_killed``.
         """
         if self._engine is None:
-            self._engine = RoundEngine(self, self.cluster, straggler=self.straggler)
+            self._engine = RoundEngine(
+                self,
+                self.cluster,
+                straggler=self.straggler,
+                check_effects=self.config.check_effects,
+            )
         outcome = self._engine.run_round(t)
         self.last_phase_seconds = dict(outcome.phase_seconds)
         self.last_worker_seconds = {
@@ -387,6 +475,26 @@ class ColumnSGDDriver:
             per_worker[w] for w in range(self.cluster.n_workers)
         ]
         return per_worker
+
+    def _phase_prefetch_batch(self, ctx) -> Dict[int, float]:
+        """Page the next batch's shard rows while the round is on the wire.
+
+        Pure cost accounting for the overlap: no numerics, no RNG draws,
+        and none of the state the concurrent phases write (the next
+        round's draws are deterministic per iteration, so nothing needs
+        to be materialised early).  The cost charges one pass over the
+        shard's expected batch footprint — ``B`` rows at the dataset's
+        average density, split across the column partitions.
+        """
+        B = self.config.batch_size
+        dataset = self._dataset
+        expected_nnz = B * dataset.nnz / (dataset.n_rows * self.cluster.n_workers)
+        ctx.scratch["prefetch_nnz"] = expected_nnz
+        work = self.cluster.cost.sparse_work(expected_nnz, passes=1)
+        return {
+            w: work * ctx.slowdowns[w]
+            for w in range(self.cluster.n_workers)
+        }
 
     def _statistics_size(self, ctx) -> int:
         """Wire bytes of one statistics buffer (B * width values)."""

@@ -9,6 +9,15 @@ timeout-based suspicion) supplied by pluggable :class:`SyncPolicy`
 objects.  See ``docs/engine.md`` and ``docs/faults.md``.
 """
 
+from repro.engine.effects import (
+    EffectChecker,
+    PhaseAccessLog,
+    atoms_conflict,
+    concurrent_pairs,
+    dependency_predecessors,
+    happens_before,
+    vector_clocks,
+)
 from repro.engine.engine import RoundContext, RoundEngine, RoundOutcome
 from repro.engine.events import EventQueue
 from repro.engine.loop import run_training_loop
@@ -34,9 +43,16 @@ __all__ = [
     "BarrierSync",
     "CommPhase",
     "ComputePhase",
+    "EffectChecker",
     "EngineTrace",
     "EventQueue",
     "MasterPhase",
+    "PhaseAccessLog",
+    "atoms_conflict",
+    "concurrent_pairs",
+    "dependency_predecessors",
+    "happens_before",
+    "vector_clocks",
     "PhaseEvent",
     "RecoveryEvent",
     "RetryEvent",

@@ -1,0 +1,322 @@
+"""Dynamic phase-effect recording and vector-clock race checking.
+
+The engine executes a :class:`~repro.engine.spec.RoundSpec`'s phases in
+declaration order even when the ``after=`` dependency graph says two
+phases overlap in simulated time.  That makes overlap *cheap* — no real
+concurrency — but also *dangerous*: a phase that reads state written by
+a phase it is declared concurrent with is a logical race that the
+sequential execution silently hides, and that would corrupt the run on
+a real cluster where the phases genuinely interleave.
+
+This module is the runtime half of the defence (the static half is lint
+rule R012 in :mod:`repro.lint.effects`).  With ``check_effects=True``
+the engine routes every phase executor through recording views of the
+trainer and the :class:`~repro.engine.engine.RoundContext`: attribute
+reads/writes — including ``ctx.scratch`` accesses at key granularity —
+are logged per phase.  After the round, phases are compared pairwise
+under the happens-before relation induced by the spec's ``after=``
+edges, encoded as vector clocks; two *concurrent* phases whose access
+sets conflict (write/read or write/write on the same atom) raise
+:class:`~repro.errors.EffectRaceError` naming the witness atoms.
+
+Effect atoms are attribute-rooted strings::
+
+    self._workers            # trainer attribute
+    ctx.chosen               # round-context attribute
+    ctx.scratch[reduced]     # one scratch key
+    ctx.scratch[*]           # whole-dict access (iteration, len, ...)
+
+``ctx.trainer`` is normalised back to ``self`` so both spellings land
+on the same atom.  Method *calls* are not reads: ``self._helper()``
+re-binds the class function onto the recording view, so the helper's
+own attribute accesses are logged under the calling phase — the dynamic
+mirror of the static analyzer's interprocedural inlining.  Deep
+mutation of objects reached through a recorded read (e.g. the worker
+objects inside ``self._workers``) is *not* observed here; the static
+analyzer over-approximates those as writes, so the dynamic log is
+always a subset of the static effect set — the agreement the
+``check_effects`` test suite pins for every trainer.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EffectRaceError
+
+#: atom spelling for whole-scratch access (iteration, len, clear, ...)
+SCRATCH_WILDCARD = "ctx.scratch[*]"
+
+
+def scratch_atom(key: object) -> str:
+    """The effect atom for one ``ctx.scratch`` subscript."""
+    if isinstance(key, str):
+        return "ctx.scratch[{}]".format(key)
+    return SCRATCH_WILDCARD
+
+
+def atoms_conflict(a: str, b: str) -> bool:
+    """Two atoms touch the same state (equal, or wildcard overlap)."""
+    if a == b:
+        return True
+    if a == SCRATCH_WILDCARD and b.startswith("ctx.scratch["):
+        return True
+    if b == SCRATCH_WILDCARD and a.startswith("ctx.scratch["):
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# happens-before from after= edges, as vector clocks
+# ----------------------------------------------------------------------
+def dependency_predecessors(phases: Sequence) -> Dict[str, Tuple[str, ...]]:
+    """Direct predecessor names per phase, with ``after=`` defaults
+    resolved: ``None`` chains to the previously declared phase, ``()``
+    starts at round offset zero with no ordering constraints."""
+    preds: Dict[str, Tuple[str, ...]] = {}
+    previous: Optional[str] = None
+    for phase in phases:
+        if phase.after is None:
+            preds[phase.name] = (previous,) if previous is not None else ()
+        else:
+            preds[phase.name] = tuple(phase.after)
+        previous = phase.name
+    return preds
+
+
+def vector_clocks(phases: Sequence) -> Dict[str, Tuple[int, ...]]:
+    """One clock per phase over declaration-indexed components.
+
+    ``clock[p][i] == 1`` iff phase ``i`` happens-before ``p`` (or is
+    ``p`` itself), so componentwise dominance *is* the happens-before
+    relation and incomparable clocks mean concurrent phases.
+    """
+    names = [phase.name for phase in phases]
+    preds = dependency_predecessors(phases)
+    ancestors: Dict[str, Set[str]] = {}
+    for name in names:  # predecessors are always declared earlier
+        anc: Set[str] = set()
+        for dep in preds[name]:
+            anc.add(dep)
+            anc |= ancestors[dep]
+        ancestors[name] = anc
+    clocks: Dict[str, Tuple[int, ...]] = {}
+    for name in names:
+        marked = ancestors[name] | {name}
+        clocks[name] = tuple(1 if n in marked else 0 for n in names)
+    return clocks
+
+
+def happens_before(clocks: Dict[str, Tuple[int, ...]], a: str, b: str) -> bool:
+    """Vector-clock dominance: ``a`` is ordered before ``b``."""
+    if a == b:
+        return False
+    ca, cb = clocks[a], clocks[b]
+    return all(x <= y for x, y in zip(ca, cb))
+
+
+def concurrent_pairs(phases: Sequence) -> List[Tuple[str, str]]:
+    """All declaration-ordered phase pairs left unordered by ``after=``."""
+    clocks = vector_clocks(phases)
+    names = [phase.name for phase in phases]
+    pairs: List[Tuple[str, str]] = []
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            if not happens_before(clocks, a, b) and not happens_before(clocks, b, a):
+                pairs.append((a, b))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# per-phase access logs and the recording views
+# ----------------------------------------------------------------------
+class PhaseAccessLog:
+    """Attribute atoms one phase read and wrote during one round."""
+
+    __slots__ = ("reads", "writes")
+
+    def __init__(self) -> None:
+        self.reads: Set[str] = set()
+        self.writes: Set[str] = set()
+
+
+class _ScratchView:
+    """Recording wrapper around ``ctx.scratch`` (key-granular atoms)."""
+
+    __slots__ = ("_target", "_log")
+
+    def __init__(self, target: dict, log: PhaseAccessLog):
+        object.__setattr__(self, "_target", target)
+        object.__setattr__(self, "_log", log)
+
+    def __getitem__(self, key):
+        self._log.reads.add(scratch_atom(key))
+        return self._target[key]
+
+    def __setitem__(self, key, value) -> None:
+        self._log.writes.add(scratch_atom(key))
+        self._target[key] = value
+
+    def __delitem__(self, key) -> None:
+        self._log.writes.add(scratch_atom(key))
+        del self._target[key]
+
+    def __contains__(self, key) -> bool:
+        self._log.reads.add(scratch_atom(key))
+        return key in self._target
+
+    def get(self, key, default=None):
+        self._log.reads.add(scratch_atom(key))
+        return self._target.get(key, default)
+
+    def setdefault(self, key, default=None):
+        self._log.reads.add(scratch_atom(key))
+        self._log.writes.add(scratch_atom(key))
+        return self._target.setdefault(key, default)
+
+    def pop(self, key, *default):
+        self._log.writes.add(scratch_atom(key))
+        return self._target.pop(key, *default)
+
+    def update(self, *args, **kwargs) -> None:
+        self._log.writes.add(SCRATCH_WILDCARD)
+        self._target.update(*args, **kwargs)
+
+    def clear(self) -> None:
+        self._log.writes.add(SCRATCH_WILDCARD)
+        self._target.clear()
+
+    def keys(self):
+        self._log.reads.add(SCRATCH_WILDCARD)
+        return self._target.keys()
+
+    def values(self):
+        self._log.reads.add(SCRATCH_WILDCARD)
+        return self._target.values()
+
+    def items(self):
+        self._log.reads.add(SCRATCH_WILDCARD)
+        return self._target.items()
+
+    def __iter__(self):
+        self._log.reads.add(SCRATCH_WILDCARD)
+        return iter(self._target)
+
+    def __len__(self) -> int:
+        self._log.reads.add(SCRATCH_WILDCARD)
+        return len(self._target)
+
+
+class _TrainerView:
+    """Recording proxy for the trainer (``self`` inside executors).
+
+    Class functions are re-bound onto the view so transitive
+    ``self.method()`` calls stay recorded; everything else is logged as
+    an attribute read/write and delegated to the real trainer.
+    """
+
+    def __init__(self, target, log: PhaseAccessLog):
+        object.__setattr__(self, "_effects_target", target)
+        object.__setattr__(self, "_effects_log", log)
+
+    def __getattr__(self, name: str):
+        target = object.__getattribute__(self, "_effects_target")
+        log = object.__getattribute__(self, "_effects_log")
+        if name not in target.__dict__:
+            for klass in type(target).__mro__:
+                member = klass.__dict__.get(name)
+                if member is None:
+                    continue
+                if isinstance(member, types.FunctionType):
+                    return types.MethodType(member, self)
+                break
+        log.reads.add("self.{}".format(name))
+        return getattr(target, name)
+
+    def __setattr__(self, name: str, value) -> None:
+        target = object.__getattribute__(self, "_effects_target")
+        log = object.__getattribute__(self, "_effects_log")
+        log.writes.add("self.{}".format(name))
+        setattr(target, name, value)
+
+
+class _CtxView:
+    """Recording proxy for the :class:`RoundContext`.
+
+    ``ctx.scratch`` hands out the key-granular scratch view and
+    ``ctx.trainer`` the trainer view (so ``ctx.trainer.x`` lands on the
+    ``self.x`` atom); both indirections are free of their own atom.
+    """
+
+    def __init__(self, target, log: PhaseAccessLog, trainer_view: _TrainerView):
+        object.__setattr__(self, "_effects_target", target)
+        object.__setattr__(self, "_effects_log", log)
+        object.__setattr__(self, "_effects_trainer", trainer_view)
+        object.__setattr__(self, "_effects_scratch", _ScratchView(target.scratch, log))
+
+    def __getattr__(self, name: str):
+        if name == "scratch":
+            return object.__getattribute__(self, "_effects_scratch")
+        if name == "trainer":
+            return object.__getattribute__(self, "_effects_trainer")
+        target = object.__getattribute__(self, "_effects_target")
+        log = object.__getattribute__(self, "_effects_log")
+        log.reads.add("ctx.{}".format(name))
+        return getattr(target, name)
+
+    def __setattr__(self, name: str, value) -> None:
+        target = object.__getattribute__(self, "_effects_target")
+        log = object.__getattribute__(self, "_effects_log")
+        log.writes.add("ctx.{}".format(name))
+        setattr(target, name, value)
+
+
+# ----------------------------------------------------------------------
+# the checker the engine drives
+# ----------------------------------------------------------------------
+class EffectChecker:
+    """Record per-phase effects and validate them against the DAG.
+
+    One instance serves an engine for the lifetime of a training run;
+    ``logs`` always holds the most recent round's per-phase access
+    logs, which the agreement tests compare to the static effect sets.
+    """
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.clocks = vector_clocks(spec.phases)
+        self.pairs = concurrent_pairs(spec.phases)
+        self.logs: Dict[str, PhaseAccessLog] = {}
+
+    def begin_round(self) -> None:
+        self.logs = {phase.name: PhaseAccessLog() for phase in self.spec.phases}
+
+    def views(self, phase_name: str, trainer, ctx) -> Tuple[_TrainerView, _CtxView]:
+        """Recording stand-ins for (trainer, ctx) during one phase."""
+        log = self.logs[phase_name]
+        trainer_view = _TrainerView(trainer, log)
+        return trainer_view, _CtxView(ctx, log, trainer_view)
+
+    def finish_round(self, t: int) -> None:
+        """Raise :class:`EffectRaceError` on any concurrent conflict."""
+        problems: List[str] = []
+        for a, b in self.pairs:
+            log_a, log_b = self.logs[a], self.logs[b]
+            for first, second, fl, sl in ((a, b, log_a, log_b), (b, a, log_b, log_a)):
+                for written in sorted(fl.writes):
+                    touched = sorted(
+                        atom
+                        for atom in (sl.reads | sl.writes)
+                        if atoms_conflict(written, atom)
+                    )
+                    for atom in touched:
+                        kind = "writes" if atom in sl.writes else "reads"
+                        problems.append(
+                            "concurrent phases {!r} and {!r} conflict: "
+                            "{!r} writes {} which {!r} {} {}".format(
+                                first, second, first, written, second, kind, atom
+                            )
+                        )
+        if problems:
+            raise EffectRaceError(t, problems)

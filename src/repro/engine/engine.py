@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
+from repro.engine.effects import EffectChecker
 from repro.engine.events import EventQueue
 from repro.engine.spec import CommPhase, ComputePhase, MasterPhase, RoundSpec
 from repro.engine.trace import EngineTrace, PhaseEvent
@@ -82,12 +83,17 @@ class RoundEngine:
     """
 
     def __init__(self, trainer, cluster, spec: Optional[RoundSpec] = None,
-                 straggler=None):
+                 straggler=None, check_effects: bool = False):
         self.trainer = trainer
         self.cluster = cluster
         self.spec = spec if spec is not None else trainer.round_spec()
         self.straggler = straggler
         self.trace = EngineTrace(system=self.spec.system)
+        #: per-phase access recorder + vector-clock race checker (the
+        #: runtime twin of lint rule R012); None when not requested
+        self.effects: Optional[EffectChecker] = (
+            EffectChecker(self.spec) if check_effects else None
+        )
         cluster.engine_trace = self.trace
 
     # ------------------------------------------------------------------
@@ -110,6 +116,9 @@ class RoundEngine:
         worker_seconds: Dict[str, Dict[int, float]] = {}
         expected: Dict[MessageKind, tuple] = {}
 
+        if self.effects is not None:
+            self.effects.begin_round()
+
         previous = None
         for phase in self.spec.phases:
             if phase.after is None:
@@ -118,11 +127,22 @@ class RoundEngine:
                 start = 0.0  # overlaps everything declared before it
             else:
                 start = max(ends[dep] for dep in phase.after)
-            duration = self._execute(phase, ctx, expected, worker_seconds)
+            if self.effects is not None:
+                trainer_view, ctx_view = self.effects.views(
+                    phase.name, self.trainer, ctx
+                )
+            else:
+                trainer_view, ctx_view = self.trainer, ctx
+            duration = self._execute(
+                phase, ctx_view, expected, worker_seconds, trainer_view
+            )
             ends[phase.name] = start + duration
             phase_seconds[phase.name] = duration
             queue.push(start, (phase, start, start + duration))
             previous = phase.name
+
+        if self.effects is not None:
+            self.effects.finish_round(t)
 
         critical_end = max(ends.values()) if ends else 0.0
         duration = sync.round_duration(ctx, critical_end)
@@ -154,28 +174,30 @@ class RoundEngine:
         )
 
     # ------------------------------------------------------------------
-    def _execute(self, phase, ctx, expected, worker_seconds) -> float:
+    def _execute(self, phase, ctx, expected, worker_seconds, trainer=None) -> float:
+        trainer = trainer if trainer is not None else self.trainer
         if isinstance(phase, ComputePhase):
-            per_worker = getattr(self.trainer, phase.run)(ctx)
+            per_worker = getattr(trainer, phase.run)(ctx)
             worker_seconds[phase.name] = dict(per_worker)
             if phase.synchronized:
                 return self.spec.sync.resolve(ctx, per_worker)
             finite = [s for s in per_worker.values() if s != float("inf")]
             return max(finite) if finite else 0.0
         if isinstance(phase, MasterPhase):
-            return float(getattr(self.trainer, phase.run)(ctx))
-        return self._execute_comm(phase, ctx, expected)
+            return float(getattr(trainer, phase.run)(ctx))
+        return self._execute_comm(phase, ctx, expected, trainer)
 
-    def _execute_comm(self, phase: CommPhase, ctx, expected) -> float:
+    def _execute_comm(self, phase: CommPhase, ctx, expected, trainer=None) -> float:
+        trainer = trainer if trainer is not None else self.trainer
         topology = self.cluster.topology
-        sizes = getattr(self.trainer, phase.sizes)(ctx)
+        sizes = getattr(trainer, phase.sizes)(ctx)
         if phase.pattern == "gather":
             sizes = [int(s) for s in sizes]
             seconds = topology.gather(phase.kind, sizes)
             self._expect(expected, phase.kind, len(sizes), sum(sizes))
         elif phase.pattern == "sharded_gather":
             sizes = [int(s) for s in sizes]
-            servers = getattr(self.trainer, phase.servers)
+            servers = getattr(trainer, phase.servers)
             seconds = topology.sharded_gather(phase.kind, sizes, servers)
             self._expect(expected, phase.kind, len(sizes), sum(sizes))
         elif phase.pattern == "broadcast":
@@ -185,7 +207,7 @@ class RoundEngine:
                          topology.n_workers * size)
         elif phase.pattern == "sharded_broadcast":
             size = int(sizes)
-            servers = getattr(self.trainer, phase.servers)
+            servers = getattr(trainer, phase.servers)
             seconds = topology.sharded_broadcast(phase.kind, size, servers)
             self._expect(expected, phase.kind, topology.n_workers,
                          topology.n_workers * size)

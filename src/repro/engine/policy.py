@@ -116,6 +116,14 @@ class TimeoutSync(SyncPolicy):
     attempt, ``'arrived'`` / ``'stale'`` / ``'failed'`` for the final
     one).  Workers are never killed by suspicion — a late straggler
     keeps its partitions and rejoins the next round.
+
+    All times here are **phase-relative**: the per-worker finish times
+    are durations measured from the synchronized phase's start, so the
+    deadline and the returned phase duration are too.  The engine maps
+    them onto the round timeline by adding the phase's scheduled start
+    offset — under an overlapped spec (``after=`` DAG) the synchronized
+    phase may start mid-round, and the policy's decisions are unchanged
+    by that offset.
     """
 
     def __init__(

@@ -56,6 +56,12 @@ class ComputePhase:
     #: previous phase in the spec", ``()`` means "at round start"
     #: (overlapping everything before it).
     after: Optional[Tuple[str, ...]] = None
+    #: optional declared effect sets — attribute atoms such as
+    #: ``"self._workers"`` or ``"ctx.scratch[stats_by_worker]"``.  When
+    #: present, lint rule R013 cross-checks them against the effects the
+    #: analyzer infers from the executor bodies.
+    reads: Optional[Tuple[str, ...]] = None
+    writes: Optional[Tuple[str, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -74,6 +80,8 @@ class CommPhase:
     sizes: str
     servers: Optional[str] = None
     after: Optional[Tuple[str, ...]] = None
+    reads: Optional[Tuple[str, ...]] = None
+    writes: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self):
         if self.pattern not in COMM_PATTERNS:
@@ -93,6 +101,8 @@ class MasterPhase:
     name: str
     run: str
     after: Optional[Tuple[str, ...]] = None
+    reads: Optional[Tuple[str, ...]] = None
+    writes: Optional[Tuple[str, ...]] = None
 
 
 Phase = (ComputePhase, CommPhase, MasterPhase)
@@ -133,6 +143,15 @@ class RoundSpec:
                     raise ValueError(
                         "phase {!r} depends on unknown/later phase(s) {}".format(
                             phase.name, unknown
+                        )
+                    )
+                if len(set(phase.after)) != len(phase.after):
+                    duplicated = sorted(
+                        {d for d in phase.after if phase.after.count(d) > 1}
+                    )
+                    raise ValueError(
+                        "phase {!r} lists duplicate dependency(ies) {}".format(
+                            phase.name, duplicated
                         )
                     )
             seen.add(phase.name)

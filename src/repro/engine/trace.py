@@ -42,12 +42,21 @@ class RetryEvent:
     tells how the episode ended: ``'arrived'`` (a retry succeeded),
     ``'stale'`` (the policy substituted cached statistics), or
     ``'failed'`` (escalated to :class:`StatisticsRecoveryError`).
+
+    ``deadline_s`` is **phase-relative**: an offset from the start of
+    the synchronized phase, not from the start of the round.  The two
+    coincide in a strictly sequential spec (the synchronized compute
+    phase starts at offset 0), but under an overlapped spec the phase
+    may start later in the round; the deadline is still ``alpha x
+    median(per-worker finish)`` measured within the phase's own window,
+    and the engine places it on the round timeline by adding the
+    phase's scheduled start.
     """
 
     round: int
     attempt: int             # 0 = the initial deadline, 1.. = retries
     suspects: Tuple[int, ...]  # workers missing at this deadline
-    deadline_s: float        # round-relative deadline that expired
+    deadline_s: float        # phase-relative deadline that expired
     resolved: str = "arrived"
 
 

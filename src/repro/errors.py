@@ -98,6 +98,22 @@ class ProtocolViolationError(SimulationError):
         )
 
 
+class EffectRaceError(SimulationError):
+    """Raised by the engine's ``check_effects`` vector-clock checker
+    when two phases the spec's ``after=`` DAG leaves unordered touched
+    conflicting state in the same round (write/read or write/write on
+    the same attribute atom) — the dynamic twin of lint rule R012."""
+
+    def __init__(self, iteration, problems):
+        self.iteration = iteration
+        self.problems = tuple(problems)
+        super().__init__(
+            "phase effect race at iteration {}: {}".format(
+                iteration, "; ".join(self.problems)
+            )
+        )
+
+
 class StatisticsRecoveryError(SimulationError):
     """Raised when backup computation cannot recover complete statistics.
 

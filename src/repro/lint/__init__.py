@@ -13,8 +13,9 @@ invariants behind those promises with six per-file AST rules:
 * **R005** — no bare/over-broad ``except`` in protocol paths;
 * **R006** — public config dataclasses validate their numeric fields;
 
-and five whole-program rules (:mod:`repro.lint.program`) that see the
-same invariants *across* function and module boundaries:
+and eight whole-program rules (:mod:`repro.lint.program`,
+:mod:`repro.lint.effects`) that see the same invariants *across*
+function and module boundaries:
 
 * **R007** — no entropy source reachable from protocol-path code
   through any chain of project calls;
@@ -24,7 +25,13 @@ same invariants *across* function and module boundaries:
 * **R010** — each trainer's statically-extracted per-round message
   kinds match its declared ``_round_expected`` traffic;
 * **R011** — ``models``/``linalg``/``optim`` never import (even
-  transitively) ``sim``/``net``/``core``.
+  transitively) ``sim``/``net``/``core``;
+* **R012** — phases a spec's ``after=`` DAG leaves unordered must not
+  touch conflicting trainer/context state (inferred interprocedurally);
+* **R013** — a phase's optional ``reads=``/``writes=`` declaration
+  matches the inferred effect sets;
+* **R014** — unordered ``CommPhase`` declarations never emit the same
+  ``MessageKind``.
 
 Run it with ``python -m repro.lint src``; see ``docs/linting.md``.
 The runtime complement — BSP invariants checked against the live event
@@ -45,6 +52,7 @@ from repro.lint.findings import Finding
 # Importing the rule modules populates both registries.
 from repro.lint import rules as _rules  # noqa: F401
 from repro.lint import program as _program  # noqa: F401
+from repro.lint import effects as _effects  # noqa: F401
 from repro.lint.program import (
     ProgramAnalyzer,
     ProgramRule,

@@ -7,6 +7,7 @@ Examples::
     python -m repro.lint src --ignore R004        # all but R004
     python -m repro.lint src --no-program         # per-file rules only
     python -m repro.lint src --format=json        # machine-readable
+    python -m repro.lint src --format=sarif       # GitHub code scanning
     python -m repro.lint --list-rules             # what exists
 
 Exit status: ``0`` clean, ``1`` findings reported, ``2`` usage error
@@ -67,7 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -107,6 +108,61 @@ def _render_json(findings: List[Finding], engine: LintEngine, program: bool) -> 
     )
 
 
+def _render_sarif(findings: List[Finding], engine: LintEngine) -> str:
+    """SARIF 2.1.0 for GitHub code scanning (lines and columns 1-based)."""
+    rules = sorted(
+        engine.rule_classes + engine.program_rule_classes,
+        key=lambda cls: cls.rule_id,
+    )
+    results = []
+    for f in findings:
+        text = f.message if not f.fix_hint else "{} (fix: {})".format(
+            f.message, f.fix_hint
+        )
+        results.append(
+            {
+                "ruleId": f.rule_id,
+                "level": f.severity,
+                "message": {"text": text},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": f.path},
+                            "region": {
+                                "startLine": max(f.line, 1),
+                                "startColumn": f.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": "docs/linting.md",
+                        "rules": [
+                            {
+                                "id": cls.rule_id,
+                                "shortDescription": {"text": cls.title},
+                                "defaultConfiguration": {"level": cls.severity},
+                            }
+                            for cls in rules
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_parser()
@@ -144,6 +200,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.format == "json":
         print(_render_json(findings, engine, args.program))
+    elif args.format == "sarif":
+        print(_render_sarif(findings, engine))
     elif findings:
         print(_render_text(findings))
     else:

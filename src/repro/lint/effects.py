@@ -1,0 +1,775 @@
+"""Phase-effect inference and happens-before race rules (R012-R014).
+
+PR 4's engine lets a :class:`~repro.engine.spec.RoundSpec` declare
+overlap: ``after=()`` starts a phase at round offset zero and
+``after=("a", "b")`` at the max of the named ends.  The engine still
+*executes* phase bodies in declaration order, so overlap is purely a
+scheduling statement — and a phase that reads state written by a phase
+the DAG leaves it unordered with is a silent logical race: the
+sequential execution happens to pick one interleaving, a real cluster
+would not.
+
+This module closes that soundness gap statically, mirroring the
+R010 declaration-vs-emission pattern:
+
+* every ``RoundSpec`` constructor reachable from a trainer's
+  ``round_spec`` method is reconstructed structurally from the AST
+  (tuple literals, ``+`` concatenation, ``tuple(self._helper())``
+  composition, single-binding locals);
+* every executor the spec names (``run=`` / ``sizes=`` / ``servers=``)
+  is resolved through the class's MRO and its **read/write effect set**
+  is inferred interprocedurally: ``self.*`` / ``ctx.*`` attribute atoms,
+  ``ctx.scratch[key]`` at key granularity, transitive ``self._helper()``
+  inlining through the PR 2/3 call graph, and calls on objects rooted at
+  an attribute (``self.master.reduce(...)``) counted as writes when any
+  same-named method candidate mutates its own state;
+* the ``after=`` edges induce a happens-before DAG (the same
+  vector-clock construction the runtime ``check_effects`` recorder
+  uses — :mod:`repro.engine.effects` is imported, not reimplemented).
+
+Three rules consume the result:
+
+* **R012** — two DAG-unordered phases conflict (one writes an atom the
+  other reads or writes); the finding carries the witness attribute
+  chain through the call graph.
+* **R013** — a phase's optional ``reads=`` / ``writes=`` declaration
+  has drifted from the inferred effects (either direction).
+* **R014** — two DAG-unordered ``CommPhase`` declarations emit the same
+  ``MessageKind``: their interleaving on the wire is nondeterministic.
+
+The inference is a deliberate over-approximation (unknown call targets
+and over-wide name candidates become writes); reconstruction *bails
+silently* on spec expressions it cannot evaluate, so it never invents
+phases — a spec too dynamic to analyze is simply not checked, which the
+``check_effects`` runtime recorder still covers.  Deep mutation through
+values passed as call arguments is not tracked on either side; effects
+are attribute-rooted by design (see ``docs/effects.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.effects import atoms_conflict, concurrent_pairs
+from repro.lint.engine import dotted_name
+from repro.lint.program import (
+    MAX_NAME_CANDIDATES,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProgramIndex,
+    ProgramRule,
+    _call_kwarg,
+    _kind_of,
+    _string_value,
+    register_program,
+)
+
+#: phase constructor names, matched by the trailing call-chain segment
+#: (fixtures need no resolvable import, same as R010's extraction)
+PHASE_CTORS = ("ComputePhase", "CommPhase", "MasterPhase")
+
+#: dataclass field order per constructor, for positional arguments
+_CTOR_FIELDS = {
+    "ComputePhase": ("name", "run", "synchronized", "after", "reads", "writes"),
+    "CommPhase": ("name", "kind", "pattern", "sizes", "servers", "after", "reads", "writes"),
+    "MasterPhase": ("name", "run", "after", "reads", "writes"),
+}
+
+#: container/ndarray methods that mutate their receiver in place
+MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "clear", "pop",
+        "popitem", "remove", "discard", "setdefault", "sort", "reverse",
+        "fill", "put", "resize", "itemset",
+    }
+)
+
+#: what the engine itself does around a ``synchronized=True`` compute
+#: phase: the sync policy runs inside the phase and owns these atoms
+#: (see ``SyncPolicy.resolve`` implementations).
+SYNC_IMPLICIT_WRITES = ("ctx.chosen", "ctx.killed", "ctx.stale_groups")
+SYNC_IMPLICIT_READS = ("ctx.t", "ctx.cluster", "ctx.failed", "ctx.start_times")
+
+_INLINE_DEPTH = 5
+
+
+# ----------------------------------------------------------------------
+# reconstructed declarations
+# ----------------------------------------------------------------------
+class PhaseDecl:
+    """One phase constructor call, statically evaluated."""
+
+    def __init__(self, ctor: str, node: ast.Call):
+        self.ctor = ctor
+        self.node = node
+        self.name: Optional[str] = None
+        self.run: Optional[str] = None
+        self.sizes: Optional[str] = None
+        self.servers: Optional[str] = None
+        self.synchronized = False
+        #: mirrors the runtime field: None chains, () overlaps
+        self.after: Optional[Tuple[str, ...]] = None
+        self.kind: Optional[str] = None
+        self.declared_reads: Optional[Tuple[str, ...]] = None
+        self.declared_writes: Optional[Tuple[str, ...]] = None
+
+
+class SpecDecl:
+    """One ``RoundSpec(...)`` call under one trainer class's MRO view."""
+
+    def __init__(self, cls: ClassInfo, method: FunctionInfo, node: ast.Call,
+                 phases: List[PhaseDecl]):
+        self.cls = cls
+        self.method = method
+        self.node = node
+        self.phases = phases
+
+    @property
+    def module(self) -> ModuleInfo:
+        return self.method.module
+
+    def phase_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.phases)
+
+
+def _ctor_arg(call: ast.Call, ctor: str, field: str) -> Optional[ast.AST]:
+    kw = _call_kwarg(call, field)
+    if kw is not None:
+        return kw
+    fields = _CTOR_FIELDS[ctor]
+    index = fields.index(field)
+    if index < len(call.args):
+        return call.args[index]
+    return None
+
+
+def _string_tuple(expr: Optional[ast.AST]) -> Tuple[Optional[Tuple[str, ...]], bool]:
+    """``(value, ok)`` for a literal tuple/list of string constants.
+
+    ``(None, True)`` means "absent or literal None"; ``ok=False`` means
+    the expression exists but cannot be evaluated statically.
+    """
+    if expr is None or (isinstance(expr, ast.Constant) and expr.value is None):
+        return None, True
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        values = []
+        for elt in expr.elts:
+            text = _string_value(elt)
+            if text is None:
+                return None, False
+            values.append(text)
+        return tuple(values), True
+    return None, False
+
+
+def _parse_phase(call: ast.Call, ctor: str) -> Optional[PhaseDecl]:
+    decl = PhaseDecl(ctor, call)
+    decl.name = _string_value(_ctor_arg(call, ctor, "name"))
+    if decl.name is None:
+        return None
+    if ctor in ("ComputePhase", "MasterPhase"):
+        decl.run = _string_value(_ctor_arg(call, ctor, "run"))
+    if ctor == "ComputePhase":
+        sync_expr = _ctor_arg(call, ctor, "synchronized")
+        if isinstance(sync_expr, ast.Constant) and isinstance(sync_expr.value, bool):
+            decl.synchronized = sync_expr.value
+        elif sync_expr is not None:
+            decl.synchronized = True  # unknown: over-approximate the effects
+    if ctor == "CommPhase":
+        decl.sizes = _string_value(_ctor_arg(call, ctor, "sizes"))
+        decl.servers = _string_value(_ctor_arg(call, ctor, "servers"))
+        kind_expr = _ctor_arg(call, ctor, "kind")
+        decl.kind = _kind_of(kind_expr) if kind_expr is not None else None
+    after, ok = _string_tuple(_ctor_arg(call, ctor, "after"))
+    if not ok:
+        return None  # dynamic after=: the DAG is unknowable, bail
+    decl.after = after
+    decl.declared_reads, _ = _string_tuple(_ctor_arg(call, ctor, "reads"))
+    decl.declared_writes, _ = _string_tuple(_ctor_arg(call, ctor, "writes"))
+    return decl
+
+
+def _phase_calls(
+    index: ProgramIndex,
+    expr: ast.AST,
+    method: FunctionInfo,
+    mro: Sequence[ClassInfo],
+    depth: int = 0,
+) -> Optional[List[ast.Call]]:
+    """Structurally evaluate a ``phases=`` expression to ctor calls.
+
+    Handles tuple/list literals, ``+`` concatenation, ``tuple(...)`` /
+    ``list(...)`` wrappers, single-return ``self._helper()`` composition
+    and single-binding locals.  Returns None when any part is opaque.
+    """
+    if depth > _INLINE_DEPTH:
+        return None
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        out: List[ast.Call] = []
+        for elt in expr.elts:
+            if isinstance(elt, ast.Starred):
+                sub = _phase_calls(index, elt.value, method, mro, depth + 1)
+            elif isinstance(elt, ast.Call) and (dotted_name(elt.func) or ("?",))[-1] in PHASE_CTORS:
+                out.append(elt)
+                continue
+            else:
+                sub = _phase_calls(index, elt, method, mro, depth + 1)
+            if sub is None:
+                return None
+            out.extend(sub)
+        return out
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+        left = _phase_calls(index, expr.left, method, mro, depth + 1)
+        right = _phase_calls(index, expr.right, method, mro, depth + 1)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(expr, ast.Call):
+        chain = dotted_name(expr.func)
+        if chain and chain[-1] in PHASE_CTORS:
+            return [expr]
+        if chain in (("tuple",), ("list",)) and len(expr.args) == 1:
+            return _phase_calls(index, expr.args[0], method, mro, depth + 1)
+        if chain and chain[0] == "self" and len(chain) == 2:
+            target = index.resolve_self_method(chain[1], mro)
+            if target is not None and len(target.returns) == 1:
+                return _phase_calls(index, target.returns[0], target, mro, depth + 1)
+        return None
+    if isinstance(expr, ast.Name):
+        bindings = method.env().get(expr.id)
+        if bindings and len(bindings) == 1:
+            return _phase_calls(index, bindings[0], method, mro, depth + 1)
+        return None
+    return None
+
+
+def extract_round_specs(index: ProgramIndex) -> List[SpecDecl]:
+    """Every statically-evaluable RoundSpec, one entry per (class, call).
+
+    A class contributes when ``round_spec`` is in its MRO; every
+    ``RoundSpec(...)`` call in any MRO method is evaluated under that
+    class's view (config-dependent spec variants each get their own
+    entry).  Unevaluable specs and phases are skipped silently.
+    """
+    specs: List[SpecDecl] = []
+    for module in index.modules:
+        for cls in module.classes.values():
+            mro = index.mro(cls)
+            if index.resolve_self_method("round_spec", mro) is None:
+                continue
+            names: Set[str] = set()
+            for klass in mro:
+                names.update(klass.methods)
+            for name in sorted(names):
+                method = index.resolve_self_method(name, mro)
+                if method is None:
+                    continue
+                for call, chain in method.calls:
+                    if chain[-1] != "RoundSpec":
+                        continue
+                    phases_expr = _call_kwarg(call, "phases")
+                    if phases_expr is None and len(call.args) > 1:
+                        phases_expr = call.args[1]
+                    if phases_expr is None:
+                        continue
+                    ctor_calls = _phase_calls(index, phases_expr, method, mro)
+                    if ctor_calls is None:
+                        continue
+                    decls: List[PhaseDecl] = []
+                    for ctor_call in ctor_calls:
+                        ctor = dotted_name(ctor_call.func)[-1]
+                        decl = _parse_phase(ctor_call, ctor)
+                        if decl is None:
+                            decls = []
+                            break
+                        decls.append(decl)
+                    if not decls:
+                        continue
+                    seen: Set[str] = set()
+                    valid = True
+                    for decl in decls:
+                        if decl.name in seen or any(
+                            dep not in seen for dep in (decl.after or ())
+                        ):
+                            valid = False  # runtime validation rejects it
+                            break
+                        seen.add(decl.name)
+                    if valid:
+                        specs.append(SpecDecl(cls, method, call, decls))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# interprocedural effect inference
+# ----------------------------------------------------------------------
+class EffectSet:
+    """Atoms a code path reads/writes, each with a witness call chain."""
+
+    def __init__(self) -> None:
+        self.reads: Dict[str, str] = {}
+        self.writes: Dict[str, str] = {}
+
+    def add(self, atom: str, witness: str, write: bool) -> None:
+        side = self.writes if write else self.reads
+        side.setdefault(atom, witness)
+
+    def merge(self, other: "EffectSet", prefix: Optional[str] = None) -> None:
+        """Fold in another set; ``prefix`` extends the witness chain when
+        crossing a call edge (None copies witnesses verbatim)."""
+        for atom, witness in other.reads.items():
+            self.reads.setdefault(
+                atom,
+                witness if prefix is None else "{} -> {}".format(prefix, witness),
+            )
+        for atom, witness in other.writes.items():
+            self.writes.setdefault(
+                atom,
+                witness if prefix is None else "{} -> {}".format(prefix, witness),
+            )
+
+    def atoms(self) -> Set[str]:
+        return set(self.reads) | set(self.writes)
+
+
+class _Scope:
+    """Name bindings for one analysed function body."""
+
+    def __init__(self, func: FunctionInfo, mro: Sequence[ClassInfo],
+                 ctx_names: frozenset):
+        self.func = func
+        self.mro = mro
+        self.self_name = func.params[0] if (func.is_method and func.params) else None
+        self.ctx_names = ctx_names
+        self.env = func.env()
+
+
+def _leftmost_name(expr: ast.AST) -> Optional[str]:
+    while isinstance(expr, (ast.Attribute, ast.Subscript, ast.Call)):
+        expr = expr.func if isinstance(expr, ast.Call) else expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+class EffectInference:
+    """Shared memoised inference over one :class:`ProgramIndex`."""
+
+    def __init__(self, index: ProgramIndex):
+        self.index = index
+        self._method_memo: Dict[Tuple[int, str, frozenset], EffectSet] = {}
+        self._mutates_memo: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # does a method (transitively) mutate its own object's state?
+    # ------------------------------------------------------------------
+    def mutates_self(self, func: FunctionInfo, depth: int = 0) -> bool:
+        key = id(func)
+        if key in self._mutates_memo:
+            return self._mutates_memo[key]
+        self._mutates_memo[key] = False  # cycle assumption: pure
+        result = depth <= _INLINE_DEPTH and self._scan_mutation(func, depth)
+        self._mutates_memo[key] = result
+        return result
+
+    def _scan_mutation(self, func: FunctionInfo, depth: int) -> bool:
+        if not (func.is_method and func.params):
+            return False
+        self_name = func.params[0]
+        for node in ast.walk(func.node):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)) and (
+                    self._rooted_at(target, self_name, func)
+                ):
+                    return True
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                receiver = node.func.value
+                if not self._rooted_at(receiver, self_name, func):
+                    continue
+                if node.func.attr in MUTATOR_METHODS:
+                    return True
+                if isinstance(receiver, ast.Name) and receiver.id == self_name:
+                    callee = None
+                    if func.class_name:
+                        for cls in self.index.classes_by_name.get(func.class_name, ()):
+                            callee = self.index.resolve_self_method(
+                                node.func.attr, self.index.mro(cls)
+                            )
+                            if callee is not None:
+                                break
+                    if callee is not None and self.mutates_self(callee, depth + 1):
+                        return True
+                elif self._candidates_mutate(node.func.attr, depth + 1):
+                    return True
+        return False
+
+    def _rooted_at(self, expr: ast.AST, self_name: str, func: FunctionInfo,
+                   depth: int = 0) -> bool:
+        """Does an attribute/subscript chain lead back to ``self``?"""
+        name = _leftmost_name(expr)
+        if name is None or depth > _INLINE_DEPTH:
+            return False
+        if name == self_name:
+            # bare `self = ...` rebinding is not state mutation
+            return not isinstance(expr, ast.Name)
+        for binding in func.env().get(name, ()):
+            if isinstance(binding, (ast.Attribute, ast.Subscript)) and (
+                self._rooted_at(binding, self_name, func, depth + 1)
+            ):
+                return True
+        return False
+
+    def _candidates_mutate(self, method_name: str, depth: int) -> bool:
+        candidates = self.index.functions_by_name.get(method_name, [])
+        methods = [c for c in candidates if c.is_method]
+        pool = methods if methods else candidates
+        if not pool:
+            return False  # unresolved accessor (builtin / external): pure
+        if len(pool) > MAX_NAME_CANDIDATES:
+            return True  # too ambiguous: over-approximate as a write
+        return any(self.mutates_self(c, depth) for c in pool)
+
+    # ------------------------------------------------------------------
+    # atoms
+    # ------------------------------------------------------------------
+    def _atom(self, expr: ast.AST, scope: _Scope,
+              depth: int = 0) -> Optional[Tuple[str, str]]:
+        """Resolve an expression to ``("base", "self"/"ctx")`` or
+        ``("atom", atom-string)``; None when unrooted."""
+        if depth > _INLINE_DEPTH:
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id == scope.self_name:
+                return ("base", "self")
+            if expr.id in scope.ctx_names:
+                return ("base", "ctx")
+            results = set()
+            for binding in scope.env.get(expr.id, ()):
+                resolved = self._atom(binding, scope, depth + 1)
+                if resolved is not None:
+                    results.add(resolved)
+            if len(results) == 1:
+                return results.pop()
+            return None
+        if isinstance(expr, ast.Attribute):
+            base = self._atom(expr.value, scope, depth + 1)
+            if base is None:
+                return None
+            kind, value = base
+            if kind == "atom":
+                return base  # deeper access collapses onto the root atom
+            if value == "self":
+                return ("atom", "self.{}".format(expr.attr))
+            if expr.attr == "trainer":
+                return ("base", "self")
+            if expr.attr == "scratch":
+                return ("atom", "ctx.scratch[*]")
+            return ("atom", "ctx.{}".format(expr.attr))
+        if isinstance(expr, ast.Subscript):
+            if self._is_ctx_scratch(expr.value, scope):
+                key = expr.slice
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    return ("atom", "ctx.scratch[{}]".format(key.value))
+                return ("atom", "ctx.scratch[*]")
+            base = self._atom(expr.value, scope, depth + 1)
+            if base is None or base[0] == "base":
+                return None
+            return base
+        return None
+
+    def _is_ctx_scratch(self, expr: ast.AST, scope: _Scope) -> bool:
+        if not (isinstance(expr, ast.Attribute) and expr.attr == "scratch"):
+            return False
+        base = self._atom(expr.value, scope)
+        return base == ("base", "ctx")
+
+    # ------------------------------------------------------------------
+    # one method body
+    # ------------------------------------------------------------------
+    def method_effects(self, func: FunctionInfo, mro: Sequence[ClassInfo],
+                       ctx_params: frozenset, depth: int = 0) -> EffectSet:
+        view = mro[0].qualname if mro else ""
+        key = (id(func), view, ctx_params)
+        cached = self._method_memo.get(key)
+        if cached is not None:
+            return cached
+        out = EffectSet()
+        self._method_memo[key] = out  # cycle guard: in-progress = empty
+        if depth <= _INLINE_DEPTH:
+            scope = _Scope(func, mro, ctx_params)
+            for stmt in func.node.body:
+                self._visit(stmt, out, scope, depth)
+        return out
+
+    def _visit(self, node: Optional[ast.AST], out: EffectSet, scope: _Scope,
+               depth: int, store: bool = False) -> None:
+        if node is None:
+            return
+        witness = scope.func.name
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            resolved = self._atom(node, scope)
+            if resolved is not None and resolved[0] == "atom":
+                out.add(resolved[1], witness, store)
+                if isinstance(node, ast.Subscript):
+                    self._visit(node.slice, out, scope, depth)
+                return
+            if isinstance(node, ast.Attribute):
+                self._visit(node.value, out, scope, depth)
+            else:
+                self._visit(node.value, out, scope, depth)
+                self._visit(node.slice, out, scope, depth)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node, out, scope, depth)
+            return
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._visit(target, out, scope, depth, store=True)
+            self._visit(node.value, out, scope, depth)
+            return
+        if isinstance(node, ast.AugAssign):
+            self._visit(node.target, out, scope, depth, store=True)
+            self._visit(node.target, out, scope, depth)
+            self._visit(node.value, out, scope, depth)
+            return
+        if isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._visit(node.target, out, scope, depth, store=True)
+                self._visit(node.value, out, scope, depth)
+            return
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._visit(target, out, scope, depth, store=True)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested definitions run later (if ever), not in-phase
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, out, scope, depth)
+
+    def _visit_call(self, node: ast.Call, out: EffectSet, scope: _Scope,
+                    depth: int) -> None:
+        chain = dotted_name(node.func)
+        handled = False
+        if (
+            chain
+            and scope.self_name is not None
+            and chain[0] == scope.self_name
+            and len(chain) == 2
+        ):
+            callee = self.index.resolve_self_method(chain[1], scope.mro)
+            if callee is not None:
+                ctx_params = self._ctx_params_for(callee, node, scope)
+                sub = self.method_effects(callee, scope.mro, ctx_params, depth + 1)
+                out.merge(sub, scope.func.name)
+            else:
+                # unresolved: could be a stored callable attribute
+                out.add("self.{}".format(chain[1]), scope.func.name, False)
+            handled = True
+        elif isinstance(node.func, ast.Attribute):
+            base = self._atom(node.func.value, scope)
+            if base is not None and base[0] == "atom":
+                atom = base[1]
+                witness = "{} -> {}.{}()".format(
+                    scope.func.name, atom, node.func.attr
+                )
+                out.add(atom, witness, False)
+                if node.func.attr in MUTATOR_METHODS or self._candidates_mutate(
+                    node.func.attr, depth + 1
+                ):
+                    out.add(atom, witness, True)
+                handled = True
+            elif base == ("base", "ctx"):
+                out.add("ctx.{}".format(node.func.attr), scope.func.name, False)
+                handled = True
+        if not handled and isinstance(node.func, (ast.Attribute, ast.Subscript)):
+            self._visit(node.func, out, scope, depth)
+        for arg in node.args:
+            value = arg.value if isinstance(arg, ast.Starred) else arg
+            self._visit(value, out, scope, depth)
+        for keyword in node.keywords:
+            self._visit(keyword.value, out, scope, depth)
+
+    def _ctx_params_for(self, callee: FunctionInfo, call: ast.Call,
+                        scope: _Scope) -> frozenset:
+        """Callee parameters bound to the round context at this site."""
+        names = []
+        params = callee.params[1:] if callee.is_method else callee.params
+        for param in params:
+            arg = callee.arg_for_param(call, param)
+            if arg is None:
+                continue
+            if self._atom(arg, scope) == ("base", "ctx"):
+                names.append(param)
+        return frozenset(names)
+
+    # ------------------------------------------------------------------
+    # one declared phase
+    # ------------------------------------------------------------------
+    def phase_effects(self, spec: SpecDecl, decl: PhaseDecl) -> EffectSet:
+        mro = self.index.mro(spec.cls)
+        out = EffectSet()
+        for executor in (decl.run, decl.sizes):
+            if executor is None:
+                continue
+            method = self.index.resolve_self_method(executor, mro)
+            if method is None:
+                continue
+            ctx_params = frozenset(
+                method.params[1:2] if method.is_method else method.params[:1]
+            )
+            out.merge(self.method_effects(method, mro, ctx_params))
+        if decl.servers is not None:
+            out.add("self.{}".format(decl.servers), "CommPhase servers", False)
+        if decl.ctor == "ComputePhase" and decl.synchronized:
+            for atom in SYNC_IMPLICIT_WRITES:
+                out.add(atom, "sync policy (synchronized=True)", True)
+            for atom in SYNC_IMPLICIT_READS:
+                out.add(atom, "sync policy (synchronized=True)", False)
+        return out
+
+
+def infer_spec_effects(
+    index: ProgramIndex, spec: SpecDecl
+) -> Dict[str, EffectSet]:
+    """Per-phase inferred effect sets for one reconstructed spec."""
+    inference = EffectInference(index)
+    return {decl.name: inference.phase_effects(spec, decl) for decl in spec.phases}
+
+
+# ----------------------------------------------------------------------
+# the rules
+# ----------------------------------------------------------------------
+def _conflict(
+    a: str, b: str, effects: Dict[str, EffectSet]
+) -> Optional[Tuple[str, str, str, str, str]]:
+    """First ``(writer, atom, witness, toucher, verb)`` conflict for one
+    unordered pair, or None — one finding per pair keeps write/write
+    races (symmetric by definition) from double-reporting."""
+    for writer, other in ((a, b), (b, a)):
+        wset, oset = effects[writer], effects[other]
+        for atom in sorted(wset.writes):
+            for touched in sorted(oset.atoms()):
+                if not atoms_conflict(atom, touched):
+                    continue
+                verb = "writes" if touched in oset.writes else "reads"
+                return (writer, atom, wset.writes[atom], other, verb)
+    return None
+
+
+@register_program
+class PhaseRaceRule(ProgramRule):
+    """R012: DAG-unordered phases must not touch conflicting state."""
+
+    rule_id = "R012"
+    title = "data race between phases the after= DAG leaves unordered"
+    severity = "error"
+    fix_hint = (
+        "order the phases with after=, or split the shared attribute so the "
+        "overlapped phases touch disjoint state"
+    )
+
+    def run(self) -> None:
+        inference = EffectInference(self.index)
+        for spec in extract_round_specs(self.index):
+            effects = {
+                decl.name: inference.phase_effects(spec, decl)
+                for decl in spec.phases
+            }
+            nodes = {decl.name: decl.node for decl in spec.phases}
+            for a, b in concurrent_pairs(spec.phases):
+                found = _conflict(a, b, effects)
+                if found is None:
+                    continue
+                writer, atom, witness, other, verb = found
+                self.report(
+                    spec.module,
+                    nodes[b],
+                    "trainer {}: phases {!r} and {!r} are unordered but "
+                    "{!r} writes {} (via {}) which {!r} {}".format(
+                        spec.cls.name, a, b, writer, atom, witness,
+                        other, verb,
+                    ),
+                )
+
+
+@register_program
+class EffectDeclarationDriftRule(ProgramRule):
+    """R013: declared reads=/writes= must match the inferred effects."""
+
+    rule_id = "R013"
+    title = "phase effect declaration drifted from inferred effects"
+    severity = "error"
+    fix_hint = (
+        "update the phase's reads=/writes= tuples to the inferred atoms (or "
+        "drop the declaration; it is optional)"
+    )
+
+    def run(self) -> None:
+        inference = EffectInference(self.index)
+        for spec in extract_round_specs(self.index):
+            for decl in spec.phases:
+                if decl.declared_reads is None and decl.declared_writes is None:
+                    continue
+                inferred = inference.phase_effects(spec, decl)
+                problems = []
+                for label, declared, actual in (
+                    ("reads", decl.declared_reads, set(inferred.reads)),
+                    ("writes", decl.declared_writes, set(inferred.writes)),
+                ):
+                    if declared is None:
+                        continue
+                    missing = sorted(actual - set(declared))
+                    stale = sorted(set(declared) - actual)
+                    if missing:
+                        problems.append(
+                            "undeclared {} {}".format(label, missing)
+                        )
+                    if stale:
+                        problems.append(
+                            "declared-but-uninferred {} {}".format(label, stale)
+                        )
+                if problems:
+                    self.report(
+                        spec.module,
+                        decl.node,
+                        "trainer {}: phase {!r} {}".format(
+                            spec.cls.name, decl.name, "; ".join(problems)
+                        ),
+                    )
+
+
+@register_program
+class UnorderedCommRule(ProgramRule):
+    """R014: unordered same-kind CommPhases interleave nondeterministically."""
+
+    rule_id = "R014"
+    title = "unordered CommPhases emit the same message kind"
+    severity = "error"
+    fix_hint = (
+        "order the comm phases with after=, or give the emissions distinct "
+        "MessageKinds so the wire log stays attributable"
+    )
+
+    def run(self) -> None:
+        for spec in extract_round_specs(self.index):
+            comm = {
+                decl.name: decl
+                for decl in spec.phases
+                if decl.ctor == "CommPhase" and decl.kind is not None
+            }
+            for a, b in concurrent_pairs(spec.phases):
+                if a in comm and b in comm and comm[a].kind == comm[b].kind:
+                    self.report(
+                        spec.module,
+                        comm[b].node,
+                        "trainer {}: comm phases {!r} and {!r} are unordered "
+                        "and both emit {}".format(
+                            spec.cls.name, a, b, comm[a].kind
+                        ),
+                    )

@@ -1,0 +1,46 @@
+"""R012 pass: the same overlap shape, with disjoint effects.
+
+``consume`` still runs concurrent with the whole round but touches its
+own scratch key; ``left`` and ``right`` still share a dependency but
+write distinct attributes, so every unordered pair is conflict-free.
+"""
+
+
+class OverlapTrainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="overlap",
+            sync=None,
+            phases=(
+                ComputePhase(
+                    "produce", run="_phase_produce", synchronized=False
+                ),
+                ComputePhase(
+                    "consume",
+                    run="_phase_consume",
+                    synchronized=False,
+                    after=(),
+                ),
+                MasterPhase("left", run="_phase_left", after=("produce",)),
+                MasterPhase("right", run="_phase_right", after=("produce",)),
+            ),
+        )
+
+    def _phase_produce(self, ctx):
+        self._stash(ctx)
+        return {}
+
+    def _stash(self, ctx):
+        ctx.scratch["batch"] = 1
+
+    def _phase_consume(self, ctx):
+        ctx.scratch["prefetched"] = 2
+        return {}
+
+    def _phase_left(self, ctx):
+        self.left_total = 1
+        return 0.0
+
+    def _phase_right(self, ctx):
+        self.right_total = 2
+        return 0.0

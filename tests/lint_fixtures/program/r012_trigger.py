@@ -1,0 +1,47 @@
+"""R012 trigger: overlapped phases race on shared round state.
+
+``RacyTrainer`` declares ``consume`` concurrent with the whole round
+(``after=()``) while ``produce`` writes — through a helper, so only
+interprocedural inference sees it — the scratch key ``consume`` reads;
+``left`` and ``right`` share a dependency but both write the same
+trainer attribute.  Two findings: one write/read, one write/write.
+"""
+
+
+class RacyTrainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="racy",
+            sync=None,
+            phases=(
+                ComputePhase(
+                    "produce", run="_phase_produce", synchronized=False
+                ),
+                ComputePhase(
+                    "consume",
+                    run="_phase_consume",
+                    synchronized=False,
+                    after=(),
+                ),
+                MasterPhase("left", run="_phase_left", after=("produce",)),
+                MasterPhase("right", run="_phase_right", after=("produce",)),
+            ),
+        )
+
+    def _phase_produce(self, ctx):
+        self._stash(ctx)
+        return {}
+
+    def _stash(self, ctx):
+        ctx.scratch["batch"] = 1
+
+    def _phase_consume(self, ctx):
+        return {0: float(len(ctx.scratch["batch"]))}
+
+    def _phase_left(self, ctx):
+        self.totals = 1
+        return 0.0
+
+    def _phase_right(self, ctx):
+        self.totals = 2
+        return 0.0

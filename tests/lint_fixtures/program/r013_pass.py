@@ -1,0 +1,28 @@
+"""R013 pass: declarations that match the inferred effect sets."""
+
+
+class HonestTrainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="honest",
+            sync=None,
+            phases=(
+                ComputePhase(
+                    "work",
+                    run="_phase_work",
+                    synchronized=False,
+                    reads=("ctx.budget",),
+                    writes=("self.total",),
+                ),
+                MasterPhase("tally", run="_phase_tally"),
+            ),
+        )
+
+    def _phase_work(self, ctx):
+        self.total = ctx.budget
+        return {}
+
+    def _phase_tally(self, ctx):
+        # undeclared phases are not checked at all
+        self.grand_total = self.total
+        return 0.0

@@ -1,0 +1,28 @@
+"""R013 trigger: the declared effect sets drifted from the code.
+
+``work`` declares it reads ``self.stale_input`` — but the executor now
+reads ``ctx.budget`` and writes ``self.total``, neither declared.  The
+declaration kept compiling while the refactor moved on; only the
+cross-check against the inferred effects notices.
+"""
+
+
+class DriftedTrainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="drifted",
+            sync=None,
+            phases=(
+                ComputePhase(
+                    "work",
+                    run="_phase_work",
+                    synchronized=False,
+                    reads=("self.stale_input",),
+                    writes=(),
+                ),
+            ),
+        )
+
+    def _phase_work(self, ctx):
+        self.total = ctx.budget
+        return {}

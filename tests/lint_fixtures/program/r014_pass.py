@@ -1,0 +1,39 @@
+"""R014 pass: overlapping comm phases with distinct message kinds.
+
+Same ``after=()`` overlap as the trigger, but each phase emits its own
+kind, so every wire message stays attributable to exactly one phase.
+"""
+
+
+class MessageKind:
+    STATS_PUSH = "stats_push"
+    MODEL_BCAST = "model_bcast"
+
+
+class PoliteTrainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="polite",
+            sync=None,
+            phases=(
+                CommPhase(
+                    "push",
+                    kind=MessageKind.STATS_PUSH,
+                    pattern="gather",
+                    sizes="_push_sizes",
+                ),
+                CommPhase(
+                    "bcast",
+                    kind=MessageKind.MODEL_BCAST,
+                    pattern="broadcast",
+                    sizes="_bcast_size",
+                    after=(),
+                ),
+            ),
+        )
+
+    def _push_sizes(self, ctx):
+        return [8, 8]
+
+    def _bcast_size(self, ctx):
+        return 8

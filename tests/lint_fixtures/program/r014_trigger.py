@@ -1,0 +1,36 @@
+"""R014 trigger: unordered comm phases emit the same message kind.
+
+``push_a`` and ``push_b`` overlap (``after=()``) and both emit
+``STATS_PUSH`` — on the wire their messages interleave
+nondeterministically and nothing can attribute bytes to a phase.
+"""
+
+
+class MessageKind:
+    STATS_PUSH = "stats_push"
+
+
+class ChatterTrainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="chatter",
+            sync=None,
+            phases=(
+                CommPhase(
+                    "push_a",
+                    kind=MessageKind.STATS_PUSH,
+                    pattern="gather",
+                    sizes="_push_sizes",
+                ),
+                CommPhase(
+                    "push_b",
+                    kind=MessageKind.STATS_PUSH,
+                    pattern="gather",
+                    sizes="_push_sizes",
+                    after=(),
+                ),
+            ),
+        )
+
+    def _push_sizes(self, ctx):
+        return [8, 8]

@@ -85,6 +85,37 @@ class TestRoundSpec:
                 phases=(ComputePhase("a", run="_a", after=("ghost",)),),
             )
 
+    def test_self_reference_rejected(self):
+        # a phase cannot depend on itself: its own name is not yet in
+        # the set of earlier phases when its after= tuple is checked
+        with pytest.raises(ValueError, match="unknown/later phase"):
+            RoundSpec(
+                system="x",
+                phases=(ComputePhase("a", run="_a", after=("a",)),),
+            )
+
+    def test_duplicate_dependency_rejected(self):
+        with pytest.raises(ValueError, match="duplicate dependency"):
+            RoundSpec(
+                system="x",
+                phases=(
+                    ComputePhase("a", run="_a"),
+                    MasterPhase("b", run="_b", after=("a", "a")),
+                ),
+            )
+
+    def test_empty_after_on_first_phase_is_valid(self):
+        # after=() means "start at round offset 0" — legal anywhere,
+        # including on the first phase where it changes nothing
+        spec = RoundSpec(
+            system="x",
+            phases=(
+                ComputePhase("a", run="_a", after=()),
+                ComputePhase("b", run="_b", after=()),
+            ),
+        )
+        assert spec.phases[0].after == ()
+
     def test_unknown_comm_pattern_rejected(self):
         with pytest.raises(ValueError, match="unknown comm pattern"):
             CommPhase(
@@ -326,7 +357,8 @@ class TestEngineTrace:
         driver.fit()
         totals = cluster4.engine_trace.phase_totals()
         assert set(totals) == {
-            "compute_statistics", "gather", "reduce", "broadcast", "update_model"
+            "compute_statistics", "gather", "prefetch_batch", "reduce",
+            "broadcast", "update_model",
         }
         assert all(seconds >= 0.0 for seconds in totals.values())
 

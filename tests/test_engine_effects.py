@@ -1,0 +1,379 @@
+"""Phase-effect machinery: DAG helpers, runtime recorder, and the
+static-vs-dynamic agreement the ``check_effects`` flag guarantees.
+
+The contract under test: for every trainer, every attribute atom the
+runtime recorder observes a phase touching is covered by the static
+effect sets lint rule R012 infers for that phase (dynamic reads land in
+inferred reads-or-writes, dynamic writes in inferred writes).  The
+static side over-approximates — deep mutation through container reads
+becomes a write — so the inclusion runs one way only.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import (
+    MLlibStarTrainer,
+    MLlibTrainer,
+    ParameterServerTrainer,
+    RowSGDConfig,
+    SparsePSTrainer,
+    StaleSyncPSTrainer,
+)
+from repro.core.driver import ColumnSGDConfig, ColumnSGDDriver
+from repro.engine import (
+    ComputePhase,
+    MasterPhase,
+    RoundEngine,
+    RoundSpec,
+    concurrent_pairs,
+    happens_before,
+    vector_clocks,
+)
+from repro.engine.effects import EffectChecker, atoms_conflict
+from repro.errors import EffectRaceError
+from repro.extensions import (
+    CoCoATrainer,
+    ColumnMLP,
+    DeepColumnMLP,
+    DeepMLPColumnTrainer,
+    MLPColumnTrainer,
+    RidgeCDTrainer,
+)
+from repro.lint import ProgramAnalyzer, discover_sources
+from repro.lint.effects import EffectInference, extract_round_specs
+from repro.models import LogisticRegression
+from repro.optim import SGD
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+# ----------------------------------------------------------------------
+# happens-before helpers
+# ----------------------------------------------------------------------
+def _spec(*phases):
+    return RoundSpec(system="t", phases=tuple(phases))
+
+
+def _compute(name, after=None):
+    return ComputePhase(name, run="_run", synchronized=False, after=after)
+
+
+class TestHappensBefore:
+    def test_chain_is_totally_ordered(self):
+        spec = _spec(_compute("a"), _compute("b"), _compute("c"))
+        assert concurrent_pairs(spec.phases) == []
+        clocks = vector_clocks(spec.phases)
+        assert happens_before(clocks, "a", "c")
+        assert not happens_before(clocks, "c", "a")
+
+    def test_after_empty_is_concurrent_with_everything_prior(self):
+        spec = _spec(_compute("a"), _compute("b"), _compute("p", after=()))
+        assert ("a", "p") in concurrent_pairs(spec.phases)
+        assert ("b", "p") in concurrent_pairs(spec.phases)
+
+    def test_diamond_orders_ends_not_siblings(self):
+        spec = _spec(
+            _compute("a"),
+            _compute("left", after=("a",)),
+            _compute("right", after=("a",)),
+            _compute("join", after=("left", "right")),
+        )
+        assert concurrent_pairs(spec.phases) == [("left", "right")]
+        clocks = vector_clocks(spec.phases)
+        assert happens_before(clocks, "a", "join")
+
+    def test_transitive_ancestry_via_declared_deps(self):
+        spec = _spec(
+            _compute("a"),
+            _compute("b", after=("a",)),
+            _compute("c", after=("b",)),
+        )
+        clocks = vector_clocks(spec.phases)
+        assert happens_before(clocks, "a", "c")
+
+    def test_atom_conflicts(self):
+        assert atoms_conflict("self.model", "self.model")
+        assert not atoms_conflict("self.model", "self.master")
+        assert atoms_conflict("ctx.scratch[*]", "ctx.scratch[reduced]")
+        assert atoms_conflict("ctx.scratch[reduced]", "ctx.scratch[*]")
+        assert not atoms_conflict("ctx.scratch[a]", "ctx.scratch[b]")
+
+
+# ----------------------------------------------------------------------
+# the runtime recorder and checker
+# ----------------------------------------------------------------------
+class _Stub:
+    pass
+
+
+class _Ctx:
+    def __init__(self):
+        self.scratch = {}
+        self.t = 0
+
+
+class TestEffectChecker:
+    def _checker(self):
+        spec = _spec(_compute("a"), _compute("b", after=()))
+        return EffectChecker(spec)
+
+    def test_concurrent_write_read_raises(self):
+        checker = self._checker()
+        checker.begin_round()
+        trainer, ctx = _Stub(), _Ctx()
+        _, ctx_a = checker.views("a", trainer, ctx)
+        ctx_a.scratch["batch"] = 1
+        _, ctx_b = checker.views("b", trainer, ctx)
+        assert ctx_b.scratch["batch"] == 1
+        with pytest.raises(EffectRaceError) as err:
+            checker.finish_round(7)
+        assert err.value.iteration == 7
+        assert "ctx.scratch[batch]" in str(err.value)
+
+    def test_disjoint_keys_pass(self):
+        checker = self._checker()
+        checker.begin_round()
+        trainer, ctx = _Stub(), _Ctx()
+        _, ctx_a = checker.views("a", trainer, ctx)
+        ctx_a.scratch["left"] = 1
+        _, ctx_b = checker.views("b", trainer, ctx)
+        ctx_b.scratch["right"] = 2
+        checker.finish_round(0)
+
+    def test_wildcard_iteration_conflicts_with_any_key(self):
+        checker = self._checker()
+        checker.begin_round()
+        trainer, ctx = _Stub(), _Ctx()
+        _, ctx_a = checker.views("a", trainer, ctx)
+        ctx_a.scratch["k"] = 1
+        _, ctx_b = checker.views("b", trainer, ctx)
+        list(ctx_b.scratch)  # whole-dict read
+        with pytest.raises(EffectRaceError):
+            checker.finish_round(0)
+
+    def test_trainer_view_records_through_helper_methods(self):
+        class Trainer:
+            def __init__(self):
+                self.counter = 0
+
+            def bump(self):
+                self.counter = self.counter + 1
+
+        checker = self._checker()
+        checker.begin_round()
+        trainer, ctx = Trainer(), _Ctx()
+        view, _ = checker.views("a", trainer, ctx)
+        view.bump()
+        log = checker.logs["a"]
+        assert "self.counter" in log.reads
+        assert "self.counter" in log.writes
+        assert trainer.counter == 1
+
+    def test_ordered_phases_may_conflict_freely(self):
+        spec = _spec(_compute("a"), _compute("b"))  # b chains after a
+        checker = EffectChecker(spec)
+        checker.begin_round()
+        trainer, ctx = _Stub(), _Ctx()
+        _, ctx_a = checker.views("a", trainer, ctx)
+        ctx_a.scratch["batch"] = 1
+        _, ctx_b = checker.views("b", trainer, ctx)
+        assert ctx_b.scratch["batch"] == 1
+        checker.finish_round(0)
+
+
+class _RacyTrainer:
+    """Minimal engine trainer whose overlap spec races on a scratch key."""
+
+    def round_spec(self):
+        return RoundSpec(
+            system="racy",
+            phases=(
+                ComputePhase("produce", run="_produce", synchronized=False),
+                MasterPhase("consume", run="_consume", after=()),
+            ),
+        )
+
+    def _produce(self, ctx):
+        ctx.scratch["payload"] = 41
+        return {0: 1.0}
+
+    def _consume(self, ctx):
+        return float(ctx.scratch.get("payload", 0))
+
+
+def test_engine_check_effects_catches_race(cluster4):
+    trainer = _RacyTrainer()
+    engine = RoundEngine(trainer, cluster4, check_effects=True)
+    with pytest.raises(EffectRaceError) as err:
+        engine.run_round(0)
+    assert "'produce'" in str(err.value) and "'consume'" in str(err.value)
+
+
+def test_engine_without_flag_does_not_record(cluster4):
+    trainer = _RacyTrainer()
+    engine = RoundEngine(trainer, cluster4)
+    assert engine.effects is None
+    engine.run_round(0)  # the race goes unobserved, by request
+
+
+# ----------------------------------------------------------------------
+# static-vs-dynamic agreement across every engine trainer
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def static_effects():
+    """{class name: {phase-name tuple: {phase: (reads, writes)}}}"""
+    analyzer = ProgramAnalyzer(discover_sources([str(SRC)]))
+    inference = EffectInference(analyzer.index)
+    out = {}
+    for spec in extract_round_specs(analyzer.index):
+        per_phase = {}
+        for decl in spec.phases:
+            effects = inference.phase_effects(spec, decl)
+            per_phase[decl.name] = (set(effects.reads), set(effects.writes))
+        out.setdefault(spec.cls.name, {})[spec.phase_names()] = per_phase
+    return out
+
+
+def _builders(cluster, data):
+    def row(cls, fit_first=False, **kw):
+        def build():
+            trainer = cls(
+                LogisticRegression(), SGD(0.1), cluster,
+                config=RowSGDConfig(batch_size=64, iterations=2), **kw
+            )
+            trainer.load(data)
+            if fit_first:
+                trainer.fit()  # SSP seeds its version history in fit()
+            return trainer
+        return build
+
+    def column():
+        driver = ColumnSGDDriver(
+            LogisticRegression(), SGD(0.1), cluster,
+            config=ColumnSGDConfig(batch_size=64, iterations=2),
+        )
+        driver.load(data)
+        return driver
+
+    def mlp(cls, model):
+        def build():
+            trainer = cls(
+                model, SGD(0.1), cluster, batch_size=64, iterations=2,
+                eval_every=0, seed=3,
+            )
+            trainer.load(data)
+            return trainer
+        return build
+
+    def local(cls, **kw):
+        def build():
+            trainer = cls(cluster, iterations=2, eval_every=0, seed=3, **kw)
+            trainer.load(data)
+            return trainer
+        return build
+
+    return {
+        "ColumnSGDDriver": column,
+        "MLlibTrainer": row(MLlibTrainer),
+        "MLlibStarTrainer": row(MLlibStarTrainer),
+        "ParameterServerTrainer": row(ParameterServerTrainer),
+        "SparsePSTrainer": row(SparsePSTrainer),
+        "StaleSyncPSTrainer": row(StaleSyncPSTrainer, fit_first=True,
+                                  staleness=2),
+        "CoCoATrainer": local(CoCoATrainer, lam=0.1, local_steps=10),
+        "RidgeCDTrainer": local(RidgeCDTrainer, lam=0.1),
+        "MLPColumnTrainer": mlp(MLPColumnTrainer, ColumnMLP(hidden=4)),
+        "DeepMLPColumnTrainer": mlp(
+            DeepMLPColumnTrainer, DeepColumnMLP([4, 3])
+        ),
+    }
+
+
+TRAINER_NAMES = (
+    "ColumnSGDDriver",
+    "MLlibTrainer",
+    "MLlibStarTrainer",
+    "ParameterServerTrainer",
+    "SparsePSTrainer",
+    "StaleSyncPSTrainer",
+    "CoCoATrainer",
+    "RidgeCDTrainer",
+    "MLPColumnTrainer",
+    "DeepMLPColumnTrainer",
+)
+
+
+def test_static_extraction_covers_every_trainer(static_effects):
+    assert set(TRAINER_NAMES) <= set(static_effects)
+
+
+@pytest.mark.parametrize("name", TRAINER_NAMES)
+def test_dynamic_effects_within_static_sets(
+    name, cluster4, tiny_binary, static_effects
+):
+    """Every atom the recorder observes is in the inferred effect sets."""
+    trainer = _builders(cluster4, tiny_binary)[name]()
+    spec = trainer.round_spec()
+    engine = RoundEngine(
+        trainer,
+        cluster4,
+        spec=spec,
+        straggler=getattr(trainer, "straggler", None),
+        check_effects=True,
+    )
+    engine.run_round(0)
+    runtime_names = tuple(p.name for p in spec.phases)
+    assert runtime_names in static_effects[name], (
+        "no static spec reconstruction matches the runtime phases"
+    )
+    per_phase = static_effects[name][runtime_names]
+    for phase, log in engine.effects.logs.items():
+        reads, writes = per_phase[phase]
+        missing_reads = log.reads - reads - writes
+        missing_writes = log.writes - writes
+        assert not missing_reads, (
+            "{}/{}: dynamic reads missing statically: {}".format(
+                name, phase, sorted(missing_reads)
+            )
+        )
+        assert not missing_writes, (
+            "{}/{}: dynamic writes missing statically: {}".format(
+                name, phase, sorted(missing_writes)
+            )
+        )
+
+
+def test_driver_overlap_runs_clean_under_check_effects(cluster4, tiny_binary):
+    """The shipped overlap spec passes the runtime race checker end-to-end."""
+    driver = ColumnSGDDriver(
+        LogisticRegression(), SGD(0.1), cluster4,
+        config=ColumnSGDConfig(
+            batch_size=64, iterations=3, eval_every=0, check_effects=True
+        ),
+    )
+    driver.load(tiny_binary)
+    driver.fit()
+    assert "prefetch_batch" in driver.last_phase_seconds
+
+
+def test_overlap_and_sequential_numerics_are_identical(tiny_binary):
+    from repro.sim import CLUSTER1, SimulatedCluster
+    import numpy as np
+
+    params = {}
+    for overlap in (True, False):
+        cluster = SimulatedCluster(CLUSTER1.with_workers(4))
+        driver = ColumnSGDDriver(
+            LogisticRegression(), SGD(0.1), cluster,
+            config=ColumnSGDConfig(
+                batch_size=64, iterations=4, eval_every=0, overlap=overlap
+            ),
+        )
+        driver.load(tiny_binary)
+        result = driver.fit()
+        params[overlap] = result.final_params
+    assert np.array_equal(params[True], params[False])

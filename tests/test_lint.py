@@ -23,7 +23,9 @@ from repro.lint.findings import Finding
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 ALL_RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006")
-PROGRAM_RULE_IDS = ("R007", "R008", "R009", "R010", "R011")
+PROGRAM_RULE_IDS = (
+    "R007", "R008", "R009", "R010", "R011", "R012", "R013", "R014",
+)
 
 
 def lint_fixture(name: str, rule_id: str):
@@ -213,6 +215,36 @@ def test_cli_json_format(capsys):
     assert payload["count"] == len(payload["findings"]) > 0
     first = payload["findings"][0]
     assert {"path", "line", "col", "rule_id", "severity", "message"} <= set(first)
+
+
+def test_cli_sarif_format(capsys):
+    rc = lint_main(
+        [str(FIXTURES / "program" / "r012_trigger.py"),
+         "--select", "R012", "--format", "sarif"]
+    )
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    (run,) = payload["runs"]
+    assert run["tool"]["driver"]["name"] == "repro.lint"
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == ["R012"]
+    assert run["results"], "trigger fixture must produce SARIF results"
+    for result in run["results"]:
+        assert result["ruleId"] == "R012"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        # SARIF regions are 1-based
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+
+def test_cli_sarif_clean_is_valid(capsys):
+    rc = lint_main(
+        [str(FIXTURES / "program" / "r012_pass.py"),
+         "--select", "R012", "--format", "sarif"]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["runs"][0]["results"] == []
 
 
 def test_cli_select_and_ignore(capsys):

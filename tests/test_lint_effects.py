@@ -1,0 +1,307 @@
+"""The static effect analyzer behind lint rules R012-R014.
+
+Covers spec reconstruction (composed tuples, bail-on-dynamic),
+interprocedural effect inference with witness chains, and the
+no-findings guarantee on the repository's own tree.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintEngine, ProgramAnalyzer, discover_sources
+from repro.lint.effects import (
+    EffectInference,
+    extract_round_specs,
+    infer_spec_effects,
+)
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures" / "program"
+
+
+def analyze(source: str, name: str = "fixture.py") -> ProgramAnalyzer:
+    return ProgramAnalyzer([(name, source)])
+
+
+def one_spec(source: str):
+    analyzer = analyze(source)
+    specs = extract_round_specs(analyzer.index)
+    assert len(specs) == 1
+    return analyzer, specs[0]
+
+
+# ----------------------------------------------------------------------
+# spec reconstruction
+# ----------------------------------------------------------------------
+class TestSpecReconstruction:
+    def test_composed_tuple_with_helper_call(self):
+        _, spec = one_spec(
+            """
+class Trainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="x",
+            phases=(ComputePhase("a", run="_a", synchronized=False),)
+            + tuple(self._comm())
+            + (MasterPhase("z", run="_z"),),
+        )
+
+    def _comm(self):
+        return (
+            CommPhase("push", kind=K.PUSH, pattern="gather", sizes="_s"),
+        )
+"""
+        )
+        assert spec.phase_names() == ("a", "push", "z")
+
+    def test_dynamic_phases_bail_silently(self):
+        analyzer = analyze(
+            """
+class Trainer:
+    def round_spec(self):
+        phases = [ComputePhase(n, run="_a", synchronized=False)
+                  for n in self.names]
+        return RoundSpec(system="x", phases=tuple(phases))
+"""
+        )
+        assert extract_round_specs(analyzer.index) == []
+
+    def test_dynamic_after_bails(self):
+        analyzer = analyze(
+            """
+class Trainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="x",
+            phases=(
+                ComputePhase("a", run="_a", synchronized=False),
+                ComputePhase("b", run="_b", synchronized=False,
+                             after=self._deps()),
+            ),
+        )
+"""
+        )
+        assert extract_round_specs(analyzer.index) == []
+
+    def test_invalid_specs_are_skipped(self):
+        # forward/unknown dependency: the runtime ctor would reject it,
+        # so the rules must not reason about it either
+        analyzer = analyze(
+            """
+class Trainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="x",
+            phases=(
+                ComputePhase("a", run="_a", synchronized=False,
+                             after=("zz",)),
+            ),
+        )
+"""
+        )
+        assert extract_round_specs(analyzer.index) == []
+
+    def test_local_name_binding_resolves(self):
+        _, spec = one_spec(
+            """
+class Trainer:
+    def round_spec(self):
+        phases = (
+            ComputePhase("a", run="_a", synchronized=False),
+            MasterPhase("b", run="_b"),
+        )
+        return RoundSpec(system="x", phases=phases)
+"""
+        )
+        assert spec.phase_names() == ("a", "b")
+
+
+# ----------------------------------------------------------------------
+# effect inference
+# ----------------------------------------------------------------------
+class TestEffectInference:
+    def test_transitive_write_carries_witness_chain(self):
+        analyzer, spec = one_spec(
+            """
+class Trainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="x",
+            phases=(ComputePhase("a", run="_phase_a", synchronized=False),),
+        )
+
+    def _phase_a(self, ctx):
+        self._helper(ctx)
+        return {}
+
+    def _helper(self, ctx):
+        ctx.scratch["stats"] = 1
+"""
+        )
+        effects = infer_spec_effects(analyzer.index, spec)["a"]
+        assert "ctx.scratch[stats]" in effects.writes
+        assert effects.writes["ctx.scratch[stats]"] == "_phase_a -> _helper"
+
+    def test_rooted_method_call_with_mutator_is_a_write(self):
+        analyzer, spec = one_spec(
+            """
+class Trainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="x",
+            phases=(ComputePhase("a", run="_phase_a", synchronized=False),),
+        )
+
+    def _phase_a(self, ctx):
+        self.pending.append(ctx.t)
+        return {}
+"""
+        )
+        effects = infer_spec_effects(analyzer.index, spec)["a"]
+        assert "self.pending" in effects.writes
+        assert "ctx.t" in effects.reads
+
+    def test_loop_alias_collapses_to_root_atom(self):
+        analyzer, spec = one_spec(
+            """
+class Trainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="x",
+            phases=(ComputePhase("a", run="_phase_a", synchronized=False),),
+        )
+
+    def _phase_a(self, ctx):
+        for worker in self._workers:
+            worker.compute(ctx.t)
+        return {}
+
+class Worker:
+    def compute(self, t):
+        self.cache = t
+"""
+        )
+        effects = infer_spec_effects(analyzer.index, spec)["a"]
+        # worker is rooted at self._workers; Worker.compute mutates its
+        # receiver, so the container atom becomes a write
+        assert "self._workers" in effects.writes
+
+    def test_pure_rooted_call_stays_a_read(self):
+        analyzer, spec = one_spec(
+            """
+class Trainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="x",
+            phases=(ComputePhase("a", run="_phase_a", synchronized=False),),
+        )
+
+    def _phase_a(self, ctx):
+        return {0: self.cost_model.estimate(ctx.t)}
+
+class CostModel:
+    def estimate(self, t):
+        return t * 2.0
+"""
+        )
+        effects = infer_spec_effects(analyzer.index, spec)["a"]
+        assert "self.cost_model" in effects.reads
+        assert "self.cost_model" not in effects.writes
+
+    def test_synchronized_compute_gains_sync_policy_effects(self):
+        analyzer, spec = one_spec(
+            """
+class Trainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="x",
+            phases=(ComputePhase("a", run="_phase_a", synchronized=True),),
+        )
+
+    def _phase_a(self, ctx):
+        return {}
+"""
+        )
+        effects = infer_spec_effects(analyzer.index, spec)["a"]
+        assert "ctx.chosen" in effects.writes
+        assert "ctx.cluster" in effects.reads
+
+    def test_scratch_variable_key_widens_to_wildcard(self):
+        analyzer, spec = one_spec(
+            """
+class Trainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="x",
+            phases=(ComputePhase("a", run="_phase_a", synchronized=False),),
+        )
+
+    def _phase_a(self, ctx):
+        for key in self.keys:
+            ctx.scratch[key] = 0
+        return {}
+"""
+        )
+        effects = infer_spec_effects(analyzer.index, spec)["a"]
+        assert "ctx.scratch[*]" in effects.writes
+
+
+# ----------------------------------------------------------------------
+# rule behaviour beyond the fixture counts
+# ----------------------------------------------------------------------
+def test_r012_witness_names_the_call_chain():
+    findings = LintEngine(select=["R012"]).lint_paths(
+        [str(FIXTURES / "r012_trigger.py")]
+    )
+    race = [f for f in findings if "ctx.scratch[batch]" in f.message]
+    assert race, [f.message for f in findings]
+    assert "_phase_produce -> _stash" in race[0].message
+
+
+def test_r013_message_lists_both_drift_directions():
+    findings = LintEngine(select=["R013"]).lint_paths(
+        [str(FIXTURES / "r013_trigger.py")]
+    )
+    assert len(findings) == 1
+    message = findings[0].message
+    assert "undeclared reads ['ctx.budget']" in message
+    assert "undeclared writes ['self.total']" in message
+    assert "declared-but-uninferred reads ['self.stale_input']" in message
+
+
+def test_r014_names_the_shared_kind():
+    findings = LintEngine(select=["R014"]).lint_paths(
+        [str(FIXTURES / "r014_trigger.py")]
+    )
+    assert len(findings) == 1
+    assert "STATS_PUSH" in findings[0].message
+    assert "'push_a'" in findings[0].message
+
+
+def test_rules_find_nothing_in_the_repository_tree():
+    """The acceptance gate: the swept src tree is race-free."""
+    findings = LintEngine(select=["R012", "R013", "R014"]).lint_paths([str(SRC)])
+    assert findings == []
+
+
+def test_driver_overlap_spec_is_reconstructed_with_dag():
+    analyzer = ProgramAnalyzer(discover_sources([str(SRC)]))
+    specs = [
+        s for s in extract_round_specs(analyzer.index)
+        if s.cls.name == "ColumnSGDDriver"
+    ]
+    names = {s.phase_names() for s in specs}
+    assert (
+        "compute_statistics", "gather", "prefetch_batch", "reduce",
+        "broadcast", "update_model",
+    ) in names
+    overlapped = next(s for s in specs if len(s.phases) == 6)
+    prefetch = next(p for p in overlapped.phases if p.name == "prefetch_batch")
+    assert prefetch.after == ()
+    assert prefetch.declared_writes == ("ctx.scratch[prefetch_nnz]",)
+    inference = EffectInference(analyzer.index)
+    effects = inference.phase_effects(overlapped, prefetch)
+    assert set(effects.writes) == {"ctx.scratch[prefetch_nnz]"}

@@ -22,7 +22,9 @@ from repro.optim.sgd import SGD
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 PROGRAM_FIXTURES = Path(__file__).resolve().parent / "lint_fixtures" / "program"
-PROGRAM_RULE_IDS = ("R007", "R008", "R009", "R010", "R011")
+PROGRAM_RULE_IDS = (
+    "R007", "R008", "R009", "R010", "R011", "R012", "R013", "R014"
+)
 
 
 def lint_program_fixture(name: str, rule_id: str):
@@ -33,7 +35,9 @@ def lint_program_fixture(name: str, rule_id: str):
 # ----------------------------------------------------------------------
 # per-rule fixtures
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("rule_id", ("R007", "R008", "R009", "R010"))
+@pytest.mark.parametrize(
+    "rule_id", ("R007", "R008", "R009", "R010", "R012", "R013", "R014")
+)
 def test_trigger_fixture_fires(rule_id):
     name = "{}_trigger.py".format(rule_id.lower())
     findings = lint_program_fixture(name, rule_id)
@@ -42,7 +46,9 @@ def test_trigger_fixture_fires(rule_id):
     assert all(f.line > 0 for f in findings)
 
 
-@pytest.mark.parametrize("rule_id", ("R007", "R008", "R009", "R010"))
+@pytest.mark.parametrize(
+    "rule_id", ("R007", "R008", "R009", "R010", "R012", "R013", "R014")
+)
 def test_pass_fixture_is_clean(rule_id):
     name = "{}_pass.py".format(rule_id.lower())
     assert lint_program_fixture(name, rule_id) == []
@@ -50,7 +56,10 @@ def test_pass_fixture_is_clean(rule_id):
 
 def test_trigger_counts():
     """Pin the exact number of violations each trigger fixture encodes."""
-    expected = {"R007": 2, "R008": 2, "R009": 2, "R010": 1}
+    expected = {
+        "R007": 2, "R008": 2, "R009": 2, "R010": 1,
+        "R012": 2, "R013": 1, "R014": 1,
+    }
     for rule_id, count in expected.items():
         name = "{}_trigger.py".format(rule_id.lower())
         assert len(lint_program_fixture(name, rule_id)) == count, rule_id

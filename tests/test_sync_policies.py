@@ -5,7 +5,15 @@ from types import SimpleNamespace
 import pytest
 
 from repro.core import BackupGroups, ColumnSGDConfig, ColumnSGDDriver
-from repro.engine import EngineTrace, RetrySync, TimeoutSync
+from repro.engine import (
+    ComputePhase,
+    EngineTrace,
+    MasterPhase,
+    RetrySync,
+    RoundEngine,
+    RoundSpec,
+    TimeoutSync,
+)
 from repro.errors import ConfigurationError, StatisticsRecoveryError
 from repro.models import LogisticRegression
 from repro.optim import SGD
@@ -102,6 +110,74 @@ class TestResolve:
         policy.resolve(ctx, {0: 1.0, 1: 1.0, 2: 1.0, 3: INF})
         events = ctx.cluster.engine_trace.retries
         assert [e.resolved for e in events] == ["retry", "retry", "stale"]
+
+
+class _OffsetTrainer:
+    """A warmup master phase pushes the synchronized compute phase to a
+    nonzero round offset; the timeout deadline must not notice."""
+
+    WARMUP_S = 4.0
+    # groups {0,1} and {2,3}; worker 3 blows the 1.5 x median deadline
+    # but its backup peer covers the group
+    FINISH = {0: 1.0, 1: 1.0, 2: 1.0, 3: 10.0}
+
+    def __init__(self, cluster, warmup: bool):
+        self.cluster = cluster
+        self.warmup = warmup
+
+    def round_spec(self) -> RoundSpec:
+        head = (
+            (MasterPhase("warmup", run="_phase_warmup"),) if self.warmup else ()
+        )
+        return RoundSpec(
+            system="stub",
+            sync=TimeoutSync(BackupGroups(4, 1), alpha=1.5),
+            phases=head
+            + (ComputePhase("work", run="_phase_work", synchronized=True),),
+        )
+
+    def _phase_warmup(self, ctx) -> float:
+        return self.WARMUP_S
+
+    def _phase_work(self, ctx):
+        return dict(self.FINISH)
+
+
+class TestPhaseRelativeDeadline:
+    """The TimeoutSync contract: finish times, deadline and the resolved
+    duration are all offsets from the synchronized phase's *start*, not
+    from the round's — the engine adds the phase's scheduled start when
+    placing them on the round timeline."""
+
+    def run_stub(self, warmup: bool):
+        cluster = SimulatedCluster(CLUSTER1.with_workers(4))
+        trainer = _OffsetTrainer(cluster, warmup=warmup)
+        engine = RoundEngine(trainer, cluster)
+        engine.run_round(0)
+        return cluster.engine_trace
+
+    def test_deadline_is_independent_of_phase_offset(self):
+        at_zero = self.run_stub(warmup=False)
+        at_offset = self.run_stub(warmup=True)
+        (event_zero,) = at_zero.retries
+        (event_offset,) = at_offset.retries
+        # alpha x median(finish) = 1.5 x 1.0 in both runs: the warmup
+        # offset never leaks into the policy's arithmetic
+        assert event_zero.deadline_s == pytest.approx(1.5)
+        assert event_offset.deadline_s == pytest.approx(1.5)
+        assert event_zero.suspects == event_offset.suspects == (3,)
+
+    def test_engine_maps_deadline_onto_the_round_timeline(self):
+        trace = self.run_stub(warmup=True)
+        events = {e.phase: e for e in trace.round_events(0)}
+        (retry,) = trace.retries
+        # the synchronized phase starts where warmup ends...
+        assert events["work"].start == pytest.approx(_OffsetTrainer.WARMUP_S)
+        # ...and ends deadline_s later: phase start + phase-relative
+        # deadline, NOT the deadline read as a round offset
+        assert events["work"].end == pytest.approx(
+            _OffsetTrainer.WARMUP_S + retry.deadline_s
+        )
 
 
 class TestDriverIntegration:
