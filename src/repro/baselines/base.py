@@ -61,6 +61,9 @@ class RowSGDConfig:
     check_effects: bool = False   # record per-phase attribute accesses
                                   # and fail on DAG-unordered conflicts
                                   # (see repro.engine.effects)
+    check_cost: bool = False      # audit measured kernel work against
+                                  # sparse_work/dense_work charges each
+                                  # round (see repro.engine.cost_audit)
 
     def __post_init__(self):
         check_positive(self.batch_size, "batch_size")
@@ -181,6 +184,7 @@ class BaselineTrainer:
         self._engine = RoundEngine(
             self, self.cluster, straggler=self.straggler,
             check_effects=self.config.check_effects,
+            check_cost=self.config.check_cost,
         )
         checker = ProtocolChecker(self.cluster) if self.config.check_protocol else None
         run_training_loop(
@@ -206,6 +210,7 @@ class BaselineTrainer:
             self._engine = RoundEngine(
                 self, self.cluster, straggler=self.straggler,
                 check_effects=self.config.check_effects,
+                check_cost=self.config.check_cost,
             )
         return self._engine.run_round(t)
 
@@ -213,7 +218,11 @@ class BaselineTrainer:
     def _phase_compute_gradients(self, ctx) -> Dict[int, float]:
         """One Algorithm 2 compute phase: per-shard sum gradients."""
         width = self.model.statistics_width
-        grad_sum = np.zeros_like(self._params)
+        # RowSGD workers really hold a full dense model replica — the
+        # O(d) footprint is the paper's argument against row-oriented
+        # systems, and it is charged through the MODEL_PULL bytes and
+        # the center's dense_work, not the worker gradient kernel.
+        grad_sum = np.zeros_like(self._params)  # lint: noqa[R015,R016]
         per_worker: Dict[int, float] = {}
         batch_parts: List[Dataset] = []
         for w in range(self.cluster.n_workers):
@@ -226,8 +235,10 @@ class BaselineTrainer:
                 # Passing zeros as the params makes the per-shard call
                 # contribute no regularization gradient (L1/L2/None all
                 # vanish at 0); the penalty is added exactly once below.
+                # The zero buffer is part of the same dense-replica cost
+                # already accounted for above.
                 mean_grad = self.model.gradient_from_statistics(
-                    local.features, local.labels, stats, np.zeros_like(self._params)
+                    local.features, local.labels, stats, np.zeros_like(self._params)  # lint: noqa[R015,R016]
                 )
                 grad_sum += mean_grad * local.n_rows
             # StragglerLevel multiplies the whole task (launch + kernel),

@@ -109,7 +109,9 @@ class StaleSyncPSTrainer(ParameterServerTrainer):
         K = self.cluster.n_workers
         width = self.model.statistics_width
         commits = ctx.sync.commits
-        grad_sum = np.zeros_like(self._params)
+        # Dense replica cost of the PS architecture, charged via the
+        # MODEL_PULL bytes and server dense_work (see BaselineTrainer).
+        grad_sum = np.zeros_like(self._params)  # lint: noqa[R015,R016]
         batch_rows = 0
         batch_nnz = 0
         per_worker: Dict[int, float] = {}
@@ -200,6 +202,7 @@ class StaleSyncPSTrainer(ParameterServerTrainer):
         self._engine = RoundEngine(
             self, self.cluster, straggler=self.straggler,
             check_effects=self.config.check_effects,
+            check_cost=self.config.check_cost,
         )
         checker = ProtocolChecker(self.cluster) if self.config.check_protocol else None
         # SSP has no failure hook: a crashed worker's pipeline slot is

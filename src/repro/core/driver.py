@@ -92,6 +92,9 @@ class ColumnSGDConfig:
     check_effects: bool = False   # record per-phase attribute accesses
                                   # and fail on DAG-unordered conflicts
                                   # (see repro.engine.effects)
+    check_cost: bool = False      # audit measured kernel work against
+                                  # sparse_work/dense_work charges each
+                                  # round (see repro.engine.cost_audit)
 
     def __post_init__(self):
         check_positive(self.batch_size, "batch_size")
@@ -270,6 +273,7 @@ class ColumnSGDDriver:
             self.cluster,
             straggler=self.straggler,
             check_effects=self.config.check_effects,
+            check_cost=self.config.check_cost,
         )
         checker = ProtocolChecker(self.cluster) if self.config.check_protocol else None
         stopped_at = run_training_loop(
@@ -436,6 +440,7 @@ class ColumnSGDDriver:
                 self.cluster,
                 straggler=self.straggler,
                 check_effects=self.config.check_effects,
+                check_cost=self.config.check_cost,
             )
         outcome = self._engine.run_round(t)
         self.last_phase_seconds = dict(outcome.phase_seconds)

@@ -9,6 +9,7 @@ timeout-based suspicion) supplied by pluggable :class:`SyncPolicy`
 objects.  See ``docs/engine.md`` and ``docs/faults.md``.
 """
 
+from repro.engine.cost_audit import CostAuditor, CostReport
 from repro.engine.effects import (
     EffectChecker,
     PhaseAccessLog,
@@ -43,6 +44,8 @@ __all__ = [
     "BarrierSync",
     "CommPhase",
     "ComputePhase",
+    "CostAuditor",
+    "CostReport",
     "EffectChecker",
     "EngineTrace",
     "EventQueue",

@@ -1,0 +1,126 @@
+"""Runtime kernel-cost audit — the dynamic twin of lint rule R016.
+
+The simulator *charges* compute time through
+:meth:`repro.sim.cost.ComputeCostModel.sparse_work` /
+:meth:`~repro.sim.cost.ComputeCostModel.dense_work`, and the static
+analysis (:mod:`repro.lint.sparsity`) proves the *shape* of the code
+behind those charges is O(nnz).  This module closes the remaining gap:
+with ``check_cost=True`` the :class:`CostAuditor` measures, per engine
+round, the work the :mod:`repro.linalg` kernels actually performed
+(op counters: flops + allocated elements) and compares it against the
+work volume the round charged (the :data:`~repro.sim.cost.WORK_LEDGER`
+units).  Measured work exceeding ``FACTOR x charged + SLACK`` raises
+:class:`~repro.errors.CostDriftError` — a regression that densifies a
+gradient or loops over ``dim`` instead of ``nnz`` blows the bound
+immediately instead of silently corrupting reproduced figures.
+
+The multiplicative ``FACTOR`` absorbs the constant-factor gap between
+"one charged unit" (one stored non-zero touched once) and the handful
+of element-operations a vectorised kernel spends per non-zero (gather,
+multiply, scatter-add, validation scans).  The additive ``SLACK``
+absorbs per-round buffers whose size is independent of nnz — the
+O(B) statistics arrays and the O(d/K) partition-gradient buffers that
+:func:`repro.linalg.ops.accumulate_rows` legitimately allocates — which
+dominate only at toy problem sizes.  Neither constant can hide an
+asymptotic drift: densifying a billion-dimensional gradient is not a
+constant factor.
+
+Counting never touches numeric payloads, so trajectories are
+bit-identical with the audit on or off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import CostDriftError
+from repro.linalg.counters import OP_COUNTERS
+from repro.sim.cost import WORK_LEDGER
+
+#: Allowed element-operations per charged work unit.
+COST_DRIFT_FACTOR = 16.0
+
+#: Additive allowance (elements) for nnz-independent per-round buffers.
+COST_DRIFT_SLACK = 65536.0
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Measured-vs-charged work volumes for one engine round."""
+
+    round: int
+    flops: int
+    alloc_elements: int
+    densify_events: int
+    peak_alloc_elements: int
+    sparse_units: float
+    dense_units: float
+
+    @property
+    def measured(self) -> float:
+        """Element-operations the kernels actually performed."""
+        return float(self.flops + self.alloc_elements)
+
+    @property
+    def charged(self) -> float:
+        """Work units the round charged through the cost model."""
+        return self.sparse_units + self.dense_units
+
+
+class CostAuditor:
+    """Per-round measured-vs-charged kernel work comparison.
+
+    The engine calls :meth:`begin_round` before the first phase executes
+    and :meth:`finish_round` after the last one, so the audited window
+    covers exactly the round's executors — evaluation passes between
+    rounds are not measured (nor charged).
+    """
+
+    def __init__(self, factor: float = COST_DRIFT_FACTOR,
+                 slack: float = COST_DRIFT_SLACK):
+        self.factor = factor
+        self.slack = slack
+        self.reports: List[CostReport] = []
+
+    # ------------------------------------------------------------------
+    def begin_round(self) -> None:
+        OP_COUNTERS.reset()
+        OP_COUNTERS.enable()
+        WORK_LEDGER.reset()
+        WORK_LEDGER.enable()
+
+    def finish_round(self, t: int) -> None:
+        OP_COUNTERS.disable()
+        WORK_LEDGER.disable()
+        report = CostReport(
+            round=t,
+            flops=OP_COUNTERS.flops,
+            alloc_elements=OP_COUNTERS.alloc_elements,
+            densify_events=OP_COUNTERS.densify_events,
+            peak_alloc_elements=OP_COUNTERS.peak_alloc_elements,
+            sparse_units=WORK_LEDGER.sparse_units,
+            dense_units=WORK_LEDGER.dense_units,
+        )
+        self.reports.append(report)
+        budget = self.factor * report.charged + self.slack
+        if report.measured > budget:
+            raise CostDriftError(
+                t,
+                [
+                    "measured kernel work {:.0f} element-ops "
+                    "(flops={}, allocs={}, densify_events={}) exceeds "
+                    "{:.0f}x charged work {:.0f} units + {:.0f} slack "
+                    "(sparse={:.0f}, dense={:.0f})".format(
+                        report.measured,
+                        report.flops,
+                        report.alloc_elements,
+                        report.densify_events,
+                        self.factor,
+                        report.charged,
+                        self.slack,
+                        report.sparse_units,
+                        report.dense_units,
+                    )
+                ],
+            )

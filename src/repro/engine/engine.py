@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
+from repro.engine.cost_audit import CostAuditor
 from repro.engine.effects import EffectChecker
 from repro.engine.events import EventQueue
 from repro.engine.spec import CommPhase, ComputePhase, MasterPhase, RoundSpec
@@ -83,7 +84,8 @@ class RoundEngine:
     """
 
     def __init__(self, trainer, cluster, spec: Optional[RoundSpec] = None,
-                 straggler=None, check_effects: bool = False):
+                 straggler=None, check_effects: bool = False,
+                 check_cost: bool = False):
         self.trainer = trainer
         self.cluster = cluster
         self.spec = spec if spec is not None else trainer.round_spec()
@@ -93,6 +95,11 @@ class RoundEngine:
         #: runtime twin of lint rule R012); None when not requested
         self.effects: Optional[EffectChecker] = (
             EffectChecker(self.spec) if check_effects else None
+        )
+        #: measured-vs-charged kernel work audit (the runtime twin of
+        #: lint rule R016); None when not requested
+        self.cost_audit: Optional[CostAuditor] = (
+            CostAuditor() if check_cost else None
         )
         cluster.engine_trace = self.trace
 
@@ -118,6 +125,8 @@ class RoundEngine:
 
         if self.effects is not None:
             self.effects.begin_round()
+        if self.cost_audit is not None:
+            self.cost_audit.begin_round()
 
         previous = None
         for phase in self.spec.phases:
@@ -143,6 +152,8 @@ class RoundEngine:
 
         if self.effects is not None:
             self.effects.finish_round(t)
+        if self.cost_audit is not None:
+            self.cost_audit.finish_round(t)
 
         critical_end = max(ends.values()) if ends else 0.0
         duration = sync.round_duration(ctx, critical_end)

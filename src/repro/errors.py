@@ -114,6 +114,25 @@ class EffectRaceError(SimulationError):
         )
 
 
+class CostDriftError(SimulationError):
+    """Raised by the engine's ``check_cost`` kernel audit when the work
+    the linalg kernels actually performed in a round (op counters:
+    flops + allocated elements) exceeds the work volume the round
+    *charged* through ``sparse_work``/``dense_work`` by more than a
+    constant factor — the dynamic twin of lint rule R016.  A trainer
+    that densifies a gradient or loops over ``dim`` instead of ``nnz``
+    trips this long before it shows up in reproduced figures."""
+
+    def __init__(self, iteration, problems):
+        self.iteration = iteration
+        self.problems = tuple(problems)
+        super().__init__(
+            "kernel cost drift at iteration {}: {}".format(
+                iteration, "; ".join(self.problems)
+            )
+        )
+
+
 class StatisticsRecoveryError(SimulationError):
     """Raised when backup computation cannot recover complete statistics.
 

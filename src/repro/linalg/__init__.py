@@ -13,6 +13,7 @@ gradient accumulation ``X^T c``, FM's per-factor statistics) live in
 :mod:`repro.linalg.ops`.
 """
 
+from repro.linalg.counters import OP_COUNTERS, OpCounters
 from repro.linalg.sparse_vector import SparseVector
 from repro.linalg.csr import CSRMatrix
 from repro.linalg.ops import (
@@ -24,6 +25,8 @@ from repro.linalg.ops import (
 )
 
 __all__ = [
+    "OP_COUNTERS",
+    "OpCounters",
     "SparseVector",
     "CSRMatrix",
     "row_dots",

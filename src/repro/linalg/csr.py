@@ -15,6 +15,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import DimensionMismatchError
+from repro.linalg.counters import OP_COUNTERS
 from repro.linalg.sparse_vector import SparseVector
 
 
@@ -57,6 +58,7 @@ class CSRMatrix:
         self.data = data
         self.n_rows = int(indptr.size - 1)
         self.n_cols = int(n_cols)
+        OP_COUNTERS.add_flops(indices.size + indptr.size)  # validation scans
 
     # ------------------------------------------------------------------
     # constructors
@@ -79,6 +81,7 @@ class CSRMatrix:
             counts[i + 1] = row.nnz
         indptr = np.cumsum(counts)
         nnz = int(indptr[-1])
+        OP_COUNTERS.add_alloc(2 * nnz)
         indices = np.empty(nnz, dtype=np.int64)
         data = np.empty(nnz, dtype=np.float64)
         for i, row in enumerate(rows):
@@ -92,6 +95,7 @@ class CSRMatrix:
         dense = np.asarray(dense, dtype=np.float64)
         if dense.ndim != 2:
             raise ValueError("dense input must be 2-D")
+        OP_COUNTERS.add_flops(dense.size)  # full scan for non-zeros
         rows, cols = np.nonzero(dense)
         indptr = np.zeros(dense.shape[0] + 1, dtype=np.int64)
         np.add.at(indptr, rows + 1, 1)
@@ -144,6 +148,8 @@ class CSRMatrix:
 
     def to_dense(self) -> np.ndarray:
         """Materialise as a dense 2-D float64 array."""
+        OP_COUNTERS.add_densify(self.n_rows * self.n_cols)
+        OP_COUNTERS.add_flops(self.nnz)
         out = np.zeros(self.shape, dtype=np.float64)
         rows = np.repeat(np.arange(self.n_rows), self.row_nnz())
         out[rows, self.indices] = self.data
@@ -169,6 +175,7 @@ class CSRMatrix:
         indptr = np.zeros(row_ids.size + 1, dtype=np.int64)
         np.cumsum(lengths, out=indptr[1:])
         nnz = int(indptr[-1])
+        OP_COUNTERS.add_alloc(2 * nnz)
         indices = np.empty(nnz, dtype=np.int64)
         data = np.empty(nnz, dtype=np.float64)
         for out_i, row_i in enumerate(row_ids):
@@ -202,6 +209,7 @@ class CSRMatrix:
         for part in parts:
             indptr_parts.append(part.indptr[1:] + offset)
             offset += part.nnz
+        OP_COUNTERS.add_alloc(2 * offset)  # concatenated indices + data
         return cls(
             np.concatenate(indptr_parts),
             np.concatenate([p.indices for p in parts]) if parts else np.empty(0),
@@ -226,6 +234,7 @@ class CSRMatrix:
             raise ValueError("global_indices must be sorted ascending and unique")
         if global_indices.size == 0:
             return CSRMatrix.empty(self.n_rows, 0)
+        OP_COUNTERS.add_flops(2 * self.nnz)  # binary searches + filter
         pos = np.searchsorted(global_indices, self.indices)
         pos_clipped = np.minimum(pos, global_indices.size - 1)
         hit = global_indices[pos_clipped] == self.indices
@@ -250,6 +259,7 @@ class CSRMatrix:
         """
         if len(parts) != len(assignments):
             raise ValueError("parts and assignments must align")
+        OP_COUNTERS.add_densify(self.n_rows * n_cols)
         dense = np.zeros((self.n_rows, n_cols), dtype=np.float64)
         for part, mapping in zip(parts, assignments):
             mapping = np.asarray(mapping, dtype=np.int64)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import DimensionMismatchError
+from repro.linalg.counters import OP_COUNTERS
 from repro.linalg.csr import CSRMatrix
 
 
@@ -40,6 +41,7 @@ def row_dots(matrix: CSRMatrix, model: np.ndarray) -> np.ndarray:
     model = _check_model(matrix, model)
     if matrix.nnz == 0:
         return np.zeros(matrix.n_rows, dtype=np.float64)
+    OP_COUNTERS.add_flops(3 * matrix.nnz)  # gather + multiply + row-sum
     products = matrix.data * model[matrix.indices]
     return _reduce_rows(matrix, products)
 
@@ -54,6 +56,7 @@ def row_dots_squared(matrix: CSRMatrix, model: np.ndarray) -> np.ndarray:
     model = _check_model(matrix, model)
     if matrix.nnz == 0:
         return np.zeros(matrix.n_rows, dtype=np.float64)
+    OP_COUNTERS.add_flops(4 * matrix.nnz)  # square + gather + multiply + row-sum
     products = (matrix.data ** 2) * model[matrix.indices]
     return _reduce_rows(matrix, products)
 
@@ -69,9 +72,11 @@ def accumulate_rows(matrix: CSRMatrix, coefficients: np.ndarray) -> np.ndarray:
     coefficients = np.asarray(coefficients, dtype=np.float64)
     if coefficients.shape != (matrix.n_rows,):
         raise DimensionMismatchError((matrix.n_rows,), coefficients.shape, "coefficients shape")
+    OP_COUNTERS.add_alloc(matrix.n_cols)  # the dense partition-gradient buffer
     out = np.zeros(matrix.n_cols, dtype=np.float64)
     if matrix.nnz == 0:
         return out
+    OP_COUNTERS.add_flops(3 * matrix.nnz)  # expand + multiply + scatter-add
     per_entry = matrix.data * np.repeat(coefficients, matrix.row_nnz())
     np.add.at(out, matrix.indices, per_entry)
     return out
@@ -86,9 +91,11 @@ def accumulate_rows_squared(matrix: CSRMatrix, coefficients: np.ndarray) -> np.n
     coefficients = np.asarray(coefficients, dtype=np.float64)
     if coefficients.shape != (matrix.n_rows,):
         raise DimensionMismatchError((matrix.n_rows,), coefficients.shape, "coefficients shape")
+    OP_COUNTERS.add_alloc(matrix.n_cols)  # the dense partition-gradient buffer
     out = np.zeros(matrix.n_cols, dtype=np.float64)
     if matrix.nnz == 0:
         return out
+    OP_COUNTERS.add_flops(4 * matrix.nnz)  # square + expand + multiply + scatter-add
     per_entry = (matrix.data ** 2) * np.repeat(coefficients, matrix.row_nnz())
     np.add.at(out, matrix.indices, per_entry)
     return out
@@ -97,6 +104,8 @@ def accumulate_rows_squared(matrix: CSRMatrix, coefficients: np.ndarray) -> np.n
 def column_scale(matrix: CSRMatrix, factors: np.ndarray) -> CSRMatrix:
     """Return a copy of ``matrix`` with column ``j`` scaled by ``factors[j]``."""
     factors = _check_model(matrix, factors)
+    OP_COUNTERS.add_flops(2 * matrix.nnz)  # gather + multiply
+    OP_COUNTERS.add_alloc(3 * matrix.nnz)  # copied indptr/indices/data
     return CSRMatrix(
         matrix.indptr.copy(),
         matrix.indices.copy(),
@@ -107,6 +116,7 @@ def column_scale(matrix: CSRMatrix, factors: np.ndarray) -> CSRMatrix:
 
 def _reduce_rows(matrix: CSRMatrix, per_entry: np.ndarray) -> np.ndarray:
     """Sum ``per_entry`` (aligned with matrix.data) within each row."""
+    OP_COUNTERS.add_alloc(matrix.n_rows)  # the per-row statistics buffer
     out = np.zeros(matrix.n_rows, dtype=np.float64)
     nonempty = np.flatnonzero(np.diff(matrix.indptr))
     if nonempty.size:

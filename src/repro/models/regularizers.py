@@ -36,7 +36,9 @@ class NoRegularizer(Regularizer):
         return 0.0
 
     def gradient(self, model):
-        return np.zeros_like(model)
+        # One zero buffer per model-update step (not per row); callers
+        # add it to an existing dense gradient of the same shape.
+        return np.zeros_like(model)  # lint: noqa[R015,R016]
 
 
 class L2(Regularizer):

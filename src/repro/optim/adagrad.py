@@ -23,7 +23,8 @@ class AdaGrad(Optimizer):
     def step(self, params, gradient, iteration):
         self._check_shapes(params, gradient)
         if self._accumulator is None:
-            self._accumulator = np.zeros_like(params)
+            # Lazy one-time state allocation, amortized O(1) per round.
+            self._accumulator = np.zeros_like(params)  # lint: noqa[R015,R016]
         self._accumulator += gradient ** 2
         rate = self.effective_rate(iteration)
         params -= rate * gradient / (np.sqrt(self._accumulator) + self.epsilon)

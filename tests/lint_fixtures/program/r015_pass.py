@@ -1,0 +1,34 @@
+"""R015 pass: the hot path stays sparse; densification exists only in
+code no executor reaches.
+
+``SparseTrainer``'s executors use O(nnz) kernels and batch-sized
+buffers; ``debug_dump`` calls ``to_dense()`` but is never reachable
+from a phase, so selecting R015 reports nothing.
+"""
+
+
+class SparseTrainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="sparse",
+            sync=None,
+            phases=(
+                ComputePhase("compute", run="_phase_compute"),
+                MasterPhase("update", run="_phase_update"),
+            ),
+        )
+
+    def _phase_compute(self, ctx):
+        batch = self.sample(ctx.t)
+        scores = np.zeros(self.batch_size)
+        for row in batch.iter_rows():
+            scores += row.dot(self.weights_for(row))
+        return {0: float(scores.sum())}
+
+    def _phase_update(self, ctx):
+        delta = ctx.scratch["gradient"].restrict(self.local_indices)
+        self.apply(delta.scale(self.rate))
+        return 0.0
+
+    def debug_dump(self):
+        return self.model_vector.to_dense()

@@ -1,0 +1,34 @@
+"""R015 trigger: three densification sites on an executor's hot path.
+
+``DenseTrainer._phase_compute`` reaches — directly and through a
+helper — a ``to_dense()`` call, an O(d)-sized ``np.zeros`` allocation,
+and a sparse value coerced dense via ``np.asarray``.  Selecting R015
+yields exactly three findings, each carrying the witness call chain.
+"""
+
+
+class DenseTrainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="dense",
+            sync=None,
+            phases=(
+                ComputePhase("compute", run="_phase_compute"),
+                MasterPhase("update", run="_phase_update"),
+            ),
+        )
+
+    def _phase_compute(self, ctx):
+        batch = self.sample(ctx.t)
+        dense = batch.to_dense()
+        return {0: float(dense.sum())}
+
+    def _phase_update(self, ctx):
+        grad = self._merge(ctx)
+        buffer = np.zeros(self.dim)
+        buffer += grad
+        return 0.0
+
+    def _merge(self, ctx):
+        sparse = SparseVector.from_dict(ctx.scratch["updates"], self.dim)
+        return np.asarray(sparse)

@@ -1,0 +1,30 @@
+"""R016 pass: inferred cost class matches the charged class.
+
+``HonestTrainer``'s compute executor does O(nnz) kernel work and
+charges ``sparse_work(nnz)``; its master executor loops over the model
+dimension and charges ``dense_work`` with a dimension-classed size
+term.  Selecting R016 reports nothing.
+"""
+
+
+class HonestTrainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="honest",
+            sync=None,
+            phases=(
+                ComputePhase("compute", run="_phase_compute"),
+                MasterPhase("update", run="_phase_update"),
+            ),
+        )
+
+    def _phase_compute(self, ctx):
+        batch = self.sample(ctx.t)
+        margin = batch.dot(self.local_weights)
+        seconds = self.cost.sparse_work(batch.nnz, passes=2)
+        return {0: seconds + float(margin)}
+
+    def _phase_update(self, ctx):
+        for j in range(self.dim):
+            self.apply(j)
+        return self.cost.dense_work(self.model_elements)

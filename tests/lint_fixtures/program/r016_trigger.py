@@ -1,0 +1,24 @@
+"""R016 trigger: an executor does O(d) work but charges O(nnz).
+
+``DriftTrainer._phase_compute`` loops over ``range(self.dim)`` — O(d)
+work with no densifying allocation, so only the cost-class comparison
+can catch it — while charging the cost model ``sparse_work(nnz)``.
+Selecting R016 yields exactly one finding, anchored at the loop.
+"""
+
+
+class DriftTrainer:
+    def round_spec(self):
+        return RoundSpec(
+            system="drift",
+            sync=None,
+            phases=(ComputePhase("compute", run="_phase_compute"),),
+        )
+
+    def _phase_compute(self, ctx):
+        batch = self.sample(ctx.t)
+        total = 0.0
+        for j in range(self.dim):
+            total += self.lookup(j)
+        seconds = self.cost.sparse_work(batch.nnz, passes=2)
+        return {0: seconds + total}

@@ -1,0 +1,23 @@
+"""R017 pass: accumulate in a dict, construct the SparseVector once.
+
+The loop only mutates a plain dict; the single ``SparseVector``
+construction happens after the loop, and a fresh per-row vector that
+never feeds back into itself is fine too.  Selecting R017 reports
+nothing.
+"""
+
+
+def merge_gradients(grads, dim):
+    acc = {}
+    for g in grads:
+        for idx, val in g.items():
+            acc[idx] = acc.get(idx, 0.0) + val
+    return SparseVector.from_dict(acc, dim)
+
+
+def rows_to_vectors(rows, dim):
+    out = []
+    for row in rows:
+        vec = SparseVector.from_dict(row, dim)
+        out.append(vec)
+    return out

@@ -1,0 +1,20 @@
+"""R017 trigger: immutable SparseVector rebuilt from itself in a loop.
+
+Both loops rebuild an accumulator through a ``SparseVector``
+constructor every iteration — O(nnz) copying per step, O(nnz^2) total.
+Selecting R017 yields exactly two findings.
+"""
+
+
+def merge_gradients(grads, dim):
+    acc = SparseVector.empty(dim)
+    for g in grads:
+        acc = SparseVector(acc.indices, acc.values + g.values, dim)
+    return acc
+
+
+def fold_updates(updates, dim):
+    total = SparseVector.empty(dim)
+    while updates:
+        total += SparseVector.from_dict(updates.pop(), dim)
+    return total

@@ -23,7 +23,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 PROGRAM_FIXTURES = Path(__file__).resolve().parent / "lint_fixtures" / "program"
 PROGRAM_RULE_IDS = (
-    "R007", "R008", "R009", "R010", "R011", "R012", "R013", "R014"
+    "R007", "R008", "R009", "R010", "R011", "R012", "R013", "R014",
+    "R015", "R016", "R017",
 )
 
 
