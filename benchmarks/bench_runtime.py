@@ -1,0 +1,136 @@
+"""Backend matrix: predicted (sim) vs measured (local) round time.
+
+Runs the same fixed-seed job twice per system — once on the simulator
+(per-round seconds come from the Table-I cost model) and once on the
+local multiprocess backend with 2 worker processes (per-round seconds
+are wall-clock around real pipes + codec traffic) — and checks the
+cross-backend contract on the way: identical final model (1e-9) and
+identical byte totals (real encoded lengths == the simulator's byte
+model).
+
+Writes ``BENCH_runtime.json`` into the current working directory with
+both numbers per system; CI's backend-matrix job uploads it.  The two
+numbers answer different questions and are *not* expected to agree: the
+simulator predicts an 8-node Spark cluster (Table II hardware), the
+local backend measures this machine's processes and pipes.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.baselines.registry import make_trainer
+from repro.core import ColumnSGDConfig, ColumnSGDDriver
+from repro.datasets import make_classification
+from repro.models import LogisticRegression
+from repro.optim import SGD
+from repro.sim import CLUSTER1, SimulatedCluster
+from repro.utils import ascii_table
+
+WORKERS = 4
+LOCAL_PROCESSES = 2
+ITERATIONS = 12
+BATCH = 100
+SEED = 5
+
+
+def make_data():
+    return make_classification(2000, 400, nnz_per_row=10, seed=SEED)
+
+
+def run_columnsgd(data, backend):
+    cluster = SimulatedCluster(CLUSTER1.with_workers(WORKERS))
+    driver = ColumnSGDDriver(
+        LogisticRegression(),
+        SGD(0.5),
+        cluster,
+        config=ColumnSGDConfig(
+            batch_size=BATCH,
+            iterations=ITERATIONS,
+            eval_every=ITERATIONS,
+            seed=SEED,
+            backend=backend,
+            local_processes=LOCAL_PROCESSES,
+            check_protocol=True,
+        ),
+    )
+    driver.load(data)
+    return driver.fit()
+
+
+def run_mllib(data, backend):
+    cluster = SimulatedCluster(CLUSTER1.with_workers(WORKERS))
+    trainer = make_trainer(
+        "mllib",
+        LogisticRegression(),
+        SGD(0.5),
+        cluster,
+        batch_size=BATCH,
+        iterations=ITERATIONS,
+        eval_every=ITERATIONS,
+        seed=SEED,
+        backend=backend,
+        local_processes=LOCAL_PROCESSES,
+        check_protocol=True,
+    )
+    trainer.load(data)
+    return trainer.fit()
+
+
+RUNNERS = {"columnsgd": run_columnsgd, "mllib": run_mllib}
+
+
+def test_runtime_backend_matrix(emit):
+    data = make_data()
+    report = {
+        "workers": WORKERS,
+        "local_processes": LOCAL_PROCESSES,
+        "iterations": ITERATIONS,
+        "batch_size": BATCH,
+        "seed": SEED,
+        "systems": {},
+    }
+    rows = []
+    for system, run in RUNNERS.items():
+        predicted = run(data, "sim")
+        measured = run(data, "local")
+        # the cross-backend contract, checked where it is exercised
+        diff = float(
+            np.max(np.abs(measured.final_params - predicted.final_params))
+        )
+        assert diff <= 1e-9
+        assert measured.total_bytes() == predicted.total_bytes()
+        entry = {
+            "predicted_round_s": predicted.avg_iteration_seconds(),
+            "measured_round_s": measured.avg_iteration_seconds(),
+            "bytes_per_round": predicted.total_bytes() // ITERATIONS,
+            "final_loss": measured.final_loss(),
+            "max_abs_param_diff": diff,
+        }
+        report["systems"][system] = entry
+        rows.append(
+            (
+                system,
+                "{:.4f}".format(entry["predicted_round_s"]),
+                "{:.4f}".format(entry["measured_round_s"]),
+                "{:,}".format(entry["bytes_per_round"]),
+                "{:.2e}".format(diff),
+            )
+        )
+    pathlib.Path("BENCH_runtime.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    emit(
+        "runtime_backend_matrix",
+        ascii_table(
+            [
+                "system",
+                "predicted s/iter (sim)",
+                "measured s/iter (local, 2 proc)",
+                "bytes/iter",
+                "max |param diff|",
+            ],
+            rows,
+        ),
+    )

@@ -5,7 +5,11 @@ Generates a sparse synthetic CTR-style dataset, spins up a simulated
 partitioned SGD, and prints the loss curve and traffic summary.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --backend local   # real processes,
+                                                      # wall-clock time
 """
+
+import argparse
 
 from repro import (
     CLUSTER1,
@@ -17,7 +21,21 @@ from repro import (
 )
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--backend", default="sim", choices=("sim", "local"),
+        help="'sim' charges modeled time on the discrete-event simulator; "
+             "'local' runs each worker as a real OS process and measures "
+             "wall-clock rounds (see docs/runtime.md)",
+    )
+    parser.add_argument(
+        "--local-processes", type=int, default=0,
+        help="OS processes hosting the workers with --backend local "
+             "(0 = one per worker)",
+    )
+    args = parser.parse_args(argv)
+
     # 20k examples, 10k features, ~15 non-zeros per row (avazu-like).
     data = make_classification(20_000, 10_000, nnz_per_row=15, seed=0)
     print("dataset:", data)
@@ -32,14 +50,18 @@ def main():
         batch_size=1000,
         iterations=100,
         eval_every=10,
+        backend=args.backend,
+        local_processes=args.local_processes,
     )
 
+    timing = "wall-clock" if args.backend == "local" else "simulated"
     print(result.describe())
-    print("\nloss vs simulated time:")
+    print("\nloss vs {} time:".format(timing))
     for iteration, sim_time, loss in result.losses():
         print("  iter {:>4}  t={:7.3f}s  loss={:.4f}".format(iteration, sim_time, loss))
 
-    print("\nper-iteration time: {:.4f}s (simulated)".format(result.avg_iteration_seconds()))
+    print("\nper-iteration time: {:.4f}s ({})".format(
+        result.avg_iteration_seconds(), timing))
     print("network bytes over the run: {:,}".format(result.total_bytes()))
     print(
         "note: communication is O(batch) — rerun with 10x more features "

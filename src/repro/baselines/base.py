@@ -44,7 +44,8 @@ from repro.partition.row import RowPartitioner
 from repro.sim.cluster import SimulatedCluster
 from repro.sim.failures import FailureInjector, FailureKind
 from repro.sim.straggler import StragglerModel
-from repro.utils.validation import check_non_negative, check_positive
+from repro.runtime.base import BACKENDS
+from repro.utils.validation import check_in, check_non_negative, check_positive
 
 
 @dataclass(frozen=True)
@@ -64,12 +65,25 @@ class RowSGDConfig:
     check_cost: bool = False      # audit measured kernel work against
                                   # sparse_work/dense_work charges each
                                   # round (see repro.engine.cost_audit)
+    backend: str = "sim"          # 'sim' or 'local' (real worker
+                                  # processes, wall-clock rounds; MLlib
+                                  # only — see docs/runtime.md)
+    local_processes: int = 0      # OS processes hosting the K logical
+                                  # workers on the local backend
+                                  # (0 = one process per worker)
 
     def __post_init__(self):
         check_positive(self.batch_size, "batch_size")
         check_positive(self.iterations, "iterations")
         check_non_negative(self.eval_every, "eval_every")
         check_non_negative(self.seed, "seed")
+        check_in(self.backend, BACKENDS, "backend")
+        check_non_negative(self.local_processes, "local_processes")
+        if self.backend == "local" and (self.check_effects or self.check_cost):
+            raise ValueError(
+                "check_effects/check_cost audit the simulated engine; "
+                "they are unavailable on backend='local'"
+            )
 
 
 class BaselineTrainer:
@@ -107,6 +121,8 @@ class BaselineTrainer:
         self._params: Optional[np.ndarray] = None
         self._engine: Optional[RoundEngine] = None
         self.load_report = None
+        #: the LocalRuntime of the most recent backend='local' fit()
+        self.local_runtime = None
 
     # ------------------------------------------------------------------
     def _system_name(self) -> str:
@@ -180,6 +196,11 @@ class BaselineTrainer:
         )
         if self.config.eval_every:
             self._record(result, -1, 0.0, 0, evaluate=True)
+
+        if self.config.backend == "local":
+            from repro.baselines.localexec import run_local_rowsgd
+
+            return run_local_rowsgd(self, iterations, result)
 
         self._engine = RoundEngine(
             self, self.cluster, straggler=self.straggler,
@@ -311,7 +332,10 @@ class BaselineTrainer:
         data = dataset if dataset is not None else self._dataset
         return self.model.loss(data.features, data.labels, self._params)
 
-    def _record(self, result, iteration, duration, bytes_sent, evaluate) -> None:
+    def _record(self, result, iteration, duration, bytes_sent, evaluate,
+                now: Optional[float] = None) -> None:
+        """Append one iteration record; ``now`` overrides the timestamp
+        source (the local backend passes its wall clock)."""
         loss = self.evaluate_loss() if evaluate else None
         if loss is not None and not np.isfinite(loss):
             raise TrainingError(
@@ -320,7 +344,7 @@ class BaselineTrainer:
         result.add(
             IterationRecord(
                 iteration=iteration,
-                sim_time=self.cluster.clock.now(),
+                sim_time=self.cluster.clock.now() if now is None else now,
                 duration=duration,
                 loss=loss,
                 bytes_sent=bytes_sent,

@@ -61,7 +61,11 @@ def make_trainer(
         iterations=iterations,
         eval_every=eval_every,
         seed=seed,
-        **{k: v for k, v in extra.items() if k in ("repartition",)},
+        **{
+            k: v
+            for k, v in extra.items()
+            if k in ("repartition", "backend", "local_processes")
+        },
     )
     kwargs = {k: v for k, v in extra.items() if k in ("n_servers", "local_steps", "staleness")}
     return TRAINER_REGISTRY[key](model, optimizer, cluster, config=config, **kwargs)

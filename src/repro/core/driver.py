@@ -49,6 +49,7 @@ from repro.optim.base import Optimizer
 from repro.partition.column import make_assignment
 from repro.partition.dispatch import dispatch_block_based, dispatch_naive, LoadReport
 from repro.partition.indexing import TwoPhaseIndex
+from repro.runtime.base import BACKENDS
 from repro.sim.cluster import SimulatedCluster
 from repro.sim.failures import FailureInjector, FailureKind
 from repro.sim.straggler import StragglerModel
@@ -95,6 +96,14 @@ class ColumnSGDConfig:
     check_cost: bool = False      # audit measured kernel work against
                                   # sparse_work/dense_work charges each
                                   # round (see repro.engine.cost_audit)
+    backend: str = "sim"          # execution substrate: 'sim' runs the
+                                  # discrete-event simulator, 'local'
+                                  # runs real worker processes with
+                                  # measured wall-clock rounds (see
+                                  # repro.runtime and docs/runtime.md)
+    local_processes: int = 0      # OS processes hosting the K logical
+                                  # workers on the local backend
+                                  # (0 = one process per worker)
 
     def __post_init__(self):
         check_positive(self.batch_size, "batch_size")
@@ -112,8 +121,26 @@ class ColumnSGDConfig:
         check_non_negative(self.sync_max_retries, "sync_max_retries")
         check_positive(self.sync_backoff, "sync_backoff")
         check_in(self.sync_on_exhausted, ("raise", "stale"), "sync_on_exhausted")
+        check_in(self.backend, BACKENDS, "backend")
+        check_non_negative(self.local_processes, "local_processes")
         if self.early_stop_patience and not self.eval_every:
             raise ValueError("early stopping requires eval_every > 0")
+        if self.backend == "local":
+            if self.backup:
+                raise ValueError(
+                    "backend='local' supports backup=0 only; backup "
+                    "computation is a simulator feature"
+                )
+            if self.sync_policy != "backup":
+                raise ValueError(
+                    "backend='local' runs a plain barrier; timeout/retry "
+                    "sync policies are simulator features"
+                )
+            if self.check_effects or self.check_cost:
+                raise ValueError(
+                    "check_effects/check_cost audit the simulated engine; "
+                    "they are unavailable on backend='local'"
+                )
 
     @property
     def wire_value_bytes(self) -> int:
@@ -159,6 +186,8 @@ class ColumnSGDDriver:
         self._workers: List[ColumnWorker] = []
         self._index: Optional[TwoPhaseIndex] = None
         self._engine: Optional[RoundEngine] = None
+        #: the LocalRuntime of the most recent backend='local' fit()
+        self.local_runtime = None
         self.load_report: Optional[LoadReport] = None
         #: phase durations of the most recent iteration (seconds), keyed
         #: by phase name — the input to time-breakdown analyses
@@ -267,6 +296,11 @@ class ColumnSGDDriver:
         )
         if self.config.eval_every:
             self._record(result, iteration=-1, duration=0.0, bytes_sent=0, evaluate=True)
+
+        if self.config.backend == "local":
+            from repro.core.localexec import run_local_columnsgd
+
+            return run_local_columnsgd(self, iterations, result)
 
         self._engine = RoundEngine(
             self,
@@ -738,7 +772,11 @@ class ColumnSGDDriver:
         duration: float,
         bytes_sent: int,
         evaluate: bool,
+        now: Optional[float] = None,
     ) -> None:
+        """Append one iteration record; ``now`` overrides the timestamp
+        source (the local backend passes its wall clock — the simulated
+        clock does not advance on that path)."""
         loss = self.evaluate_loss() if evaluate else None
         if loss is not None and not np.isfinite(loss):
             raise TrainingError(
@@ -750,7 +788,7 @@ class ColumnSGDDriver:
         result.add(
             IterationRecord(
                 iteration=iteration,
-                sim_time=self.cluster.clock.now(),
+                sim_time=self.cluster.clock.now() if now is None else now,
                 duration=duration,
                 loss=loss,
                 bytes_sent=bytes_sent,

@@ -4,7 +4,9 @@ One :class:`RoundEngine` executes a trainer's
 :class:`~repro.engine.spec.RoundSpec` round by round: it schedules each
 phase on an :class:`~repro.engine.events.EventQueue` at the offset its
 dependencies dictate, runs compute executors on the trainer, emits
-communication through the simulated :class:`StarTopology` primitives,
+communication through the :class:`~repro.runtime.Runtime` transport
+surface (clock + gather/broadcast/allreduce + traffic counters — the
+simulated star topology behind :class:`~repro.runtime.SimRuntime`),
 lets the spec's :class:`~repro.engine.policy.SyncPolicy` resolve
 synchronized phases and the round duration, and records one
 :class:`~repro.engine.trace.PhaseEvent` per phase.
@@ -28,7 +30,6 @@ from repro.engine.events import EventQueue
 from repro.engine.spec import CommPhase, ComputePhase, MasterPhase, RoundSpec
 from repro.engine.trace import EngineTrace, PhaseEvent
 from repro.net.message import MessageKind
-from repro.net.topology import allreduce_time
 
 
 class RoundContext:
@@ -76,7 +77,15 @@ class RoundOutcome:
 
 
 class RoundEngine:
-    """Execute a trainer's RoundSpec on the simulated cluster.
+    """Execute a trainer's RoundSpec on an execution runtime.
+
+    The engine talks to the substrate only through the
+    :class:`~repro.runtime.Runtime` surface; by default it uses the
+    cluster's :attr:`~repro.sim.cluster.SimulatedCluster.runtime`
+    (a :class:`~repro.runtime.SimRuntime`), which forwards every call
+    to the same topology/clock objects the engine used to touch
+    directly — so trajectories are bit-identical to the pre-runtime
+    code path.  Pass ``runtime=`` to substitute another backend.
 
     Construction attaches a fresh :class:`EngineTrace` to
     ``cluster.engine_trace`` (replacing any previous run's trace;
@@ -85,9 +94,10 @@ class RoundEngine:
 
     def __init__(self, trainer, cluster, spec: Optional[RoundSpec] = None,
                  straggler=None, check_effects: bool = False,
-                 check_cost: bool = False):
+                 check_cost: bool = False, runtime=None):
         self.trainer = trainer
         self.cluster = cluster
+        self.runtime = runtime if runtime is not None else cluster.runtime
         self.spec = spec if spec is not None else trainer.round_spec()
         self.straggler = straggler
         self.trace = EngineTrace(system=self.spec.system)
@@ -116,7 +126,7 @@ class RoundEngine:
         ctx.sync = sync
         sync.before_round(ctx)
 
-        round_start = self.cluster.clock.now()
+        round_start = self.runtime.clock.now()
         queue = EventQueue()
         ends: Dict[str, float] = {}
         phase_seconds: Dict[str, float] = {}
@@ -200,32 +210,32 @@ class RoundEngine:
 
     def _execute_comm(self, phase: CommPhase, ctx, expected, trainer=None) -> float:
         trainer = trainer if trainer is not None else self.trainer
-        topology = self.cluster.topology
+        runtime = self.runtime
         sizes = getattr(trainer, phase.sizes)(ctx)
         if phase.pattern == "gather":
             sizes = [int(s) for s in sizes]
-            seconds = topology.gather(phase.kind, sizes)
+            seconds = runtime.gather(phase.kind, sizes)
             self._expect(expected, phase.kind, len(sizes), sum(sizes))
         elif phase.pattern == "sharded_gather":
             sizes = [int(s) for s in sizes]
             servers = getattr(trainer, phase.servers)
-            seconds = topology.sharded_gather(phase.kind, sizes, servers)
+            seconds = runtime.sharded_gather(phase.kind, sizes, servers)
             self._expect(expected, phase.kind, len(sizes), sum(sizes))
         elif phase.pattern == "broadcast":
             size = int(sizes)
-            seconds = topology.broadcast(phase.kind, size)
-            self._expect(expected, phase.kind, topology.n_workers,
-                         topology.n_workers * size)
+            seconds = runtime.broadcast(phase.kind, size)
+            self._expect(expected, phase.kind, runtime.n_workers,
+                         runtime.n_workers * size)
         elif phase.pattern == "sharded_broadcast":
             size = int(sizes)
             servers = getattr(trainer, phase.servers)
-            seconds = topology.sharded_broadcast(phase.kind, size, servers)
-            self._expect(expected, phase.kind, topology.n_workers,
-                         topology.n_workers * size)
+            seconds = runtime.sharded_broadcast(phase.kind, size, servers)
+            self._expect(expected, phase.kind, runtime.n_workers,
+                         runtime.n_workers * size)
         else:  # allreduce
             size = int(sizes)
-            n = topology.n_workers
-            seconds = allreduce_time(self.cluster.network, size, n)
+            n = runtime.n_workers
+            seconds = runtime.allreduce(phase.kind, size)
             steps = 2 * (n - 1)
             if steps:
                 self._expect(expected, phase.kind, steps, steps * int(size / n))
@@ -246,7 +256,7 @@ class RoundEngine:
         duplicate), at least zero.  On a lossless network no envelope is
         added and any stray RETRY message is flagged as undeclared.
         """
-        plan = getattr(self.cluster.network, "fault_plan", None)
+        plan = getattr(self.runtime.network, "fault_plan", None)
         if plan is None or not plan.any_faults():
             return
         from repro.net.protocol import TrafficEnvelope

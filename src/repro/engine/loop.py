@@ -33,6 +33,12 @@ def run_training_loop(
     to the trainer's result; ``handle_failures(t)``, when given, runs
     *before* the round and returns extra recovery seconds;
     ``should_stop()`` is consulted only at evaluation points.
+
+    ``cluster`` is any execution substrate exposing ``clock`` and
+    ``network`` — a :class:`~repro.sim.cluster.SimulatedCluster` (whose
+    clock advances by modeled seconds) or a
+    :class:`~repro.runtime.LocalRuntime` (whose clock accumulates
+    measured wall seconds); the loop's scaffolding is identical.
     """
     for t in range(iterations):
         bytes_before = cluster.network.total_bytes()

@@ -54,14 +54,25 @@ from repro.lint.rules import (
 #: sources or carriers (they are the sanctioned boundary R001 points to).
 SANCTIONED_MODULES = ("repro.utils.rng",)
 
+#: The local execution backend *measures* wall-clock time by contract —
+#: that is its whole job (``runtime.measure``/``run_all`` time real
+#: worker processes).  Protocol-path trainers may call into it without
+#: tripping R008; what stays forbidden is importing ``time`` themselves
+#: or reaching it through any other module.
+WALLCLOCK_SANCTIONED_MODULES = SANCTIONED_MODULES + ("repro.runtime.local",)
+
 #: The byte-model ground truth: R009 trusts this module, never recurses
 #: into it, and never flags literals inside it.
 SERIALIZATION_MODULE = "repro.storage.serialization"
 
 #: Import-layering contract (R011): modules in a pure layer must never
-#: reach a simulator layer through the import graph.
+#: reach a simulator layer through the import graph, and execution
+#: backends (the ``runtime`` layer) must never reach the trainers they
+#: serve — the runtime moves opaque bytes and measures time; knowing
+#: *whose* bytes would invert the plug-in relationship.
 PURE_LAYERS = ("models", "linalg", "optim")
-SIMULATOR_LAYERS = ("sim", "net", "core", "engine")
+SIMULATOR_LAYERS = ("sim", "net", "core", "engine", "runtime")
+TRAINER_LAYERS = ("core", "baselines", "extensions")
 
 #: Attribute-call fallback resolution gives up beyond this many
 #: same-named candidates — over-linking ubiquitous names would make the
@@ -418,11 +429,17 @@ class TaintAnalysis:
     into an already-tainted function — enough to render the full path.
     """
 
-    def __init__(self, index: ProgramIndex, matcher) -> None:
+    def __init__(
+        self,
+        index: ProgramIndex,
+        matcher,
+        sanctioned: Sequence[str] = SANCTIONED_MODULES,
+    ) -> None:
         self.index = index
+        self.sanctioned = tuple(sanctioned)
         self.witness: Dict[FunctionInfo, tuple] = {}
         for func in index.functions:
-            if func.module.name in SANCTIONED_MODULES:
+            if func.module.name in self.sanctioned:
                 continue
             for call, chain in func.calls:
                 dotted = index.external_name(chain, func.module)
@@ -432,7 +449,7 @@ class TaintAnalysis:
         while changed:
             changed = False
             for func in index.functions:
-                if func in self.witness or func.module.name in SANCTIONED_MODULES:
+                if func in self.witness or func.module.name in self.sanctioned:
                     continue
                 for call, chain in func.calls:
                     for callee in index.resolve_call(chain, func, func.module):
@@ -532,14 +549,17 @@ class _ReachabilityRule(ProgramRule):
 
     source_matcher = staticmethod(lambda dotted: False)
     source_word = "source"
+    sanctioned_modules: Tuple[str, ...] = SANCTIONED_MODULES
 
     def run(self) -> None:
-        taint = TaintAnalysis(self.index, self.source_matcher)
+        taint = TaintAnalysis(
+            self.index, self.source_matcher, sanctioned=self.sanctioned_modules
+        )
         for func in self.index.functions:
             ctx = func.module.ctx
             if not ctx.in_protocol_path() or ctx.is_test_code():
                 continue
-            if func.module.name in SANCTIONED_MODULES:
+            if func.module.name in self.sanctioned_modules:
                 continue
             for call, chain in func.calls:
                 for callee in self.index.resolve_call(chain, func, func.module):
@@ -588,9 +608,14 @@ class WallclockReachabilityRule(_ReachabilityRule):
     rule_id = "R008"
     title = "wall-clock source reachable from protocol path"
     severity = "error"
-    fix_hint = "advance repro.sim.clock.SimClock with cost-model durations instead"
+    fix_hint = (
+        "advance repro.sim.clock.SimClock with cost-model durations, or "
+        "measure through repro.runtime.local (the sanctioned wall-clock "
+        "boundary)"
+    )
     source_matcher = staticmethod(_is_wallclock_source)
     source_word = "wall-clock source"
+    sanctioned_modules = WALLCLOCK_SANCTIONED_MODULES
 
 
 # ----------------------------------------------------------------------
@@ -1177,17 +1202,24 @@ class ProtocolDriftRule(ProgramRule):
 # ----------------------------------------------------------------------
 @register_program
 class ImportLayeringRule(ProgramRule):
-    """R011: pure layers must not import simulator layers.
+    """R011: the import graph must respect the layer contracts.
 
-    ``models``/``linalg``/``optim`` hold the paper's *math*; ``sim``/
-    ``net``/``core`` hold the simulated *system*.  The exactness tests
-    compare the two, which is only meaningful while the math cannot
-    observe the machinery it is compared against.  Checked transitively
-    over the import graph of the analysed file set.
+    Two contracts, both checked transitively over the import graph of
+    the analysed file set:
+
+    * **pure -> simulator**: ``models``/``linalg``/``optim`` hold the
+      paper's *math*; ``sim``/``net``/``core``/``engine``/``runtime``
+      hold the executing *system*.  The exactness tests compare the
+      two, which is only meaningful while the math cannot observe the
+      machinery it is compared against.
+    * **runtime -> trainer**: execution backends (``runtime``) move
+      opaque bytes and measure time for *any* trainer; importing
+      ``core``/``baselines``/``extensions`` would weld a backend to one
+      algorithm and break the plug-in boundary in the other direction.
     """
 
     rule_id = "R011"
-    title = "pure layer imports a simulator layer"
+    title = "module import crosses a layer boundary"
     severity = "error"
     fix_hint = "invert the dependency: sim/net/core may import models/linalg/optim, never the reverse"
 
@@ -1197,11 +1229,29 @@ class ImportLayeringRule(ProgramRule):
         return parts[1] if parts[0] == "repro" and len(parts) > 1 else None
 
     def run(self) -> None:
+        self._check(
+            PURE_LAYERS,
+            SIMULATOR_LAYERS,
+            self.fix_hint,
+        )
+        self._check(
+            ("runtime",),
+            TRAINER_LAYERS,
+            "keep the backend algorithm-agnostic: trainers import "
+            "repro.runtime, never the reverse",
+        )
+
+    def _check(
+        self,
+        from_layers: Sequence[str],
+        to_layers: Sequence[str],
+        fix_hint: str,
+    ) -> None:
         for module in self.index.modules:
-            if self._layer_of(module.name) not in PURE_LAYERS:
+            if self._layer_of(module.name) not in from_layers:
                 continue
             for target, node in module.import_edges:
-                chain = self._path_to_simulator(target)
+                chain = self._path_to_layer(target, to_layers)
                 if chain is not None:
                     via = " -> ".join([module.name] + chain)
                     self.report(
@@ -1210,10 +1260,13 @@ class ImportLayeringRule(ProgramRule):
                         "{} layer module reaches {} layer: {}".format(
                             self._layer_of(module.name), self._layer_of(chain[-1]), via
                         ),
+                        fix_hint=fix_hint,
                     )
 
-    def _path_to_simulator(self, target: str) -> Optional[List[str]]:
-        """Shortest import chain from ``target`` into a simulator layer."""
+    def _path_to_layer(
+        self, target: str, layers: Sequence[str]
+    ) -> Optional[List[str]]:
+        """Shortest import chain from ``target`` into one of ``layers``."""
         queue: List[Tuple[str, List[str]]] = [(target, [target])]
         seen: Set[str] = set()
         while queue:
@@ -1221,7 +1274,7 @@ class ImportLayeringRule(ProgramRule):
             if name in seen or len(chain) > 10:
                 continue
             seen.add(name)
-            if self._layer_of(name) in SIMULATOR_LAYERS:
+            if self._layer_of(name) in layers:
                 return chain
             module = self.index.by_name.get(name)
             if module is None:

@@ -61,6 +61,12 @@ class DeterminismRule(Rule):
     def applies(self) -> bool:
         return not self.ctx.is_module("utils", "rng") and not self.ctx.is_test_code()
 
+    def _measures_wallclock(self) -> bool:
+        """The local execution backend times real worker processes —
+        wall-clock measurement is its contract (the RNG checks still
+        apply to it).  Mirrors R008's sanctioned-module list."""
+        return self.ctx.is_module("runtime", "local")
+
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             if alias.name == "random" or alias.name.startswith("random."):
@@ -77,7 +83,7 @@ class DeterminismRule(Rule):
                     node,
                     "import of numpy.random entropy source(s) {}".format(bad),
                 )
-        elif module == "time":
+        elif module == "time" and not self._measures_wallclock():
             bad = [a.name for a in node.names if a.name in WALLCLOCK_TIME_FUNCS]
             if bad:
                 self.report(node, "import of wall-clock function(s) {}".format(bad))
@@ -95,12 +101,18 @@ class DeterminismRule(Rule):
         elif chain[0] == "random" and len(chain) >= 2:
             self.report(node, "call to {} — global-state RNG".format(".".join(chain)))
         elif chain[0] == "time" and len(chain) == 2 and chain[1] in WALLCLOCK_TIME_FUNCS:
-            self.report(node, "call to {} — wall-clock entropy".format(".".join(chain)))
+            if not self._measures_wallclock():
+                self.report(
+                    node, "call to {} — wall-clock entropy".format(".".join(chain))
+                )
         elif (
             chain[0] in ("datetime", "date")
             and chain[-1] in DATETIME_NOW_FUNCS
         ):
-            self.report(node, "call to {} — wall-clock entropy".format(".".join(chain)))
+            if not self._measures_wallclock():
+                self.report(
+                    node, "call to {} — wall-clock entropy".format(".".join(chain))
+                )
 
 
 @register

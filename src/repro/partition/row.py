@@ -64,12 +64,39 @@ class RowPartitioner:
         Deterministic in (base seed, iteration, worker); sampling is with
         replacement, matching the column side's index semantics.
         """
-        share = self.batch_share(batch_size, worker)
-        shard = self._shards[worker]
-        if share == 0:
-            return shard.take(np.empty(0, dtype=np.int64))
-        rng = rng_from_seed(
-            iteration_seed(self.base_seed + 7919 * (worker + 1), iteration)
+        return sample_shard_batch(
+            self._shards[worker],
+            base_seed=self.base_seed,
+            iteration=iteration,
+            batch_size=batch_size,
+            worker=worker,
+            n_workers=self.n_workers,
         )
-        rows = rng.integers(0, shard.n_rows, size=share)
-        return shard.take(rows)
+
+
+def sample_shard_batch(
+    shard: Dataset,
+    *,
+    base_seed: int,
+    iteration: int,
+    batch_size: int,
+    worker: int,
+    n_workers: int,
+) -> Dataset:
+    """Draw worker ``worker``'s share of a batch from its own shard.
+
+    The standalone form of :meth:`RowPartitioner.sample_local_batch`: a
+    worker holding only its shard (e.g. a local-backend worker process)
+    reproduces the partitioner's draws exactly from
+    ``(base_seed, iteration, worker)`` — the single source of truth for
+    RowSGD batch routing on every backend.
+    """
+    check_positive(batch_size, "batch_size")
+    check_positive(n_workers, "n_workers")
+    base, extra = divmod(batch_size, n_workers)
+    share = base + (1 if worker < extra else 0)
+    if share == 0:
+        return shard.take(np.empty(0, dtype=np.int64))
+    rng = rng_from_seed(iteration_seed(base_seed + 7919 * (worker + 1), iteration))
+    rows = rng.integers(0, shard.n_rows, size=share)
+    return shard.take(rows)

@@ -1,0 +1,63 @@
+"""The simulated backend: a Runtime adapter over the ``sim`` + ``net`` stack.
+
+:class:`SimRuntime` owns nothing — it forwards every call to the
+:class:`~repro.sim.cluster.SimulatedCluster` it wraps (clock to
+:class:`~repro.sim.clock.SimClock`, transport to
+:class:`~repro.net.topology.StarTopology` and
+:func:`~repro.net.topology.allreduce_time`), so a run through the
+runtime layer is *bit-identical* to the pre-runtime code path: the same
+messages hit the same :class:`~repro.net.network.NetworkModel` in the
+same order and the same floats come back.  The golden-trajectory suite
+pins this down.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.net.message import MessageKind
+from repro.net.topology import allreduce_time
+from repro.runtime.base import Runtime
+
+
+class SimRuntime(Runtime):
+    """Execution substrate backed by the discrete-event simulator."""
+
+    name = "sim"
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    @property
+    def n_workers(self) -> int:
+        return self.cluster.n_workers
+
+    @property
+    def clock(self):
+        return self.cluster.clock
+
+    @property
+    def network(self):
+        return self.cluster.network
+
+    # ------------------------------------------------------------------
+    def gather(self, kind: MessageKind, sizes: Sequence[int]) -> float:
+        return self.cluster.topology.gather(kind, sizes)
+
+    def broadcast(self, kind: MessageKind, size: int) -> float:
+        return self.cluster.topology.broadcast(kind, size)
+
+    def sharded_gather(
+        self, kind: MessageKind, sizes: Sequence[int], n_servers: int
+    ) -> float:
+        return self.cluster.topology.sharded_gather(kind, sizes, n_servers)
+
+    def sharded_broadcast(
+        self, kind: MessageKind, size: int, n_servers: int
+    ) -> float:
+        return self.cluster.topology.sharded_broadcast(kind, size, n_servers)
+
+    def allreduce(self, kind: MessageKind, size: int) -> float:
+        # The simulated ring hardcodes MODEL_AVG framing inside
+        # allreduce_time; ``kind`` is accepted for interface symmetry.
+        return allreduce_time(self.cluster.network, size, self.n_workers)

@@ -102,6 +102,7 @@ class SimulatedCluster:
         #: :class:`repro.engine.RoundEngine` (kept as a plain attribute so
         #: the sim layer does not import the engine layer)
         self.engine_trace = None
+        self._runtime = None
         self._memory: Dict[int, float] = {self.MASTER: 0.0}
         self._memory.update({w: 0.0 for w in range(spec.n_workers)})
         self._memory_peak: Dict[int, float] = dict(self._memory)
@@ -110,6 +111,21 @@ class SimulatedCluster:
     def n_workers(self) -> int:
         """Number of workers K."""
         return self.spec.n_workers
+
+    @property
+    def runtime(self):
+        """This cluster's :class:`~repro.runtime.SimRuntime` adapter.
+
+        Cached and stateless: it forwards to the very clock/topology
+        objects above, so engine rounds through the runtime surface are
+        bit-identical to direct topology calls.  Imported lazily to keep
+        the sim layer importable without the runtime package.
+        """
+        if self._runtime is None:
+            from repro.runtime.sim import SimRuntime
+
+            self._runtime = SimRuntime(self)
+        return self._runtime
 
     def workers(self) -> range:
         """Iterable of worker ids."""

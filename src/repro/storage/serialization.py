@@ -1,4 +1,4 @@
-"""Byte-size model for everything that crosses the simulated network.
+"""Byte-size model — and real codec — for everything that crosses the wire.
 
 The paper's Fig 7 result (block dispatch beats naive row-by-row dispatch
 by 3.2-7.1x) is entirely a serialization story: sending K small objects
@@ -7,10 +7,24 @@ pays one overhead per block and compresses away the per-row headers.  We
 model that with a flat per-object overhead (JVM serialization headers,
 class descriptors) plus per-payload bytes.
 
-All functions return integer byte counts.
+The size functions return integer byte counts.  The codec half of this
+module (``encode_payload`` / ``decode_payload``) turns the model into a
+real wire format: every encoded payload starts with a 64-byte header —
+exactly :data:`OBJECT_OVERHEAD_BYTES` — followed by raw array bytes at
+the model's :data:`INDEX_BYTES` / :data:`VALUE_BYTES` widths, so
+``len(encode_payload(p))`` equals the corresponding size function *by
+construction*.  The multiprocess backend
+(:mod:`repro.runtime.local`) ships these bytes through real pipes,
+which is how Table-I accounting stays exact for measured traffic too.
 """
 
 from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
 
 from repro.utils.validation import check_non_negative
 
@@ -72,3 +86,237 @@ def workset_bytes(n_rows: int, nnz: int) -> int:
     unaffected.
     """
     return 8 + csr_matrix_bytes(n_rows, nnz, with_labels=True)
+
+
+def int_vector_bytes(count: int) -> int:
+    """Serialized size of an int64 id list (assignments, control frames).
+
+    ``count == 0`` degenerates to the bare per-object overhead — the
+    size the recovery layer charges for a HEARTBEAT probe.
+    """
+    check_non_negative(count, "count")
+    return OBJECT_OVERHEAD_BYTES + count * 8
+
+
+# ======================================================================
+# the codec: byte-model-exact wire encoding
+# ======================================================================
+#: header layout: magic, version, payload-type code, flags, reserved,
+#: then four uint64 shape fields; zero-padded to OBJECT_OVERHEAD_BYTES.
+_HEADER_STRUCT = struct.Struct("<4sBBH4Q")
+_HEADER_MAGIC = b"RPRO"
+_HEADER_VERSION = 1
+_HEADER_PAD = OBJECT_OVERHEAD_BYTES - _HEADER_STRUCT.size
+
+_TYPE_DENSE = 1
+_TYPE_SPARSE = 2
+_TYPE_CSR = 3
+_TYPE_WORKSET = 4
+_TYPE_INTS = 5
+
+_FLAG_FP32 = 0x01
+_FLAG_LABELS = 0x02
+
+#: value widths the codec writes, keyed by wire precision.
+WIRE_PRECISIONS = ("fp64", "fp32")
+
+
+@dataclass(frozen=True)
+class DenseVectorPayload:
+    """A dense float vector (models, statistics, gradients).
+
+    ``precision='fp32'`` writes values as float32 — the honest model of
+    the driver's ``wire_precision`` knob: the payload halves *and* a
+    decode returns the float32-rounded values, exactly like
+    ``ColumnSGDDriver._through_wire``.
+    """
+
+    values: np.ndarray
+    precision: str = "fp64"
+
+    def __post_init__(self):
+        if self.precision not in WIRE_PRECISIONS:
+            raise ValueError(
+                "unknown precision {!r}; expected one of {}".format(
+                    self.precision, WIRE_PRECISIONS
+                )
+            )
+
+    @property
+    def value_bytes(self) -> int:
+        """Bytes per value on the wire."""
+        return 4 if self.precision == "fp32" else VALUE_BYTES
+
+    def encoded_bytes(self) -> int:
+        """Model size of this payload (what ``len(encode)`` will be)."""
+        return OBJECT_OVERHEAD_BYTES + self.values.size * self.value_bytes
+
+
+@dataclass(frozen=True)
+class SparseVectorPayload:
+    """An (indices, values) sparse vector."""
+
+    indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self):
+        if self.indices.shape != self.values.shape:
+            raise ValueError("indices and values must have equal length")
+
+    def encoded_bytes(self) -> int:
+        return sparse_vector_bytes(int(self.indices.size))
+
+
+@dataclass(frozen=True)
+class CSRBlockPayload:
+    """One CSR block (indptr, indices, data), optionally with labels."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    labels: Optional[np.ndarray] = None
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.indptr.size) - 1
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def encoded_bytes(self) -> int:
+        return csr_matrix_bytes(
+            self.n_rows, self.nnz, with_labels=self.labels is not None
+        )
+
+
+@dataclass(frozen=True)
+class WorksetPayload:
+    """A shipped workset: (block id, labelled CSR piece)."""
+
+    block_id: int
+    block: CSRBlockPayload = field()
+
+    def __post_init__(self):
+        if self.block.labels is None:
+            raise ValueError("worksets always carry labels (see workset_bytes)")
+
+    def encoded_bytes(self) -> int:
+        return workset_bytes(self.block.n_rows, self.block.nnz)
+
+
+@dataclass(frozen=True)
+class IntVectorPayload:
+    """An int64 id list (block assignments, control/heartbeat frames)."""
+
+    values: np.ndarray
+
+    def encoded_bytes(self) -> int:
+        return int_vector_bytes(int(self.values.size))
+
+
+def _header(type_code: int, flags: int, a: int = 0, b: int = 0,
+            c: int = 0, d: int = 0) -> bytes:
+    packed = _HEADER_STRUCT.pack(
+        _HEADER_MAGIC, _HEADER_VERSION, type_code, flags, a, b, c, d
+    )
+    return packed + b"\x00" * _HEADER_PAD
+
+
+def encode_payload(payload) -> bytes:
+    """Encode a payload dataclass into its exact byte-model length.
+
+    The invariant the codec tests pin down:
+    ``len(encode_payload(p)) == p.encoded_bytes()`` for every payload
+    type, with ``encoded_bytes`` defined by the size functions above —
+    so real pipes move exactly the bytes the simulator charges.
+    """
+    if isinstance(payload, DenseVectorPayload):
+        flags = _FLAG_FP32 if payload.precision == "fp32" else 0
+        dtype = "<f4" if payload.precision == "fp32" else "<f8"
+        body = np.ascontiguousarray(payload.values.ravel(), dtype=dtype).tobytes()
+        return _header(_TYPE_DENSE, flags, payload.values.size) + body
+    if isinstance(payload, SparseVectorPayload):
+        idx = np.ascontiguousarray(payload.indices.ravel(), dtype="<i4").tobytes()
+        val = np.ascontiguousarray(payload.values.ravel(), dtype="<f8").tobytes()
+        return _header(_TYPE_SPARSE, 0, payload.indices.size) + idx + val
+    if isinstance(payload, CSRBlockPayload):
+        flags = _FLAG_LABELS if payload.labels is not None else 0
+        parts = [
+            _header(_TYPE_CSR, flags, payload.n_rows, payload.nnz),
+            np.ascontiguousarray(payload.indptr.ravel(), dtype="<i4").tobytes(),
+            np.ascontiguousarray(payload.indices.ravel(), dtype="<i4").tobytes(),
+            np.ascontiguousarray(payload.data.ravel(), dtype="<f8").tobytes(),
+        ]
+        if payload.labels is not None:
+            parts.append(
+                np.ascontiguousarray(payload.labels.ravel(), dtype="<f8").tobytes()
+            )
+        return b"".join(parts)
+    if isinstance(payload, WorksetPayload):
+        return (
+            struct.pack("<q", int(payload.block_id))
+            + encode_payload(payload.block)
+        )
+    if isinstance(payload, IntVectorPayload):
+        body = np.ascontiguousarray(payload.values.ravel(), dtype="<i8").tobytes()
+        return _header(_TYPE_INTS, 0, payload.values.size) + body
+    raise TypeError("cannot encode payload of type {}".format(type(payload).__name__))
+
+
+def decode_payload(data: bytes):
+    """Decode bytes produced by :func:`encode_payload`.
+
+    Dense fp32 payloads decode back to float64 values that went through
+    float32 rounding — the same semantics the simulated wire applies.
+    """
+    if len(data) >= 8 + OBJECT_OVERHEAD_BYTES and data[8:12] == _HEADER_MAGIC:
+        (block_id,) = struct.unpack_from("<q", data, 0)
+        return WorksetPayload(block_id=block_id, block=decode_payload(data[8:]))
+    if len(data) < OBJECT_OVERHEAD_BYTES:
+        raise ValueError("truncated payload: {} byte(s)".format(len(data)))
+    magic, version, type_code, flags, a, b, _c, _d = _HEADER_STRUCT.unpack_from(
+        data, 0
+    )
+    if magic != _HEADER_MAGIC:
+        raise ValueError("bad payload magic {!r}".format(magic))
+    if version != _HEADER_VERSION:
+        raise ValueError("unsupported codec version {}".format(version))
+    body = data[OBJECT_OVERHEAD_BYTES:]
+    if type_code == _TYPE_DENSE:
+        if flags & _FLAG_FP32:
+            values = np.frombuffer(body, dtype="<f4", count=a).astype(np.float64)
+            return DenseVectorPayload(values=values, precision="fp32")
+        values = np.frombuffer(body, dtype="<f8", count=a).astype(np.float64)
+        return DenseVectorPayload(values=values, precision="fp64")
+    if type_code == _TYPE_SPARSE:
+        indices = np.frombuffer(body, dtype="<i4", count=a).astype(np.int32)
+        values = np.frombuffer(body, dtype="<f8", offset=a * 4, count=a).astype(
+            np.float64
+        )
+        return SparseVectorPayload(indices=indices, values=values)
+    if type_code == _TYPE_CSR:
+        n_rows, nnz = a, b
+        offset = 0
+        indptr = np.frombuffer(body, dtype="<i4", count=n_rows + 1).astype(np.int32)
+        offset += (n_rows + 1) * 4
+        indices = np.frombuffer(body, dtype="<i4", offset=offset, count=nnz).astype(
+            np.int32
+        )
+        offset += nnz * 4
+        data_vals = np.frombuffer(body, dtype="<f8", offset=offset, count=nnz).astype(
+            np.float64
+        )
+        offset += nnz * 8
+        labels = None
+        if flags & _FLAG_LABELS:
+            labels = np.frombuffer(
+                body, dtype="<f8", offset=offset, count=n_rows
+            ).astype(np.float64)
+        return CSRBlockPayload(
+            indptr=indptr, indices=indices, data=data_vals, labels=labels
+        )
+    if type_code == _TYPE_INTS:
+        values = np.frombuffer(body, dtype="<i8", count=a).astype(np.int64)
+        return IntVectorPayload(values=values)
+    raise ValueError("unknown payload type code {}".format(type_code))

@@ -1,0 +1,13 @@
+"""R011 trigger: a runtime-layer backend importing a trainer.
+
+The directory layout puts this file at ``repro/runtime/...`` so the
+analysis assigns it to the ``runtime`` layer; the import below reaches
+the ``core`` trainer layer directly, welding the backend to one
+algorithm.
+"""
+
+from repro.core.driver import ColumnSGDDriver
+
+
+def make_driver(model, optimizer, cluster):
+    return ColumnSGDDriver(model, optimizer, cluster)

@@ -1,0 +1,12 @@
+"""R011 pass: a runtime-layer backend importing only transport layers.
+
+Backends may use the message vocabulary and the network accounting —
+those are the substrate they implement — just never the trainers that
+ride on them.
+"""
+
+from repro.net.message import Message
+
+
+def account(kind, size):
+    return Message(kind, 0, -1, size)

@@ -69,9 +69,13 @@ def test_trigger_counts():
 def test_layering_fixture():
     engine = LintEngine(select=["R011"])
     findings = engine.lint_paths([str(PROGRAM_FIXTURES / "layering")])
-    assert [f.rule_id for f in findings] == ["R011"]
-    assert findings[0].path.endswith("bad_model.py")
-    assert "repro.sim.clock" in findings[0].message
+    assert [f.rule_id for f in findings] == ["R011", "R011"]
+    by_file = {Path(f.path).name: f for f in findings}
+    assert set(by_file) == {"bad_model.py", "bad_backend.py"}
+    assert "repro.sim.clock" in by_file["bad_model.py"].message
+    assert "repro.core.driver" in by_file["bad_backend.py"].message
+    assert "runtime layer" in by_file["bad_backend.py"].message
+    assert "good_backend" not in {Path(f.path).name for f in findings}
 
 
 def test_r009_reports_at_the_literal_line():
@@ -170,6 +174,44 @@ def test_sanctioned_rng_module_is_not_a_taint_source(tmp_path):
         encoding="utf-8",
     )
     assert LintEngine(select=["R007"]).lint_paths([str(tmp_path / "src")]) == []
+
+
+def test_sanctioned_runtime_local_is_not_a_wallclock_source(tmp_path):
+    """The local backend measures wall-clock by contract: trainer code
+    may call through repro.runtime.local without tripping R008, but any
+    other module owning a timer still taints its callers."""
+    pkg = tmp_path / "src" / "repro"
+    (pkg / "core").mkdir(parents=True)
+    (pkg / "runtime").mkdir()
+    (pkg / "utils").mkdir()
+    (pkg / "runtime" / "local.py").write_text(
+        "import time\n\n\ndef measure(fn):\n"
+        "    start = time.perf_counter()\n"
+        "    out = fn()\n"
+        "    return out, time.perf_counter() - start\n",
+        encoding="utf-8",
+    )
+    (pkg / "core" / "exec.py").write_text(
+        "from repro.runtime.local import measure\n\n\n"
+        "def run_round(step):\n    return measure(step)\n",
+        encoding="utf-8",
+    )
+    assert LintEngine(select=["R008"]).lint_paths([str(tmp_path / "src")]) == []
+    # ... while the same timer in an unsanctioned module still fires.
+    (pkg / "utils" / "stopwatch.py").write_text(
+        "import time\n\n\ndef elapsed(fn):\n"
+        "    start = time.perf_counter()\n"
+        "    fn()\n    return time.perf_counter() - start\n",
+        encoding="utf-8",
+    )
+    (pkg / "core" / "leaky.py").write_text(
+        "from repro.utils.stopwatch import elapsed\n\n\n"
+        "def run_round(step):\n    return elapsed(step)\n",
+        encoding="utf-8",
+    )
+    findings = LintEngine(select=["R008"]).lint_paths([str(tmp_path / "src")])
+    assert [f.rule_id for f in findings] == ["R008"]
+    assert findings[0].path.endswith("leaky.py")
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,154 @@
+"""Runtime-layer tests: the contract, the clock, and the sim adapter.
+
+The load-bearing property is adapter transparency: every SimRuntime
+call must produce the same seconds and the same network accounting as
+calling the ``sim``/``net`` stack directly, because the engine now goes
+through the runtime on every round (the golden-trajectory suite pins
+the end-to-end consequence; these tests pin each call).
+"""
+
+import pytest
+
+from repro.net.message import MessageKind
+from repro.net.topology import StarTopology, allreduce_time
+from repro.net.network import NetworkModel
+from repro.runtime import BACKENDS, Runtime, SimRuntime, WallClock
+from repro.sim import CLUSTER1, SimulatedCluster
+from repro.utils.rng import iteration_seed
+
+
+def make_cluster(workers=4):
+    return SimulatedCluster(CLUSTER1.with_workers(workers))
+
+
+# ----------------------------------------------------------------------
+# WallClock
+# ----------------------------------------------------------------------
+class TestWallClock:
+    def test_accumulates(self):
+        clock = WallClock()
+        assert clock.now() == 0.0
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.25) == 1.75
+        assert clock.now() == 1.75
+
+    def test_reset(self):
+        clock = WallClock(2.0)
+        clock.advance(1.0)
+        clock.reset()
+        assert clock.now() == 0.0
+        clock.reset(5.0)
+        assert clock.now() == 5.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            WallClock().advance(-0.1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            WallClock(-1.0)
+
+
+# ----------------------------------------------------------------------
+# the abstract contract
+# ----------------------------------------------------------------------
+class TestRuntimeContract:
+    def test_backends_names(self):
+        assert BACKENDS == ("sim", "local")
+
+    def test_abstract_runtime_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            Runtime()
+
+    def test_round_seed_is_iteration_seed(self):
+        runtime = SimRuntime(make_cluster())
+        for t in (0, 1, 17):
+            assert runtime.round_seed(123, t) == iteration_seed(123, t)
+
+    def test_context_manager_closes(self):
+        closed = []
+
+        class Probe(SimRuntime):
+            def close(self):
+                closed.append(True)
+
+        with Probe(make_cluster()) as runtime:
+            assert runtime.name == "sim"
+        assert closed == [True]
+
+    def test_repr_names_the_backend(self):
+        text = repr(SimRuntime(make_cluster(3)))
+        assert "sim" in text and "3" in text
+
+
+# ----------------------------------------------------------------------
+# SimRuntime: transparent adapter over the simulator stack
+# ----------------------------------------------------------------------
+class TestSimRuntimeTransparency:
+    def test_cluster_runtime_property_is_cached(self):
+        cluster = make_cluster()
+        runtime = cluster.runtime
+        assert isinstance(runtime, SimRuntime)
+        assert cluster.runtime is runtime
+        assert runtime.cluster is cluster
+
+    def test_delegates_clock_network_workers(self):
+        cluster = make_cluster(5)
+        runtime = cluster.runtime
+        assert runtime.n_workers == 5
+        assert runtime.clock is cluster.clock
+        assert runtime.network is cluster.network
+
+    def test_gather_matches_direct_topology_call(self):
+        sizes = [100, 200, 300, 400]
+        cluster = make_cluster()
+        direct = StarTopology(
+            NetworkModel(
+                bandwidth=cluster.network.bandwidth,
+                latency=cluster.network.latency,
+            ),
+            4,
+        )
+        expected = direct.gather(MessageKind.STATISTICS_PUSH, sizes)
+        got = cluster.runtime.gather(MessageKind.STATISTICS_PUSH, sizes)
+        assert got == expected
+        assert cluster.network.total_bytes() == sum(sizes)
+
+    def test_broadcast_matches_direct_topology_call(self):
+        cluster = make_cluster()
+        direct = StarTopology(
+            NetworkModel(
+                bandwidth=cluster.network.bandwidth,
+                latency=cluster.network.latency,
+            ),
+            4,
+        )
+        expected = direct.broadcast(MessageKind.STATISTICS_BCAST, 512)
+        got = cluster.runtime.broadcast(MessageKind.STATISTICS_BCAST, 512)
+        assert got == expected
+        assert cluster.network.total_bytes() == 4 * 512
+
+    def test_sharded_variants_delegate(self):
+        cluster = make_cluster()
+        runtime = cluster.runtime
+        t1 = runtime.sharded_gather(MessageKind.GRADIENT_PUSH, [64] * 4, 2)
+        t2 = runtime.sharded_broadcast(MessageKind.MODEL_PULL, 64, 2)
+        assert t1 > 0 and t2 > 0
+        assert cluster.network.total_bytes() == 4 * 64 + 4 * 64
+
+    def test_allreduce_matches_helper(self):
+        cluster = make_cluster()
+        reference = NetworkModel(
+            bandwidth=cluster.network.bandwidth, latency=cluster.network.latency
+        )
+        expected = allreduce_time(reference, 4096, 4)
+        got = cluster.runtime.allreduce(MessageKind.MODEL_AVG, 4096)
+        assert got == expected
+        assert cluster.network.total_bytes() == reference.total_bytes()
+
+    def test_barrier_is_a_noop(self):
+        cluster = make_cluster()
+        before = cluster.clock.now()
+        cluster.runtime.barrier()
+        assert cluster.clock.now() == before
+        assert cluster.network.total_bytes() == 0

@@ -1,0 +1,316 @@
+"""Local (multiprocess) backend tests.
+
+The acceptance property from the paper reproduction's point of view:
+one job seed must draw the same batches and produce the same model on
+every backend.  The simulator establishes the reference trajectory;
+these tests run the *same* job on real worker processes — statistics
+crossing real pipes through the codec — and require the final model to
+agree within 1e-9 (with the fp64 codec it agrees exactly).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import make_trainer
+from repro.core import ColumnSGDConfig, ColumnSGDDriver
+from repro.core.localexec import make_local_runtime
+from repro.datasets import make_classification
+from repro.errors import ConfigurationError, SimulationError
+from repro.models import LogisticRegression
+from repro.net.message import MessageKind
+from repro.optim import SGD
+from repro.runtime import LocalRuntime
+from repro.sim import CLUSTER1, SimulatedCluster
+
+WORKERS = 4
+ITERATIONS = 8
+BATCH = 32
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_classification(200, 80, nnz_per_row=10, seed=5)
+
+
+def make_driver(data, backend, processes=0, wire_precision="fp64", **extra):
+    cluster = SimulatedCluster(CLUSTER1.with_workers(WORKERS))
+    config = ColumnSGDConfig(
+        batch_size=BATCH,
+        iterations=ITERATIONS,
+        eval_every=4,
+        seed=3,
+        backend=backend,
+        local_processes=processes,
+        wire_precision=wire_precision,
+        check_protocol=True,
+        **extra,
+    )
+    driver = ColumnSGDDriver(
+        LogisticRegression(), SGD(0.5), cluster, config=config
+    )
+    driver.load(data)
+    return driver
+
+
+# ----------------------------------------------------------------------
+# cross-backend determinism (the acceptance criterion)
+# ----------------------------------------------------------------------
+class TestCrossBackendDeterminism:
+    def test_columnsgd_final_model_matches_sim(self, data):
+        sim_result = make_driver(data, "sim").fit()
+        local_result = make_driver(data, "local", processes=WORKERS).fit()
+        np.testing.assert_allclose(
+            local_result.final_params, sim_result.final_params, atol=1e-9
+        )
+        # ... and the real encoded bytes equal the simulator's byte model.
+        assert local_result.total_bytes() == sim_result.total_bytes()
+        assert local_result.final_loss() == pytest.approx(
+            sim_result.final_loss(), abs=1e-9
+        )
+
+    def test_batch_draws_identical_across_process_boundary(self, data):
+        """Every worker process holds its own TwoPhaseIndex copy; the
+        (seed, iteration) routing must give all of them — and the parent
+        — the same draw sequence, with no batch-index traffic."""
+        driver = make_driver(data, "local")
+        runtime, programs = make_local_runtime(driver)
+        runtime.start(programs)
+        try:
+            for t in (0, 1, 5):
+                expected = [
+                    tuple(map(int, d)) for d in driver._index.sample(t, BATCH)
+                ]
+                exchange = runtime.run_all("draws", args={"t": t})
+                for worker in range(WORKERS):
+                    draws = exchange.replies[worker].result["draws"]
+                    assert [tuple(d) for d in draws] == expected
+        finally:
+            runtime.close()
+
+    def test_process_packing_does_not_change_the_numbers(self, data):
+        """K logical workers on 2 processes == K processes, bit for bit
+        (each logical worker keeps its own program state)."""
+        spread = make_driver(data, "local", processes=WORKERS).fit()
+        packed = make_driver(data, "local", processes=2).fit()
+        np.testing.assert_array_equal(
+            packed.final_params, spread.final_params
+        )
+
+    def test_fp32_wire_matches_sim_exactly(self, data):
+        """The codec's float32 encode must round exactly like the
+        simulator's _through_wire."""
+        sim_result = make_driver(data, "sim", wire_precision="fp32").fit()
+        local_result = make_driver(data, "local", wire_precision="fp32").fit()
+        np.testing.assert_allclose(
+            local_result.final_params, sim_result.final_params, atol=1e-9
+        )
+        assert local_result.total_bytes() == sim_result.total_bytes()
+
+    def test_mllib_local_matches_sim(self, data):
+        results = {}
+        for backend in ("sim", "local"):
+            cluster = SimulatedCluster(CLUSTER1.with_workers(WORKERS))
+            trainer = make_trainer(
+                "mllib",
+                LogisticRegression(),
+                SGD(0.5),
+                cluster,
+                batch_size=BATCH,
+                iterations=ITERATIONS,
+                eval_every=4,
+                seed=3,
+                backend=backend,
+            )
+            trainer.load(data)
+            results[backend] = trainer.fit()
+        np.testing.assert_allclose(
+            results["local"].final_params,
+            results["sim"].final_params,
+            atol=1e-9,
+        )
+        assert results["local"].total_bytes() == results["sim"].total_bytes()
+
+
+# ----------------------------------------------------------------------
+# measured time and tracing
+# ----------------------------------------------------------------------
+class TestMeasuredRounds:
+    def test_local_rounds_report_wall_clock_time(self, data):
+        driver = make_driver(data, "local")
+        result = driver.fit()
+        assert result.avg_iteration_seconds() > 0.0
+        # simulated time would be identical across runs; wall-clock
+        # timestamps must be monotone within the run
+        times = [t for _, t, _ in result.losses()]
+        assert times == sorted(times)
+
+    def test_local_run_fills_the_engine_trace(self, data):
+        driver = make_driver(data, "local")
+        driver.fit()
+        trace = driver.cluster.engine_trace
+        assert trace is not None
+        phases = {e.phase for e in trace.events}
+        assert phases == {
+            "compute_statistics", "gather", "reduce", "broadcast",
+            "update_model",
+        }
+        assert {e.round for e in trace.events} == set(range(ITERATIONS))
+        assert all(e.end >= e.start for e in trace.events)
+
+
+# ----------------------------------------------------------------------
+# configuration validation
+# ----------------------------------------------------------------------
+class TestConfigValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ColumnSGDConfig(backend="bogus")
+
+    def test_negative_local_processes_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnSGDConfig(local_processes=-1)
+
+    def test_local_rejects_backup_computation(self):
+        with pytest.raises(ValueError, match="backup"):
+            ColumnSGDConfig(backend="local", backup=1)
+
+    def test_local_rejects_timeout_sync(self):
+        with pytest.raises(ValueError, match="barrier"):
+            ColumnSGDConfig(backend="local", sync_policy="timeout")
+
+    def test_local_rejects_engine_audits(self):
+        with pytest.raises(ValueError, match="check_effects"):
+            ColumnSGDConfig(backend="local", check_effects=True)
+        with pytest.raises(ValueError, match="check_effects"):
+            ColumnSGDConfig(backend="local", check_cost=True)
+
+    def test_local_rejects_failure_injection(self, data):
+        from repro.sim.failures import FailureInjector
+
+        cluster = SimulatedCluster(CLUSTER1.with_workers(WORKERS))
+        driver = ColumnSGDDriver(
+            LogisticRegression(),
+            SGD(0.5),
+            cluster,
+            config=ColumnSGDConfig(
+                batch_size=BATCH, iterations=ITERATIONS, seed=3, backend="local"
+            ),
+            failures=FailureInjector.worker_failure(iteration=2, worker_id=1),
+        )
+        driver.load(data)
+        with pytest.raises(ConfigurationError, match="failure injection"):
+            driver.fit()
+
+    def test_only_mllib_baseline_supports_local(self, data):
+        cluster = SimulatedCluster(CLUSTER1.with_workers(WORKERS))
+        trainer = make_trainer(
+            "petuum",
+            LogisticRegression(),
+            SGD(0.5),
+            cluster,
+            batch_size=BATCH,
+            iterations=ITERATIONS,
+            seed=3,
+            backend="local",
+        )
+        trainer.load(data)
+        with pytest.raises(ConfigurationError, match="simulator-only"):
+            trainer.fit()
+
+
+# ----------------------------------------------------------------------
+# LocalRuntime mechanics
+# ----------------------------------------------------------------------
+class EchoProgram:
+    """Test program: echoes args/payload; 'boom' raises remotely."""
+
+    def handle(self, op, args, payload):
+        if op == "boom":
+            raise RuntimeError("kaboom")
+        return {"echo": args.get("x")}, payload
+
+
+def started_runtime(workers=3, processes=2):
+    runtime = LocalRuntime(workers, processes=processes)
+    runtime.start({w: EchoProgram() for w in range(workers)})
+    return runtime
+
+
+class TestLocalRuntimeMechanics:
+    def test_run_all_reaches_every_logical_worker(self):
+        runtime = started_runtime()
+        try:
+            assert runtime.n_processes == 2
+            exchange = runtime.run_all("echo", args={"x": 7}, payload=b"abc")
+            assert sorted(exchange.replies) == [0, 1, 2]
+            assert all(r.result["echo"] == 7 for r in exchange.replies.values())
+            assert exchange.payloads() == {0: b"abc", 1: b"abc", 2: b"abc"}
+            assert exchange.seconds >= 0.0
+            assert exchange.comm_seconds() >= 0.0
+        finally:
+            runtime.close()
+
+    def test_per_worker_args_override_shared_args(self):
+        runtime = started_runtime()
+        try:
+            exchange = runtime.run_all(
+                "echo", args={"x": 0}, per_worker_args={2: {"x": 99}}
+            )
+            assert exchange.replies[0].result["echo"] == 0
+            assert exchange.replies[2].result["echo"] == 99
+        finally:
+            runtime.close()
+
+    def test_remote_exception_surfaces_as_simulation_error(self):
+        runtime = started_runtime()
+        try:
+            with pytest.raises(SimulationError, match="kaboom"):
+                runtime.run_all("boom")
+        finally:
+            runtime.close()
+
+    def test_transport_methods_account_without_advancing_time(self):
+        runtime = LocalRuntime(3)
+        assert runtime.gather(MessageKind.STATISTICS_PUSH, [10, 20, 30]) == 0.0
+        assert runtime.broadcast(MessageKind.STATISTICS_BCAST, 50) == 0.0
+        assert runtime.network.total_bytes() == 60 + 3 * 50
+        assert runtime.clock.now() == 0.0
+
+    def test_barrier_round_trips_every_process(self):
+        runtime = started_runtime()
+        try:
+            runtime.barrier()  # would raise if a process were dead
+        finally:
+            runtime.close()
+        runtime.barrier()  # no-op when not started
+
+    def test_run_all_requires_start(self):
+        with pytest.raises(SimulationError, match="not started"):
+            LocalRuntime(2).run_all("echo")
+
+    def test_start_twice_rejected(self):
+        runtime = started_runtime()
+        try:
+            with pytest.raises(SimulationError, match="already started"):
+                runtime.start({w: EchoProgram() for w in range(3)})
+        finally:
+            runtime.close()
+
+    def test_missing_worker_program_rejected(self):
+        runtime = LocalRuntime(3)
+        with pytest.raises(ConfigurationError, match="worker"):
+            runtime.start({0: EchoProgram()})
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(ConfigurationError, match="start_method"):
+            LocalRuntime(2, start_method="thread")
+
+    def test_close_is_idempotent(self):
+        runtime = started_runtime()
+        runtime.close()
+        runtime.close()
+
+    def test_measure_returns_result_and_seconds(self):
+        result, seconds = LocalRuntime(1).measure(lambda: 41 + 1)
+        assert result == 42
+        assert seconds >= 0.0

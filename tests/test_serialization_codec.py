@@ -1,0 +1,225 @@
+"""Codec tests: lossless round-trips and byte-model-exact lengths.
+
+The invariant the local backend rests on: for every payload type,
+``len(encode_payload(p)) == p.encoded_bytes()``, with ``encoded_bytes``
+defined by the same size functions the simulator charges — so the bytes
+that cross a real pipe are exactly the bytes the cost model predicts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.message import MessageKind
+from repro.storage.serialization import (
+    CSRBlockPayload,
+    DenseVectorPayload,
+    IntVectorPayload,
+    OBJECT_OVERHEAD_BYTES,
+    SparseVectorPayload,
+    WorksetPayload,
+    csr_matrix_bytes,
+    decode_payload,
+    dense_vector_bytes,
+    encode_payload,
+    int_vector_bytes,
+    sparse_vector_bytes,
+    workset_bytes,
+)
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+def make_csr(n_rows=6, nnz=17, with_labels=False, seed=7):
+    r = np.random.default_rng(seed)
+    splits = np.sort(r.integers(0, nnz + 1, size=n_rows - 1))
+    indptr = np.concatenate([[0], splits, [nnz]]).astype(np.int32)
+    return CSRBlockPayload(
+        indptr=indptr,
+        indices=r.integers(0, 100, size=nnz).astype(np.int32),
+        data=r.standard_normal(nnz),
+        labels=r.standard_normal(n_rows) if with_labels else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# round trips
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_dense_fp64_is_bit_exact(self):
+        values = rng().standard_normal(33)
+        out = decode_payload(encode_payload(DenseVectorPayload(values)))
+        assert out.precision == "fp64"
+        assert out.values.dtype == np.float64
+        np.testing.assert_array_equal(out.values, values)
+
+    def test_dense_fp32_rounds_like_the_simulated_wire(self):
+        values = rng().standard_normal(33)
+        payload = DenseVectorPayload(values, precision="fp32")
+        out = decode_payload(encode_payload(payload))
+        assert out.precision == "fp32"
+        # float64 values that went through float32 — _through_wire's rule
+        np.testing.assert_array_equal(
+            out.values, values.astype(np.float32).astype(np.float64)
+        )
+
+    def test_sparse(self):
+        r = rng()
+        payload = SparseVectorPayload(
+            indices=r.integers(0, 1000, size=21).astype(np.int32),
+            values=r.standard_normal(21),
+        )
+        out = decode_payload(encode_payload(payload))
+        np.testing.assert_array_equal(out.indices, payload.indices)
+        np.testing.assert_array_equal(out.values, payload.values)
+
+    @pytest.mark.parametrize("with_labels", (False, True))
+    def test_csr(self, with_labels):
+        payload = make_csr(with_labels=with_labels)
+        out = decode_payload(encode_payload(payload))
+        np.testing.assert_array_equal(out.indptr, payload.indptr)
+        np.testing.assert_array_equal(out.indices, payload.indices)
+        np.testing.assert_array_equal(out.data, payload.data)
+        if with_labels:
+            np.testing.assert_array_equal(out.labels, payload.labels)
+        else:
+            assert out.labels is None
+
+    def test_workset(self):
+        payload = WorksetPayload(block_id=42, block=make_csr(with_labels=True))
+        out = decode_payload(encode_payload(payload))
+        assert out.block_id == 42
+        np.testing.assert_array_equal(out.block.data, payload.block.data)
+        np.testing.assert_array_equal(out.block.labels, payload.block.labels)
+
+    def test_int_vector(self):
+        payload = IntVectorPayload(np.array([0, 5, 2**40, -3], dtype=np.int64))
+        out = decode_payload(encode_payload(payload))
+        assert out.values.dtype == np.int64
+        np.testing.assert_array_equal(out.values, payload.values)
+
+    def test_empty_vectors(self):
+        for payload in (
+            DenseVectorPayload(np.zeros(0)),
+            SparseVectorPayload(
+                np.zeros(0, dtype=np.int32), np.zeros(0, dtype=np.float64)
+            ),
+            IntVectorPayload(np.zeros(0, dtype=np.int64)),
+        ):
+            encoded = encode_payload(payload)
+            assert len(encoded) == OBJECT_OVERHEAD_BYTES
+            assert decode_payload(encoded).values.size == 0
+
+
+# ----------------------------------------------------------------------
+# the byte-model agreement
+# ----------------------------------------------------------------------
+class TestByteModel:
+    def test_dense_fp64(self):
+        p = DenseVectorPayload(rng().standard_normal(57))
+        assert len(encode_payload(p)) == p.encoded_bytes() == dense_vector_bytes(57)
+
+    def test_dense_fp32_halves_the_body(self):
+        p64 = DenseVectorPayload(rng().standard_normal(40))
+        p32 = DenseVectorPayload(p64.values, precision="fp32")
+        assert len(encode_payload(p32)) == p32.encoded_bytes()
+        assert len(encode_payload(p32)) - OBJECT_OVERHEAD_BYTES == (
+            len(encode_payload(p64)) - OBJECT_OVERHEAD_BYTES
+        ) // 2
+
+    def test_sparse(self):
+        r = rng()
+        p = SparseVectorPayload(
+            r.integers(0, 99, size=13).astype(np.int32), r.standard_normal(13)
+        )
+        assert len(encode_payload(p)) == p.encoded_bytes() == sparse_vector_bytes(13)
+
+    @pytest.mark.parametrize("with_labels", (False, True))
+    def test_csr(self, with_labels):
+        p = make_csr(n_rows=9, nnz=23, with_labels=with_labels)
+        assert (
+            len(encode_payload(p))
+            == p.encoded_bytes()
+            == csr_matrix_bytes(9, 23, with_labels=with_labels)
+        )
+
+    def test_workset(self):
+        p = WorksetPayload(block_id=3, block=make_csr(n_rows=9, nnz=23, with_labels=True))
+        assert len(encode_payload(p)) == p.encoded_bytes() == workset_bytes(9, 23)
+
+    def test_int_vector(self):
+        p = IntVectorPayload(np.arange(11, dtype=np.int64))
+        assert len(encode_payload(p)) == p.encoded_bytes() == int_vector_bytes(11)
+
+
+#: Every wire-bearing MessageKind has a codec representative: the
+#: payload shape that kind actually moves in the trainers.
+KIND_REPRESENTATIVES = {
+    MessageKind.MODEL_PULL: lambda: DenseVectorPayload(rng().standard_normal(80)),
+    MessageKind.GRADIENT_PUSH: lambda: DenseVectorPayload(rng().standard_normal(80)),
+    MessageKind.STATISTICS_PUSH: lambda: DenseVectorPayload(rng().standard_normal(64)),
+    MessageKind.STATISTICS_BCAST: lambda: DenseVectorPayload(rng().standard_normal(64)),
+    MessageKind.MODEL_AVG: lambda: DenseVectorPayload(rng().standard_normal(80)),
+    MessageKind.WORKSET: lambda: WorksetPayload(
+        block_id=1, block=make_csr(with_labels=True)
+    ),
+    MessageKind.BLOCK_ASSIGN: lambda: IntVectorPayload(np.arange(5, dtype=np.int64)),
+    MessageKind.CONTROL: lambda: IntVectorPayload(np.zeros(0, dtype=np.int64)),
+    MessageKind.RETRY: lambda: DenseVectorPayload(rng().standard_normal(64)),
+    MessageKind.HEARTBEAT: lambda: IntVectorPayload(np.zeros(0, dtype=np.int64)),
+    MessageKind.CHECKPOINT: lambda: DenseVectorPayload(rng().standard_normal(128)),
+}
+
+
+@pytest.mark.parametrize(
+    "kind", sorted(KIND_REPRESENTATIVES, key=lambda k: k.value),
+    ids=lambda k: k.value,
+)
+def test_every_message_kind_has_a_model_exact_representative(kind):
+    payload = KIND_REPRESENTATIVES[kind]()
+    encoded = encode_payload(payload)
+    assert len(encoded) == payload.encoded_bytes()
+    decoded = decode_payload(encoded)
+    assert type(decoded) is type(payload)
+
+
+def test_representatives_cover_all_kinds():
+    assert set(KIND_REPRESENTATIVES) == set(MessageKind)
+
+
+# ----------------------------------------------------------------------
+# validation and errors
+# ----------------------------------------------------------------------
+class TestErrors:
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError, match="precision"):
+            DenseVectorPayload(np.zeros(3), precision="fp16")
+
+    def test_mismatched_sparse_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            SparseVectorPayload(np.zeros(3, dtype=np.int32), np.zeros(4))
+
+    def test_workset_requires_labels(self):
+        with pytest.raises(ValueError, match="labels"):
+            WorksetPayload(block_id=0, block=make_csr(with_labels=False))
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            decode_payload(b"\x00" * 10)
+
+    def test_bad_magic_rejected(self):
+        encoded = bytearray(encode_payload(DenseVectorPayload(np.zeros(2))))
+        encoded[:4] = b"XXXX"
+        with pytest.raises(ValueError, match="magic"):
+            decode_payload(bytes(encoded))
+
+    def test_bad_version_rejected(self):
+        encoded = bytearray(encode_payload(DenseVectorPayload(np.zeros(2))))
+        encoded[4] = 9
+        with pytest.raises(ValueError, match="version"):
+            decode_payload(bytes(encoded))
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(TypeError, match="cannot encode"):
+            encode_payload(object())
