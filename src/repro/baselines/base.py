@@ -71,6 +71,9 @@ class RowSGDConfig:
     local_processes: int = 0      # OS processes hosting the K logical
                                   # workers on the local backend
                                   # (0 = one process per worker)
+    local_timeout_s: float = 30.0  # deadline floor for local-backend
+                                   # exchanges (alpha x median rule, see
+                                   # repro.runtime.deadline)
 
     def __post_init__(self):
         check_positive(self.batch_size, "batch_size")
@@ -79,6 +82,7 @@ class RowSGDConfig:
         check_non_negative(self.seed, "seed")
         check_in(self.backend, BACKENDS, "backend")
         check_non_negative(self.local_processes, "local_processes")
+        check_positive(self.local_timeout_s, "local_timeout_s")
         if self.backend == "local" and (self.check_effects or self.check_cost):
             raise ValueError(
                 "check_effects/check_cost audit the simulated engine; "

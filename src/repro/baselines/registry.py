@@ -47,6 +47,11 @@ def make_trainer(
         raise KeyError(
             "unknown system {!r}; available: {}".format(name, sorted(TRAINER_REGISTRY))
         )
+    # fault/recovery plans are trainer arguments, not config fields
+    failures = extra.pop("failures", None)
+    recovery = extra.pop("recovery", None)
+    if recovery is not None and key != "columnsgd":
+        raise ValueError("recovery policies apply to the columnsgd driver only")
     if key == "columnsgd":
         config = ColumnSGDConfig(
             batch_size=batch_size,
@@ -55,7 +60,10 @@ def make_trainer(
             seed=seed,
             **extra,
         )
-        return ColumnSGDDriver(model, optimizer, cluster, config=config)
+        return ColumnSGDDriver(
+            model, optimizer, cluster, config=config,
+            failures=failures, recovery=recovery,
+        )
     config = RowSGDConfig(
         batch_size=batch_size,
         iterations=iterations,
@@ -64,8 +72,13 @@ def make_trainer(
         **{
             k: v
             for k, v in extra.items()
-            if k in ("repartition", "backend", "local_processes")
+            if k in (
+                "repartition", "backend", "local_processes",
+                "local_timeout_s", "check_protocol",
+            )
         },
     )
     kwargs = {k: v for k, v in extra.items() if k in ("n_servers", "local_steps", "staleness")}
+    if failures is not None:
+        kwargs["failures"] = failures
     return TRAINER_REGISTRY[key](model, optimizer, cluster, config=config, **kwargs)

@@ -94,6 +94,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "--backend local (0 = one per worker)")
     train.add_argument("--backup", type=int, default=0,
                        help="S-backup computation level (columnsgd only)")
+    train.add_argument("--sync-policy", default=None,
+                       choices=("backup", "timeout", "retry"),
+                       help="relaxed-barrier policy (columnsgd; real "
+                            "measured deadlines with --backend local)")
+    train.add_argument("--local-timeout-s", type=float, default=30.0,
+                       help="deadline floor in seconds for --backend "
+                            "local exchanges (alpha x median rule)")
+    train.add_argument("--checkpoint-every", type=int, default=0,
+                       help="snapshot the model every N rounds "
+                            "(columnsgd; real on-disk spills with "
+                            "--backend local)")
+    train.add_argument("--chaos-mtbf-rounds", type=float, default=0.0,
+                       help="inject real faults on --backend local: "
+                            "Poisson fault arrivals with this "
+                            "mean-time-between-failures in rounds")
+    train.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for the --chaos-mtbf-rounds plan")
     train.add_argument("--wire-precision", default="fp64", choices=("fp64", "fp32"),
                        help="statistics wire format (columnsgd only)")
     train.add_argument("--early-stop-patience", type=int, default=0,
@@ -158,21 +175,51 @@ def _build_cluster(args) -> SimulatedCluster:
 
 
 def _run_one(args, system: str, data: Dataset):
+    cluster = _build_cluster(args)
     trainer = make_trainer(
         system,
         _build_model(args, data),
         make_optimizer(args.optimizer, _resolve_rate(args)),
-        _build_cluster(args),
+        cluster,
         batch_size=args.batch_size,
         iterations=args.iterations,
         eval_every=args.eval_every,
         seed=args.seed,
         backend=getattr(args, "backend", "sim"),
         local_processes=getattr(args, "local_processes", 0),
+        **_fault_extras(args, system, cluster),
         **_columnsgd_extras(args, system),
     )
     trainer.load(data)
     return trainer, trainer.fit()
+
+
+def _fault_extras(args, system: str, cluster) -> dict:
+    extras = {}
+    if getattr(args, "local_timeout_s", 30.0) != 30.0:
+        extras["local_timeout_s"] = args.local_timeout_s
+    if getattr(args, "checkpoint_every", 0):
+        if system != "columnsgd":
+            raise SystemExit("--checkpoint-every applies to columnsgd only")
+        from repro.core.recovery import RecoveryPolicy
+
+        extras["recovery"] = RecoveryPolicy(
+            checkpoint_every=args.checkpoint_every
+        )
+    if getattr(args, "chaos_mtbf_rounds", 0.0):
+        if getattr(args, "backend", "sim") != "local":
+            raise SystemExit(
+                "--chaos-mtbf-rounds injects real process faults and "
+                "needs --backend local (simulated chaos: repro.sim.ChaosSchedule)"
+            )
+        from repro.runtime import LocalChaos
+
+        extras["failures"] = LocalChaos(
+            mtbf_rounds=args.chaos_mtbf_rounds,
+            seed=getattr(args, "chaos_seed", 0),
+            n_workers=cluster.n_workers,
+        )
+    return extras
 
 
 def cmd_info(args, out) -> int:
@@ -200,6 +247,8 @@ def _columnsgd_extras(args, system: str) -> dict:
     extras = {}
     if getattr(args, "backup", 0):
         extras["backup"] = args.backup
+    if getattr(args, "sync_policy", None):
+        extras["sync_policy"] = args.sync_policy
     if getattr(args, "wire_precision", "fp64") != "fp64":
         extras["wire_precision"] = args.wire_precision
     if getattr(args, "early_stop_patience", 0):

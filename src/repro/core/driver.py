@@ -104,6 +104,12 @@ class ColumnSGDConfig:
     local_processes: int = 0      # OS processes hosting the K logical
                                   # workers on the local backend
                                   # (0 = one process per worker)
+    local_timeout_s: float = 30.0  # deadline floor for local-backend
+                                   # exchanges; the effective deadline is
+                                   # max(floor, sync_alpha * median of
+                                   # measured exchange seconds), backed
+                                   # off by sync_backoff per retry (see
+                                   # repro.runtime.deadline)
 
     def __post_init__(self):
         check_positive(self.batch_size, "batch_size")
@@ -123,18 +129,18 @@ class ColumnSGDConfig:
         check_in(self.sync_on_exhausted, ("raise", "stale"), "sync_on_exhausted")
         check_in(self.backend, BACKENDS, "backend")
         check_non_negative(self.local_processes, "local_processes")
+        check_positive(self.local_timeout_s, "local_timeout_s")
         if self.early_stop_patience and not self.eval_every:
             raise ValueError("early stopping requires eval_every > 0")
         if self.backend == "local":
+            # sync_policy, checkpointing (RecoveryPolicy), and chaos
+            # (repro.runtime.LocalChaos) all run for real on the local
+            # backend; only genuinely simulator-bound features remain
+            # rejected.
             if self.backup:
                 raise ValueError(
                     "backend='local' supports backup=0 only; backup "
                     "computation is a simulator feature"
-                )
-            if self.sync_policy != "backup":
-                raise ValueError(
-                    "backend='local' runs a plain barrier; timeout/retry "
-                    "sync policies are simulator features"
                 )
             if self.check_effects or self.check_cost:
                 raise ValueError(

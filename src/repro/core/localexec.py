@@ -20,28 +20,57 @@ lossless and a fixed-seed run reproduces the simulator's trajectory
 exactly; ``fp32`` rounds through float32 on encode, matching the
 simulated wire's semantics value for value.
 
+Fault tolerance mirrors the simulator's pipeline on real processes
+(see ``docs/faults.md``):
+
+* a :class:`~repro.runtime.LocalChaos` plan passed as ``failures=``
+  SIGKILLs worker processes, stalls handlers, and drops/garbles reply
+  frames — seeded and deterministic per seed;
+* the transport detects death (pipe EOF) and silence (TimeoutSync-style
+  alpha x median deadlines) and this executor recovers: dead processes
+  are respawned and their logical workers restored from the on-disk
+  :class:`~repro.core.recovery.LocalCheckpointStore` (codec decode +
+  optimizer reload — rollback to snapshot, no replay, exactly like the
+  simulated ``RecoveryManager``), falling back to zero-init when no
+  snapshot exists;
+* silent-but-alive workers follow the config's sync policy: ``'stale'``
+  substitutes the master's cached contribution for the round (the
+  worker catches up in pipe order), ``'raise'``/plain-barrier escalates;
+* every episode lands on the engine trace as
+  :class:`~repro.engine.trace.RetryEvent` /
+  :class:`~repro.engine.trace.RecoveryEvent`, so ``fault_timeline`` and
+  gantt rendering work unchanged.
+
 Byte accounting uses the *actual* encoded lengths, which equal the
 simulator's size model by construction — so a
 :class:`~repro.net.protocol.ProtocolChecker` run against the local
-runtime audits real bytes against the same Table-I expectations.
+runtime audits real bytes against the same Table-I expectations
+(retransmissions under a RETRY envelope, checkpoint/restore traffic as
+unchecked CHECKPOINT chatter, like the sim).
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.recovery import LocalCheckpointStore
 from repro.core.results import TrainingResult
 from repro.core.worker import ColumnWorker
 from repro.engine import EngineTrace, PhaseEvent, RoundOutcome, run_training_loop
-from repro.errors import ConfigurationError
-from repro.net.message import MessageKind
-from repro.net.protocol import ProtocolChecker
+from repro.engine.trace import RecoveryEvent
+from repro.errors import ConfigurationError, WorkerUnresponsiveError
+from repro.net.message import Message, MessageKind
+from repro.net.protocol import ProtocolChecker, TrafficEnvelope
 from repro.partition.indexing import TwoPhaseIndex
-from repro.runtime.local import LocalRuntime
+from repro.runtime.chaos import LocalChaos
+from repro.runtime.deadline import TimeoutPolicy
+from repro.runtime.local import LocalRuntime, WorkerReply
 from repro.storage.serialization import (
+    OBJECT_OVERHEAD_BYTES,
     DenseVectorPayload,
     decode_payload,
     encode_payload,
@@ -60,6 +89,9 @@ _KINDS = {
     "gather": MessageKind.STATISTICS_PUSH.value,
     "broadcast": MessageKind.STATISTICS_BCAST.value,
 }
+
+#: bounded death-recovery attempts per exchange before escalating
+_MAX_RECOVERY_ROUNDS = 3
 
 
 @dataclass
@@ -88,6 +120,43 @@ class ColumnWorkerProgram:
             reduced = decode_payload(payload).values.reshape(args["shape"])
             self.worker.update_model(reduced, int(args["t"]))
             return {}, None
+        if op == "checkpoint":
+            # Snapshot every owned partition: wire-codec params (always
+            # fp64 — snapshots must restore losslessly) + pickled
+            # optimizer state.  The master spills the blob to disk.
+            blob = {}
+            for pid, state in self.worker.partitions.items():
+                encoded = encode_payload(
+                    DenseVectorPayload(
+                        np.asarray(state.params, dtype=np.float64).ravel(),
+                        precision="fp64",
+                    )
+                )
+                blob[pid] = (
+                    tuple(state.params.shape),
+                    encoded,
+                    pickle.dumps(state.optimizer, protocol=pickle.HIGHEST_PROTOCOL),
+                )
+            return {"partitions": sorted(blob)}, pickle.dumps(blob)
+        if op == "restore":
+            # Post-respawn state reload: decode each partition's
+            # snapshot (or zero-init when the master had none) into the
+            # freshly forked — and therefore stale — partition state.
+            blob = pickle.loads(payload)
+            modes = {}
+            for pid, (shape, params_bytes, opt_blob) in blob.items():
+                state = self.worker.partitions[pid]
+                if params_bytes is None:
+                    state.params[...] = 0.0
+                    state.optimizer.reset()
+                    modes[pid] = "zero-init"
+                else:
+                    state.params[...] = decode_payload(params_bytes).values.reshape(
+                        shape
+                    )
+                    state.optimizer = pickle.loads(opt_blob)
+                    modes[pid] = "checkpoint"
+            return {"modes": modes}, None
         if op == "draws":
             draws = self.index.sample(int(args["t"]), self.batch_size)
             return {"draws": [tuple(map(int, d)) for d in draws]}, None
@@ -104,27 +173,45 @@ class ColumnWorkerProgram:
         raise ValueError("unknown op {!r}".format(op))
 
 
+def _build_program(driver, worker_id: int) -> ColumnWorkerProgram:
+    """A (fresh) program for one logical worker, for start or respawn."""
+    return ColumnWorkerProgram(
+        worker=driver._workers[worker_id],
+        index=driver._index,
+        batch_size=driver.config.batch_size,
+        wire_precision=driver.config.wire_precision,
+    )
+
+
 def make_local_runtime(driver) -> Tuple[LocalRuntime, Dict[int, ColumnWorkerProgram]]:
     """Build (but do not start) the runtime + programs for a driver."""
     config = driver.config
     if driver._index is None:
         raise ConfigurationError("call load() before starting the local backend")
-    if driver.failures.any_scheduled():
+    if (
+        not isinstance(driver.failures, LocalChaos)
+        and driver.failures.any_scheduled()
+    ):
         raise ConfigurationError(
-            "backend='local' runs real processes; failure injection is a "
-            "simulator feature — use backend='sim'"
+            "backend='local' runs real processes; simulated failure "
+            "injection cannot reach them — pass a repro.runtime.LocalChaos "
+            "plan for real faults, or use backend='sim'"
         )
+    timeout = TimeoutPolicy(
+        alpha=config.sync_alpha,
+        floor_s=config.local_timeout_s,
+        max_retries=(
+            config.sync_max_retries if config.sync_policy == "retry" else 0
+        ),
+        backoff=config.sync_backoff,
+    )
     runtime = LocalRuntime(
-        driver.cluster.n_workers, processes=config.local_processes
+        driver.cluster.n_workers,
+        processes=config.local_processes,
+        timeout=timeout,
     )
     programs = {
-        w: ColumnWorkerProgram(
-            worker=driver._workers[w],
-            index=driver._index,
-            batch_size=config.batch_size,
-            wire_precision=config.wire_precision,
-        )
-        for w in range(driver.cluster.n_workers)
+        w: _build_program(driver, w) for w in range(driver.cluster.n_workers)
     }
     return runtime, programs
 
@@ -160,59 +247,228 @@ def run_local_columnsgd(
     checker = ProtocolChecker(runtime) if config.check_protocol else None
     K = runtime.n_workers
 
+    chaos = driver.failures if isinstance(driver.failures, LocalChaos) else None
+    policy = driver.recovery_policy
+    store = LocalCheckpointStore() if policy.checkpoint_every else None
+    driver.local_checkpoints = store
+    stale_allowed = (
+        config.sync_policy != "backup" and config.sync_on_exhausted == "stale"
+    )
+
+    # ------------------------------------------------------------------
+    # fault pipeline: checkpoint, detect, respawn, restore
+    # ------------------------------------------------------------------
+    def write_checkpoint(t: int) -> float:
+        """Pull every live worker's snapshot blob and spill it to disk."""
+        ex = runtime.run_all("checkpoint", iteration=t, raise_on_fault=False)
+        for w, reply in ex.replies.items():
+            runtime.network.send(
+                Message(
+                    MessageKind.CHECKPOINT,
+                    w,
+                    Message.MASTER,
+                    OBJECT_OVERHEAD_BYTES + len(reply.payload),
+                )
+            )
+            for pid, (shape, params_bytes, opt_blob) in pickle.loads(
+                reply.payload
+            ).items():
+                store.write(t, pid, shape, params_bytes, opt_blob)
+        # dead workers discovered here are recovered by the round's first
+        # reliable exchange; their partitions keep the previous snapshot
+        return ex.seconds
+
+    def recover_dead(t: int, detect_s: float) -> float:
+        """Respawn dead processes and restore their logical workers.
+
+        Escalation per partition: checkpoint restore when a snapshot is
+        on disk, zero-init otherwise (backup replicas need backup > 0,
+        which the local backend does not host).  Records one
+        :class:`RecoveryEvent` per recovered worker.
+        """
+        dead = runtime.dead_workers()
+        if not dead:
+            return 0.0
+        respawn_s = runtime.respawn({w: _build_program(driver, w) for w in dead})
+        total = respawn_s
+        detect_share = detect_s
+        for w in dead:
+            blob = {}
+            restored_from_store = bool(driver.groups.partitions_of_worker(w))
+            for pid in driver.groups.partitions_of_worker(w):
+                if store is not None and store.has_snapshot(pid):
+                    _, shape, params_bytes, opt_blob = store.read(pid)
+                    blob[pid] = (shape, params_bytes, opt_blob)
+                else:
+                    blob[pid] = (None, None, None)
+                    restored_from_store = False
+            mode = "checkpoint" if restored_from_store else "zero-init"
+            payload = pickle.dumps(blob)
+            runtime.network.send(
+                Message(
+                    MessageKind.CHECKPOINT,
+                    Message.MASTER,
+                    w,
+                    OBJECT_OVERHEAD_BYTES + len(payload),
+                )
+            )
+            ex = runtime.run_all(
+                "restore", payload=payload, workers=[w], iteration=t
+            )
+            total += ex.seconds
+            trace.add_recovery(
+                RecoveryEvent(
+                    round=t,
+                    kind="worker",
+                    mode=mode,
+                    worker=w,
+                    detect_s=detect_share,
+                    reload_s=respawn_s / len(dead) + ex.seconds,
+                )
+            )
+            detect_share = 0.0  # the episode's detection delay is paid once
+        return total
+
+    def exchange_reliably(
+        t: int,
+        op: str,
+        args: Optional[dict] = None,
+        payload: Optional[bytes] = None,
+        per_worker_args: Optional[Dict[int, dict]] = None,
+    ) -> Tuple[Dict[int, WorkerReply], List[int], float, int]:
+        """One exchange that survives worker-process death.
+
+        Runs ``op`` across all workers; on detected death it respawns +
+        restores (checkpoint -> zero-init) and re-issues the op to every
+        worker still missing — deterministic ops make the re-run exact.
+        Returns ``(replies, silent_workers, seconds, retries)`` where
+        ``silent_workers`` are alive-but-timed-out workers left for the
+        sync policy to resolve.
+        """
+        replies: Dict[int, WorkerReply] = {}
+        failures: Dict[int, object] = {}
+        seconds = 0.0
+        retries = 0
+        targets = list(range(K))
+        extra = per_worker_args
+        for _ in range(_MAX_RECOVERY_ROUNDS):
+            ex = runtime.run_all(
+                op,
+                args=args,
+                payload=payload,
+                per_worker_args=extra,
+                workers=targets,
+                iteration=t,
+                raise_on_fault=False,
+            )
+            replies.update(ex.replies)
+            seconds += ex.seconds
+            retries += ex.retries
+            failures = dict(ex.failures)
+            if not ex.dead_workers():
+                break
+            seconds += recover_dead(t, detect_s=ex.seconds)
+            targets = sorted(failures)  # everyone still missing
+            extra = None  # injected straggler delays apply once
+        else:
+            raise WorkerUnresponsiveError(
+                op,
+                dead=runtime.dead_workers(),
+                silent=sorted(failures),
+            )
+        return replies, sorted(failures), seconds, retries
+
+    # ------------------------------------------------------------------
+    # the measured round
+    # ------------------------------------------------------------------
     def run_round(t: int) -> RoundOutcome:
         round_start = runtime.clock.now()
-        ex_stats = runtime.run_all("compute", args={"t": t})
-        payloads = ex_stats.payloads()
-        sizes = [len(payloads[w]) for w in range(K)]
+        extra_s = 0.0
+        stall_args: Optional[Dict[int, dict]] = None
+        if chaos is not None:
+            stall_args = runtime.inject_faults(chaos.events_at(t)) or None
+        if store is not None and t % policy.checkpoint_every == 0:
+            extra_s += write_checkpoint(t)
+
+        stats_replies, silent, stats_s, retries = exchange_reliably(
+            t, "compute", args={"t": t}, per_worker_args=stall_args
+        )
+        if silent and not stale_allowed:
+            raise WorkerUnresponsiveError("compute", silent=silent)
+        arrived = sorted(stats_replies)
+        payloads = {w: stats_replies[w].payload for w in arrived}
+        sizes = [len(payloads[w]) for w in arrived]
         runtime.gather(MessageKind.STATISTICS_PUSH, sizes)
-        shape = ex_stats.replies[0].result["shape"]
+        shape = stats_replies[arrived[0]].result["shape"]
+        stale_groups = {w // driver.groups.group_size for w in silent}
 
         def reduce_step() -> bytes:
             stats_by_worker = {
-                w: decode_payload(payloads[w]).values.reshape(shape)
+                w: (
+                    decode_payload(payloads[w]).values.reshape(shape)
+                    if w in payloads
+                    else None
+                )
                 for w in range(K)
             }
-            reduced = driver.master.reduce(stats_by_worker)
+            reduced = driver.master.reduce(
+                stats_by_worker, stale_groups=stale_groups or None
+            )
             return encode_payload(
                 DenseVectorPayload(reduced, precision=config.wire_precision)
             )
 
         reduced_payload, reduce_s = runtime.measure(reduce_step)
-        ex_update = runtime.run_all(
-            "update", args={"t": t, "shape": shape}, payload=reduced_payload
+        upd_replies, upd_silent, upd_s, upd_retries = exchange_reliably(
+            t, "update", args={"t": t, "shape": shape}, payload=reduced_payload
         )
+        # a silent updater already has the frame queued and applies it in
+        # pipe order before its next op — no numeric divergence, so the
+        # round proceeds (its RetryEvents are on the trace)
+        retries += upd_retries
         runtime.broadcast(MessageKind.STATISTICS_BCAST, len(reduced_payload))
 
+        stats_max = max((r.seconds for r in stats_replies.values()), default=0.0)
+        upd_max = max((r.seconds for r in upd_replies.values()), default=0.0)
         phase_seconds = {
-            "compute_statistics": ex_stats.max_worker_seconds(),
-            "gather": ex_stats.comm_seconds(),
+            "compute_statistics": stats_max,
+            "gather": max(0.0, stats_s - stats_max),
             "reduce": reduce_s,
-            "broadcast": ex_update.comm_seconds(),
-            "update_model": ex_update.max_worker_seconds(),
+            "broadcast": max(0.0, upd_s - upd_max),
+            "update_model": upd_max,
         }
         _trace_round(trace, t, round_start, phase_seconds)
         worker_seconds = {
             "compute_statistics": {
-                w: r.seconds for w, r in ex_stats.replies.items()
+                w: r.seconds for w, r in stats_replies.items()
             },
-            "update_model": {w: r.seconds for w, r in ex_update.replies.items()},
+            "update_model": {w: r.seconds for w, r in upd_replies.items()},
         }
         driver.last_phase_seconds = dict(phase_seconds)
         driver.last_worker_seconds = {
             name: dict(per_worker)
             for name, per_worker in worker_seconds.items()
         }
-        driver.last_killed = set()
+        driver.last_killed = {
+            e.worker for e in trace.round_recoveries(t) if e.worker is not None
+        }
+        expected = {
+            MessageKind.STATISTICS_PUSH: (len(arrived), sum(sizes)),
+            MessageKind.STATISTICS_BCAST: (K, K * len(reduced_payload)),
+        }
+        if retries:
+            # each retry is one resend, plus (for garbles) one wasted
+            # arrival — bound, not exact, like the sim's ARQ envelope
+            frame = OBJECT_OVERHEAD_BYTES + max(sizes + [len(reduced_payload)])
+            expected[MessageKind.RETRY] = TrafficEnvelope(
+                retries, 2 * retries, 0, 2 * retries * frame
+            )
         return RoundOutcome(
-            duration=ex_stats.seconds + reduce_s + ex_update.seconds,
+            duration=stats_s + reduce_s + upd_s + extra_s,
             phase_seconds=phase_seconds,
             worker_seconds=worker_seconds,
-            chosen=set(range(K)),
-            expected={
-                MessageKind.STATISTICS_PUSH: (K, sum(sizes)),
-                MessageKind.STATISTICS_BCAST: (K, K * len(reduced_payload)),
-            },
+            chosen=set(arrived),
+            expected=expected,
         )
 
     def record(t: int, duration: float, bytes_sent: int, evaluate: bool) -> None:
@@ -238,6 +494,8 @@ def run_local_columnsgd(
     finally:
         if owns_runtime:
             runtime.close()
+        if store is not None:
+            store.close()
     result.final_params = driver.current_params()
     return result
 

@@ -66,6 +66,33 @@ class MasterFailedError(SimulationError):
     """Raised when the master fails; the whole job must restart."""
 
 
+class WorkerUnresponsiveError(SimulationError):
+    """Raised by the local backend when worker processes died or stayed
+    silent past every retry deadline of an exchange.
+
+    ``dead`` lists workers whose host process was gone (EOF/SIGKILL),
+    ``silent`` those that simply never answered in time.  Executors
+    running the recovery pipeline catch structured
+    ``Exchange.failures`` instead; this error is the loud path for
+    callers (``barrier``, plain ``run_all``) without one.
+    """
+
+    def __init__(self, op: str, dead=(), silent=()):
+        self.op = op
+        self.dead = tuple(dead)
+        self.silent = tuple(silent)
+        parts = []
+        if self.dead:
+            parts.append("dead worker(s) {}".format(list(self.dead)))
+        if self.silent:
+            parts.append("silent worker(s) {}".format(list(self.silent)))
+        super().__init__(
+            "op {!r} lost contact with {}".format(
+                op, "; ".join(parts) or "workers"
+            )
+        )
+
+
 class OutOfMemoryError(SimulationError):
     """Raised when a simulated node exceeds its memory budget.
 

@@ -19,7 +19,26 @@ from typing import Sequence
 
 from repro.net.message import Message, MessageKind
 from repro.net.network import NetworkModel
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def ring_allreduce_shards(size_bytes: int, n_workers: int) -> Sequence[int]:
+    """Per-step message sizes of a 2(K-1)-step ring over an exact split.
+
+    The vector is split into K shards of ``size // K`` bytes with the
+    *last* shard taking the remainder, and step ``k`` of the ring moves
+    shard ``k % K`` — so the accounted total is exactly
+    ``2*(K-1)*(size // K) + size % K`` instead of the silent undercount
+    of ``int(size / K)`` per step.  Both backends use this split, which
+    is what keeps their byte ledgers comparable.
+    """
+    check_positive(n_workers, "n_workers")
+    check_non_negative(size_bytes, "size_bytes")
+    if n_workers == 1:
+        return []
+    shards = [int(size_bytes) // n_workers] * n_workers
+    shards[-1] += int(size_bytes) % n_workers
+    return [shards[step % n_workers] for step in range(2 * (n_workers - 1))]
 
 
 class StarTopology:
@@ -102,10 +121,10 @@ def allreduce_time(network: NetworkModel, size_bytes: int, n_workers: int) -> fl
         return 0.0
     steps = 2 * (n_workers - 1)
     per_step_bytes = size_bytes / n_workers
-    for step in range(steps):
+    for step, step_bytes in enumerate(ring_allreduce_shards(size_bytes, n_workers)):
         src = step % n_workers
         dst = (step + 1) % n_workers
-        network.send(Message(MessageKind.MODEL_AVG, src, dst, int(per_step_bytes)))
+        network.send(Message(MessageKind.MODEL_AVG, src, dst, step_bytes))
     return (
         steps * network.latency
         + steps * per_step_bytes / network.bandwidth

@@ -7,19 +7,36 @@ and RNG-stream routing.  Two backends implement it:
 * :class:`SimRuntime` — the discrete-event simulator (bit-identical
   adapter over ``repro.sim`` + ``repro.net``);
 * :class:`LocalRuntime` — real ``multiprocessing`` workers exchanging
-  codec-encoded payloads, timed wall-clock.
+  codec-encoded payloads, timed wall-clock, deadline-bounded transport
+  (:class:`TimeoutPolicy`), and real fault injection
+  (:class:`LocalChaos`: SIGKILL, stragglers, dropped/garbled replies)
+  with respawn recovery (see ``docs/faults.md``).
 """
 
 from repro.runtime.base import BACKENDS, Runtime, WallClock
-from repro.runtime.local import Exchange, LocalRuntime, WorkerReply
+from repro.runtime.chaos import LocalChaos, LocalFaultEvent, LocalFaultKind
+from repro.runtime.deadline import TimeoutPolicy
+from repro.runtime.local import (
+    Exchange,
+    LocalRuntime,
+    WorkerDied,
+    WorkerReply,
+    WorkerTimeout,
+)
 from repro.runtime.sim import SimRuntime
 
 __all__ = [
     "BACKENDS",
     "Exchange",
+    "LocalChaos",
+    "LocalFaultEvent",
+    "LocalFaultKind",
     "LocalRuntime",
     "Runtime",
     "SimRuntime",
+    "TimeoutPolicy",
     "WallClock",
+    "WorkerDied",
     "WorkerReply",
+    "WorkerTimeout",
 ]

@@ -1,0 +1,209 @@
+"""Seeded fault injection for the local (real-process) backend.
+
+:class:`~repro.sim.chaos.ChaosSchedule` drives the simulator's fault
+soak: Poisson arrivals in sim-time, each striking a random victim.  The
+local backend cannot key faults off the sim clock — its clock is
+*measured*, so a wall-clock-keyed plan would differ run to run.
+:class:`LocalChaos` keeps the Poisson/MTBF semantics but puts the
+arrival process on the **round axis**: exponential inter-arrival times
+with mean ``mtbf_rounds``, a uniform victim and a uniform fault kind per
+arrival, all drawn from one seeded generator — so a chaos plan is a
+pure function of its seed and two runs with the same seed kill, stall,
+and garble exactly the same workers at exactly the same iterations.
+
+The faults are *real*:
+
+* :data:`LocalFaultKind.KILL` — the victim's host process gets SIGKILL;
+* :data:`LocalFaultKind.STALL` — the victim's handler sleeps
+  ``stall_s`` seconds before working (a straggler; pushes against the
+  transport deadline);
+* :data:`LocalFaultKind.DROP` — the victim's next reply frame is
+  discarded at the master (a lost message; recovered by deadline+retry);
+* :data:`LocalFaultKind.GARBLE` — the victim's next reply frame arrives
+  corrupt and is discarded on checksum (recovered by immediate retry).
+
+A plan duck-types :class:`~repro.sim.failures.FailureInjector`
+(``events_at`` / ``any_scheduled`` / ``validate`` / ``attach``) so
+trainers accept it through the same ``failures=`` argument; scripted
+plans (:meth:`LocalChaos.scripted`) replay exact scenarios the way
+``FailureInjector`` replays Fig 13.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import rng_from_seed
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class LocalFaultKind(enum.Enum):
+    """Fault kinds the local backend can inject for real."""
+
+    KILL = "kill"        # SIGKILL the victim's host process
+    STALL = "stall"      # delay the victim's handler (straggler)
+    DROP = "drop"        # lose the victim's next reply frame
+    GARBLE = "garble"    # corrupt the victim's next reply frame
+
+
+@dataclass(frozen=True)
+class LocalFaultEvent:
+    """One scheduled fault: strike ``worker`` at ``iteration``."""
+
+    iteration: int
+    kind: LocalFaultKind
+    worker: int
+    #: handler delay for STALL events (ignored by the other kinds)
+    stall_s: float = 0.0
+
+    def __post_init__(self):
+        check_non_negative(self.iteration, "iteration")
+        check_non_negative(self.worker, "worker")
+        check_non_negative(self.stall_s, "stall_s")
+        if not isinstance(self.kind, LocalFaultKind):
+            raise ConfigurationError(
+                "kind must be a LocalFaultKind, got {!r}".format(self.kind)
+            )
+
+
+class LocalChaos:
+    """Seeded Poisson fault process on the round axis.
+
+    Parameters
+    ----------
+    mtbf_rounds:
+        Mean rounds between faults (exponential inter-arrival).  ``0``
+        disables the random background — useful with ``events=`` for
+        scripted scenarios.
+    seed:
+        Drives arrival times, victims, and kinds; the plan is a pure
+        function of the seed.
+    kinds:
+        Fault kinds drawn uniformly per arrival.
+    stall_s:
+        Handler delay injected by STALL events.
+    events:
+        Fixed events overlaid on the random background (the local
+        analogue of ``ChaosSchedule(base=...)``).
+    """
+
+    def __init__(
+        self,
+        mtbf_rounds: float = 0.0,
+        seed: int = 0,
+        kinds: Tuple[LocalFaultKind, ...] = (
+            LocalFaultKind.KILL,
+            LocalFaultKind.STALL,
+            LocalFaultKind.DROP,
+            LocalFaultKind.GARBLE,
+        ),
+        stall_s: float = 0.05,
+        n_workers: Optional[int] = None,
+        events: Iterable[LocalFaultEvent] = (),
+    ):
+        check_non_negative(mtbf_rounds, "mtbf_rounds")
+        check_non_negative(seed, "seed")
+        check_non_negative(stall_s, "stall_s")
+        if mtbf_rounds and not kinds:
+            raise ConfigurationError("kinds must name at least one LocalFaultKind")
+        for kind in kinds:
+            if not isinstance(kind, LocalFaultKind):
+                raise ConfigurationError(
+                    "kinds must be LocalFaultKind members, got {!r}".format(kind)
+                )
+        self.mtbf_rounds = float(mtbf_rounds)
+        self.seed = int(seed)
+        self.kinds = tuple(kinds)
+        self.stall_s = float(stall_s)
+        self.n_workers = n_workers
+        self._scripted: Dict[int, List[LocalFaultEvent]] = {}
+        for event in events:
+            self._scripted.setdefault(event.iteration, []).append(event)
+        self._rng = rng_from_seed(self.seed)
+        self._next_arrival = (
+            float(self._rng.exponential(self.mtbf_rounds))
+            if self.mtbf_rounds
+            else float("inf")
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def scripted(
+        cls,
+        kills: Dict[int, int] = None,
+        stalls: Dict[Tuple[int, int], float] = None,
+        drops: Iterable[Tuple[int, int]] = (),
+        garbles: Iterable[Tuple[int, int]] = (),
+    ) -> "LocalChaos":
+        """Exact scenario replay: ``kills={iteration: worker}``,
+        ``stalls={(iteration, worker): seconds}``, ``drops``/``garbles``
+        as ``(iteration, worker)`` pairs."""
+        events = [
+            LocalFaultEvent(t, LocalFaultKind.KILL, w)
+            for t, w in (kills or {}).items()
+        ]
+        events += [
+            LocalFaultEvent(t, LocalFaultKind.STALL, w, stall_s=s)
+            for (t, w), s in (stalls or {}).items()
+        ]
+        events += [LocalFaultEvent(t, LocalFaultKind.DROP, w) for t, w in drops]
+        events += [LocalFaultEvent(t, LocalFaultKind.GARBLE, w) for t, w in garbles]
+        return cls(mtbf_rounds=0.0, events=events)
+
+    # ------------------------------------------------------------------
+    # FailureInjector duck-typing (trainers accept this via failures=)
+    # ------------------------------------------------------------------
+    def attach(self, cluster) -> None:
+        """Adopt the cluster's width when ``n_workers`` was not given."""
+        if self.n_workers is None:
+            self.n_workers = int(cluster.n_workers)
+
+    def validate(self, n_workers: int) -> None:
+        check_positive(n_workers, "n_workers")
+        if self.n_workers is None:
+            self.n_workers = int(n_workers)
+        for events in self._scripted.values():
+            for event in events:
+                if event.worker >= n_workers:
+                    raise ConfigurationError(
+                        "fault event targets worker {} but the job has "
+                        "workers 0..{}".format(event.worker, n_workers - 1)
+                    )
+
+    def any_scheduled(self) -> bool:
+        return bool(self.mtbf_rounds) or bool(self._scripted)
+
+    def events_at(self, iteration: int) -> List[LocalFaultEvent]:
+        """Scripted events plus every Poisson arrival due by round
+        ``iteration``; must be called with non-decreasing iterations
+        (the training loop's natural order)."""
+        events = list(self._scripted.get(iteration, ()))
+        while self._next_arrival <= iteration:
+            if self.n_workers is None:
+                raise ConfigurationError(
+                    "LocalChaos needs n_workers before drawing victims; "
+                    "trainers call validate()/attach() at construction"
+                )
+            kind = self.kinds[int(self._rng.integers(len(self.kinds)))]
+            worker = int(self._rng.integers(self.n_workers))
+            events.append(
+                LocalFaultEvent(
+                    iteration,
+                    kind,
+                    worker,
+                    stall_s=self.stall_s if kind is LocalFaultKind.STALL else 0.0,
+                )
+            )
+            self._next_arrival += float(self._rng.exponential(self.mtbf_rounds))
+        return events
+
+    def __repr__(self) -> str:
+        return "LocalChaos(mtbf_rounds={}, seed={}, kinds={}, scripted={})".format(
+            self.mtbf_rounds,
+            self.seed,
+            [k.value for k in self.kinds],
+            sum(len(v) for v in self._scripted.values()),
+        )

@@ -10,15 +10,36 @@ by construction.  Time is *measured*: every exchange is bracketed by a
 monotonic counter and the round loop advances a :class:`WallClock`
 accumulator with the measured seconds.
 
+Fault tolerance (the real-process port of ``docs/faults.md``):
+
+* every wait is **deadline-bounded** through the sanctioned helpers in
+  :mod:`repro.runtime.deadline` (lint rule R018); the deadline follows
+  the simulator's TimeoutSync alpha x median rule over *measured*
+  exchange durations;
+* command frames carry **sequence numbers** and workers replay their
+  cached reply on a duplicate, so deadline-expiry resends are
+  at-most-once — a retried ``update`` op cannot double-apply a gradient;
+* resends are accounted as :data:`~repro.net.message.MessageKind.RETRY`
+  traffic exactly like the sim's lossy-link ARQ, and each expired
+  deadline records a :class:`~repro.engine.trace.RetryEvent`;
+* a silent worker becomes a :class:`WorkerTimeout` and a SIGKILLed /
+  crashed process a :class:`WorkerDied` in ``Exchange.failures`` —
+  structured outcomes the executors feed into the recovery pipeline —
+  or a :class:`~repro.errors.WorkerUnresponsiveError` for callers that
+  asked ``run_all`` to raise;
+* :meth:`respawn` relaunches dead processes so the executors can
+  restore their logical workers from checkpoints.
+
 Division of labour with the trainer-side executors
 (``repro.core.localexec`` / ``repro.baselines.localexec``):
 
-* the runtime owns processes, pipes, measurement, and traffic
-  accounting — and is the only module in the tree allowed to touch
-  ``time`` (it lives outside the protocol-path lint scope, and rule
-  R008 sanctions calls into it);
-* the executors own the algorithm: what ops to issue, how to reduce,
-  what traffic the round should have produced.
+* the runtime owns processes, pipes, measurement, fault injection
+  mechanics, and traffic accounting — and is the only module in the
+  tree allowed to touch ``time`` (it lives outside the protocol-path
+  lint scope, and rule R008 sanctions calls into it);
+* the executors own the algorithm *and the recovery policy*: what ops
+  to issue, how to reduce, when to checkpoint, how to restore a
+  respawned worker.
 
 The size-based :class:`Runtime` transport methods are implemented as
 **accounting primitives**: they record the per-kind/per-node
@@ -30,20 +51,39 @@ because on this backend durations come from measurement (the
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.engine.trace import RetryEvent
+from repro.errors import (
+    ConfigurationError,
+    SimulationError,
+    WorkerUnresponsiveError,
+)
 from repro.net.message import Message, MessageKind
 from repro.net.network import NetworkModel
+from repro.net.topology import ring_allreduce_shards
 from repro.runtime.base import Runtime, WallClock
+from repro.runtime.chaos import LocalFaultEvent, LocalFaultKind
+from repro.runtime.deadline import (
+    TimeoutPolicy,
+    join_within,
+    recv_command,
+    recv_ready,
+    wait_ready,
+)
+from repro.storage.serialization import OBJECT_OVERHEAD_BYTES
 from repro.utils.validation import check_non_negative, check_positive
 
 T = TypeVar("T")
 
 _STOP = "__stop__"
 _PING = "__ping__"
+#: reserved args key carrying an injected straggler delay (seconds)
+_DELAY = "__delay__"
 
 
 @dataclass(frozen=True)
@@ -58,17 +98,64 @@ class WorkerReply:
 
 
 @dataclass(frozen=True)
+class WorkerDied:
+    """The process hosting ``worker`` was gone mid-exchange (EOF/SIGKILL)."""
+
+    worker: int
+    op: str
+
+    def __str__(self) -> str:
+        return "worker {} process died during op {!r}".format(self.worker, self.op)
+
+
+@dataclass(frozen=True)
+class WorkerTimeout:
+    """``worker`` stayed silent past every retry deadline."""
+
+    worker: int
+    op: str
+    deadline_s: float
+    attempts: int
+
+    def __str__(self) -> str:
+        return "worker {} silent on op {!r} after {} attempt(s) ({:.3f}s deadline)".format(
+            self.worker, self.op, self.attempts, self.deadline_s
+        )
+
+
+@dataclass(frozen=True)
 class Exchange:
     """One full master <-> workers exchange.
 
     ``seconds`` is the wall-clock duration of the whole exchange
     (issue every command, workers handle them, collect every reply) as
     measured at the master; per-worker handler times are on the
-    replies.
+    replies.  ``failures`` maps workers that produced no reply to their
+    structured outcome (:class:`WorkerDied` / :class:`WorkerTimeout`);
+    ``retries`` counts deadline-expiry and garble resends, each already
+    accounted as RETRY traffic.
     """
 
     replies: Dict[int, WorkerReply]
     seconds: float
+    failures: Dict[int, object] = field(default_factory=dict)
+    retries: int = 0
+
+    def ok(self) -> bool:
+        """True when every targeted worker replied."""
+        return not self.failures
+
+    def dead_workers(self) -> List[int]:
+        """Workers whose host process died during the exchange."""
+        return sorted(
+            w for w, f in self.failures.items() if isinstance(f, WorkerDied)
+        )
+
+    def silent_workers(self) -> List[int]:
+        """Workers that timed out (alive but past every deadline)."""
+        return sorted(
+            w for w, f in self.failures.items() if isinstance(f, WorkerTimeout)
+        )
 
     def payloads(self) -> Dict[int, bytes]:
         """Per-worker reply payloads (workers that sent one)."""
@@ -91,36 +178,58 @@ class Exchange:
 
 
 def _process_main(conn, programs: Dict[int, object]) -> None:
-    """Worker-process loop: handle ops for the hosted logical workers."""
+    """Worker-process loop: handle ops for the hosted logical workers.
+
+    Frames are ``(seq, op, worker_id, args, payload)``; each worker's
+    last reply is cached by sequence number, and a duplicate frame
+    (a master resend after a lost or late reply) replays the cache
+    instead of re-executing — the at-most-once half of the ARQ, so a
+    retried ``update`` cannot double-apply its gradient.
+    """
+    last: Dict[int, Tuple[int, tuple]] = {}
     try:
         while True:
-            frame = conn.recv()
-            op = frame[0]
+            ok, frame = recv_command(conn)
+            if not ok:
+                break  # master gone (EOF): exit rather than linger
+            seq, op, worker_id, args, payload = frame
             if op == _STOP:
                 break
-            _, worker_id, args, payload = frame
-            if op == _PING:
-                conn.send((worker_id, {"pong": True}, None, 0.0))
+            args = dict(args) if args else {}
+            cached = last.get(worker_id)
+            if cached is not None and cached[0] == seq:
+                conn.send(cached[1])
                 continue
-            start = time.perf_counter()
-            try:
-                result, reply_payload = programs[worker_id].handle(
-                    op, args or {}, payload
-                )
-            except Exception as exc:  # surfaced at the master, see run_all
-                conn.send(
-                    (
+            delay = float(args.pop(_DELAY, 0.0))
+            if delay > 0.0:
+                time.sleep(delay)  # injected straggler (LocalFaultKind.STALL)
+            if op == _PING:
+                reply = (seq, worker_id, {"pong": True}, None, 0.0)
+            else:
+                start = time.perf_counter()
+                try:
+                    result, reply_payload = programs[worker_id].handle(
+                        op, args, payload
+                    )
+                except Exception as exc:  # surfaced at the master, see run_all
+                    reply = (
+                        seq,
                         worker_id,
                         {"__error__": "{}: {}".format(type(exc).__name__, exc)},
                         None,
                         time.perf_counter() - start,
                     )
-                )
-                continue
-            conn.send(
-                (worker_id, result, reply_payload, time.perf_counter() - start)
-            )
-    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+                else:
+                    reply = (
+                        seq,
+                        worker_id,
+                        result,
+                        reply_payload,
+                        time.perf_counter() - start,
+                    )
+            last[worker_id] = (seq, reply)
+            conn.send(reply)
+    except (EOFError, BrokenPipeError, OSError, KeyboardInterrupt):
         pass
     finally:
         conn.close()
@@ -133,7 +242,9 @@ class LocalRuntime(Runtime):
     process; smaller values pack contiguous worker ranges into shared
     processes (useful on small machines — the numerics are identical
     either way because each logical worker keeps its own program
-    state).
+    state).  ``timeout`` bounds every exchange (see
+    :class:`~repro.runtime.deadline.TimeoutPolicy`); no call into this
+    class blocks indefinitely.
     """
 
     name = "local"
@@ -145,6 +256,7 @@ class LocalRuntime(Runtime):
         start_method: str = "fork",
         bandwidth: float = 1e9 / 8,
         latency: float = 0.0,
+        timeout: Optional[TimeoutPolicy] = None,
     ):
         check_positive(n_workers, "n_workers")
         check_non_negative(processes, "processes")
@@ -156,12 +268,17 @@ class LocalRuntime(Runtime):
         self._n_workers = int(n_workers)
         self.n_processes = min(int(processes) or self._n_workers, self._n_workers)
         self.start_method = start_method
+        self.timeout = timeout if timeout is not None else TimeoutPolicy()
         self._clock = WallClock()
         # Counter set only — transfer_time() is never consulted here.
         self._network = NetworkModel(bandwidth=bandwidth, latency=latency)
         self._procs: List[multiprocessing.process.BaseProcess] = []
         self._conns: List[object] = []
         self._workers_of_proc: List[List[int]] = []
+        self._dead_procs: set = set()
+        #: pending one-shot reply mangling per worker: 'drop' | 'garble'
+        self._mangle: Dict[int, str] = {}
+        self._seq = 0
         #: trace attached by the local executors (mirrors
         #: ``SimulatedCluster.engine_trace``)
         self.engine_trace = None
@@ -207,18 +324,36 @@ class LocalRuntime(Runtime):
         return self.broadcast(kind, size)
 
     def allreduce(self, kind: MessageKind, size: int) -> float:
+        """Ring allreduce accounting over the exact shard split.
+
+        Uses the same :func:`~repro.net.topology.ring_allreduce_shards`
+        split as the simulator's ``allreduce_time`` (last shard takes
+        the remainder), and asserts the accounted total matches the
+        closed-form byte model so the two backends can never drift.
+        """
         n = self._n_workers
+        size = int(size)
         if n == 1:
             return 0.0
-        per_step = int(size / n)
-        for step in range(2 * (n - 1)):
-            self._network.send(
-                Message(kind, step % n, (step + 1) % n, per_step)
+        total = 0
+        for step, step_bytes in enumerate(ring_allreduce_shards(size, n)):
+            self._network.send(Message(kind, step % n, (step + 1) % n, step_bytes))
+            total += step_bytes
+        expected = 2 * (n - 1) * (size // n) + size % n
+        if total != expected:
+            raise SimulationError(
+                "allreduce accounted {} bytes for size={} n={}; byte model "
+                "expects {}".format(total, size, n, expected)
             )
         return 0.0
 
     def barrier(self) -> None:
-        """Round-trip a ping through every worker process."""
+        """Round-trip a ping through every worker process.
+
+        Bounded by the timeout policy: a dead or hung process raises
+        :class:`~repro.errors.WorkerUnresponsiveError` instead of
+        blocking forever.
+        """
         if self._started:
             self.run_all(_PING)
 
@@ -247,38 +382,146 @@ class LocalRuntime(Runtime):
         ]
         for i in range(self.n_processes):
             hosted = list(range(bounds[i], bounds[i + 1]))
-            parent_conn, child_conn = context.Pipe(duplex=True)
-            proc = context.Process(
-                target=_process_main,
-                args=(child_conn, {w: programs[w] for w in hosted}),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
+            proc, conn = self._launch(context, hosted, programs)
             self._procs.append(proc)
-            self._conns.append(parent_conn)
+            self._conns.append(conn)
             self._workers_of_proc.append(hosted)
         self._started = True
         return self
 
+    def _launch(self, context, hosted: List[int], programs: Dict[int, object]):
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        proc = context.Process(
+            target=_process_main,
+            args=(child_conn, {w: programs[w] for w in hosted}),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
     def close(self) -> None:
-        """Stop and join every worker process (idempotent)."""
+        """Stop and join every worker process (idempotent, bounded)."""
         if not self._started:
             return
-        for conn in self._conns:
+        self._refresh_liveness()
+        for i, conn in enumerate(self._conns):
+            if i in self._dead_procs:
+                continue
             try:
-                conn.send((_STOP, -1, None, None))
+                conn.send((0, _STOP, -1, None, None))
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
-            proc.join(timeout=10.0)
-            if proc.is_alive():
+            if not join_within(proc, 10.0):
                 proc.terminate()
-                proc.join(timeout=5.0)
+                if not join_within(proc, 5.0):
+                    proc.kill()
+                    join_within(proc, 5.0)
         for conn in self._conns:
-            conn.close()
+            try:
+                conn.close()
+            except OSError:
+                pass
         self._procs, self._conns, self._workers_of_proc = [], [], []
+        self._dead_procs, self._mangle = set(), {}
         self._started = False
+
+    # ------------------------------------------------------------------
+    # fault injection and recovery surface
+    # ------------------------------------------------------------------
+    def _refresh_liveness(self) -> None:
+        for i, proc in enumerate(self._procs):
+            if i not in self._dead_procs and not proc.is_alive():
+                self._dead_procs.add(i)
+
+    def _proc_of(self, worker: int) -> int:
+        for i, hosted in enumerate(self._workers_of_proc):
+            if worker in hosted:
+                return i
+        raise ConfigurationError("no process hosts worker {}".format(worker))
+
+    def dead_workers(self) -> List[int]:
+        """Logical workers whose host process is currently dead."""
+        if not self._started:
+            return []
+        self._refresh_liveness()
+        return sorted(
+            w for i in self._dead_procs for w in self._workers_of_proc[i]
+        )
+
+    def kill_worker(self, worker: int) -> None:
+        """SIGKILL the process hosting ``worker`` (a real crash).
+
+        Every logical worker sharing that process dies with it, exactly
+        like a machine loss taking down its hosted partitions.
+        """
+        if not self._started:
+            raise SimulationError("LocalRuntime not started; call start()")
+        i = self._proc_of(worker)
+        proc = self._procs[i]
+        if proc.is_alive():
+            os.kill(proc.pid, signal.SIGKILL)
+            join_within(proc, 5.0)
+        self._dead_procs.add(i)
+
+    def inject_faults(
+        self, events: Iterable[LocalFaultEvent]
+    ) -> Dict[int, dict]:
+        """Apply a chaos plan's events for the coming round.
+
+        KILL strikes immediately (SIGKILL); DROP/GARBLE arm a one-shot
+        mangle of the victim's next reply frame; STALL returns per-worker
+        ``__delay__`` args the caller merges into its next exchange so
+        the victim's handler sleeps before working.
+        """
+        extra: Dict[int, dict] = {}
+        for event in events:
+            if event.kind is LocalFaultKind.KILL:
+                self.kill_worker(event.worker)
+            elif event.kind is LocalFaultKind.STALL:
+                extra.setdefault(event.worker, {})[_DELAY] = float(event.stall_s)
+            elif event.kind is LocalFaultKind.DROP:
+                self._mangle[event.worker] = "drop"
+            elif event.kind is LocalFaultKind.GARBLE:
+                self._mangle[event.worker] = "garble"
+            else:  # pragma: no cover - enum is closed
+                raise ConfigurationError(
+                    "unknown fault kind {!r}".format(event.kind)
+                )
+        return extra
+
+    def respawn(self, programs: Dict[int, object]) -> float:
+        """Relaunch every dead process; returns measured seconds.
+
+        ``programs`` must cover the logical workers hosted by the dead
+        processes — freshly rebuilt program objects whose state the
+        executor then restores (checkpoint decode, zero-init, ...) via
+        targeted ops.  Live processes are untouched.
+        """
+        if not self._started:
+            raise SimulationError("LocalRuntime not started; call start()")
+        start = time.perf_counter()
+        self._refresh_liveness()
+        context = multiprocessing.get_context(self.start_method)
+        for i in sorted(self._dead_procs):
+            hosted = self._workers_of_proc[i]
+            missing = [w for w in hosted if w not in programs]
+            if missing:
+                raise ConfigurationError(
+                    "respawn needs a program for worker(s) {}".format(missing)
+                )
+            try:
+                self._conns[i].close()
+            except OSError:
+                pass
+            proc, conn = self._launch(context, hosted, programs)
+            self._procs[i] = proc
+            self._conns[i] = conn
+            for w in hosted:
+                self._mangle.pop(w, None)
+        self._dead_procs = set()
+        return time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # real transport
@@ -289,47 +532,214 @@ class LocalRuntime(Runtime):
         args: Optional[dict] = None,
         payload: Optional[bytes] = None,
         per_worker_args: Optional[Dict[int, dict]] = None,
+        workers: Optional[Sequence[int]] = None,
+        iteration: Optional[int] = None,
+        raise_on_fault: bool = True,
     ) -> Exchange:
-        """Issue ``op`` to every logical worker and collect the replies.
+        """Issue ``op`` to the targeted workers and collect the replies.
 
         ``payload`` (one blob for everyone — a broadcast) and ``args``
         are shared; ``per_worker_args`` entries are merged over ``args``
-        for the targeted worker.  The exchange is measured wall-clock at
-        the master; a worker-side exception aborts with
-        :class:`~repro.errors.SimulationError` carrying the remote
-        traceback summary.
+        for the targeted worker; ``workers`` restricts the exchange to a
+        subset (default: all).  The exchange is measured wall-clock at
+        the master and every wait is deadline-bounded: when the
+        timeout policy's deadline expires the frame is resent with
+        exponential backoff (accounted as RETRY traffic and recorded as
+        a :class:`~repro.engine.trace.RetryEvent` under ``iteration``),
+        and a worker still silent after ``max_retries`` resends — or
+        whose process died — lands in ``Exchange.failures``.
+
+        With ``raise_on_fault=True`` (the default) such failures raise
+        :class:`~repro.errors.WorkerUnresponsiveError`; executors that
+        run the recovery pipeline pass ``False`` and consume the
+        structured outcomes.  Worker-side exceptions always raise
+        :class:`~repro.errors.SimulationError` — after every in-flight
+        reply has been drained, so the shared pipes stay synchronized.
         """
         if not self._started:
             raise SimulationError("LocalRuntime not started; call start()")
         start = time.perf_counter()
-        for conn, hosted in zip(self._conns, self._workers_of_proc):
-            for worker_id in hosted:
-                merged = dict(args) if args else {}
-                if per_worker_args and worker_id in per_worker_args:
-                    merged.update(per_worker_args[worker_id])
-                conn.send((op, worker_id, merged, payload))
+        self._refresh_liveness()
+        targets = (
+            list(range(self._n_workers)) if workers is None else sorted(workers)
+        )
+        unknown = [w for w in targets if not 0 <= w < self._n_workers]
+        if unknown:
+            raise ConfigurationError("unknown worker(s) {}".format(unknown))
+        resend_bytes = OBJECT_OVERHEAD_BYTES + len(payload or b"")
+
+        frames: Dict[int, tuple] = {}
+        pending: Dict[int, int] = {}  # worker -> awaited seq
+        conn_index = {id(conn): i for i, conn in enumerate(self._conns)}
+        failures: Dict[int, object] = {}
+        errors: Dict[int, str] = {}
         replies: Dict[int, WorkerReply] = {}
-        for conn, hosted in zip(self._conns, self._workers_of_proc):
-            for _ in hosted:
+        retries = 0
+        retry_log: List[Tuple[int, Tuple[int, ...], float]] = []
+
+        def mark_proc_dead(i: int) -> None:
+            self._dead_procs.add(i)
+            for w in self._workers_of_proc[i]:
+                if w in pending:
+                    del pending[w]
+                    failures[w] = WorkerDied(worker=w, op=op)
+
+        # issue phase -----------------------------------------------------
+        for i, (conn, hosted) in enumerate(
+            zip(self._conns, self._workers_of_proc)
+        ):
+            for w in hosted:
+                if w not in targets:
+                    continue
+                merged = dict(args) if args else {}
+                if per_worker_args and w in per_worker_args:
+                    merged.update(per_worker_args[w])
+                self._seq += 1
+                frames[w] = (self._seq, op, w, merged, payload)
+                if i in self._dead_procs:
+                    failures[w] = WorkerDied(worker=w, op=op)
+                    continue
                 try:
-                    worker_id, result, reply_payload, seconds = conn.recv()
-                except EOFError:
-                    raise SimulationError(
-                        "worker process died during op {!r}".format(op)
-                    )
-                if "__error__" in result:
-                    raise SimulationError(
-                        "op {!r} failed on worker {}: {}".format(
-                            op, worker_id, result["__error__"]
+                    conn.send(frames[w])
+                    pending[w] = self._seq
+                except (BrokenPipeError, OSError):
+                    failures[w] = WorkerDied(worker=w, op=op)
+                    mark_proc_dead(i)
+
+        # collect phase: deadline-bounded ARQ -----------------------------
+        attempt = 0
+        deadline = self.timeout.deadline_s(attempt)
+        while pending:
+            deadline_end = time.perf_counter() + deadline
+            while pending:
+                remaining = deadline_end - time.perf_counter()
+                if remaining <= 0:
+                    break
+                watched = {
+                    id(self._conns[self._proc_of(w)]): self._conns[self._proc_of(w)]
+                    for w in pending
+                }
+                for conn in wait_ready(list(watched.values()), remaining):
+                    i = conn_index[id(conn)]
+                    ok, frame = recv_ready(conn)
+                    if not ok:
+                        mark_proc_dead(i)
+                        continue
+                    seq, w, result, reply_payload, seconds = frame
+                    if pending.get(w) != seq:
+                        continue  # stale reply from a prior exchange/resend
+                    mangle = self._mangle.pop(w, None)
+                    if mangle == "drop":
+                        # reply lost in transit: the ARQ timer will resend
+                        continue
+                    if mangle == "garble":
+                        # checksum failure at receipt: account the wasted
+                        # arrival and resend immediately
+                        self._network.send(
+                            Message(
+                                MessageKind.RETRY,
+                                w,
+                                Message.MASTER,
+                                OBJECT_OVERHEAD_BYTES + len(reply_payload or b""),
+                            )
                         )
+                        try:
+                            conn.send(frames[w])
+                            self._network.send(
+                                Message(
+                                    MessageKind.RETRY,
+                                    Message.MASTER,
+                                    w,
+                                    resend_bytes,
+                                )
+                            )
+                            retries += 1
+                        except (BrokenPipeError, OSError):
+                            mark_proc_dead(i)
+                        continue
+                    del pending[w]
+                    if "__error__" in result:
+                        errors[w] = result["__error__"]
+                        continue
+                    replies[w] = WorkerReply(
+                        worker=w,
+                        result=result,
+                        payload=reply_payload,
+                        seconds=float(seconds),
                     )
-                replies[worker_id] = WorkerReply(
-                    worker=worker_id,
-                    result=result,
-                    payload=reply_payload,
-                    seconds=float(seconds),
+            if not pending:
+                break
+            # deadline expired with stragglers
+            retry_log.append((attempt, tuple(sorted(pending)), deadline))
+            if attempt >= self.timeout.max_retries:
+                self._refresh_liveness()
+                for w in sorted(pending):
+                    if self._proc_of(w) in self._dead_procs:
+                        failures[w] = WorkerDied(worker=w, op=op)
+                    else:
+                        failures[w] = WorkerTimeout(
+                            worker=w,
+                            op=op,
+                            deadline_s=deadline,
+                            attempts=attempt + 1,
+                        )
+                pending.clear()
+                break
+            attempt += 1
+            deadline = self.timeout.deadline_s(attempt)
+            for w in list(pending):
+                i = self._proc_of(w)
+                try:
+                    self._conns[i].send(frames[w])
+                    self._network.send(
+                        Message(MessageKind.RETRY, Message.MASTER, w, resend_bytes)
+                    )
+                    retries += 1
+                except (BrokenPipeError, OSError):
+                    mark_proc_dead(i)
+
+        # trace + bookkeeping ---------------------------------------------
+        if self.engine_trace is not None and iteration is not None:
+            for log_attempt, suspects, log_deadline in retry_log:
+                resolved = (
+                    "arrived"
+                    if all(w in replies or w in errors for w in suspects)
+                    else "failed"
                 )
-        return Exchange(replies=replies, seconds=time.perf_counter() - start)
+                self.engine_trace.add_retry(
+                    RetryEvent(
+                        round=iteration,
+                        attempt=log_attempt,
+                        suspects=suspects,
+                        deadline_s=log_deadline,
+                        resolved=resolved,
+                    )
+                )
+        elapsed = time.perf_counter() - start
+        if not failures and not retry_log:
+            self.timeout.observe(elapsed)
+        if errors:
+            # satellite fix: every in-flight reply was drained above, so
+            # raising here cannot desynchronize the shared pipes.
+            raise SimulationError(
+                "; ".join(
+                    "op {!r} failed on worker {}: {}".format(op, w, errors[w])
+                    for w in sorted(errors)
+                )
+            )
+        exchange = Exchange(
+            replies=replies,
+            seconds=elapsed,
+            failures=failures,
+            retries=retries,
+        )
+        if failures and raise_on_fault:
+            raise WorkerUnresponsiveError(
+                op,
+                dead=exchange.dead_workers(),
+                silent=exchange.silent_workers(),
+            )
+        return exchange
 
     def measure(self, fn: Callable[[], T]) -> Tuple[T, float]:
         """Run ``fn`` and return ``(result, wall seconds)``.

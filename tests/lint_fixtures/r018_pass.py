@@ -1,0 +1,19 @@
+"""R018 pass: every wait goes through the sanctioned deadline helpers."""
+
+from repro.runtime.deadline import join_within, recv_ready, wait_ready
+
+
+def collect_replies(conns, procs, deadline_s):
+    frames = []
+    for conn in wait_ready(conns, timeout_s=deadline_s):
+        alive, frame = recv_ready(conn)
+        if alive:
+            frames.append(frame)
+    for proc in procs:
+        join_within(proc, timeout_s=deadline_s)
+    return frames
+
+
+def poll_bounded(conn):
+    # a real timeout keeps the wait bounded, so this is sanctioned
+    return conn.poll(0.5)

@@ -1,0 +1,19 @@
+"""R018 trigger: unbounded blocking waits in runtime transport code."""
+
+from multiprocessing import connection
+
+
+def collect_replies(conns, procs):
+    ready = connection.wait(conns)  # no timeout: blocks forever
+    frames = [conn.recv() for conn in ready]
+    straggler = conns[0]
+    if straggler.poll():
+        frames.append(straggler.recv())
+    for proc in procs:
+        proc.join()
+    return frames
+
+
+def drain(conn):
+    while conn.poll(timeout=None):
+        conn.recv_bytes()

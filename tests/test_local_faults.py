@@ -1,0 +1,436 @@
+"""Real-fault tests for the local multiprocess backend.
+
+These tests SIGKILL actual worker processes, stall handlers past their
+deadlines, and drop reply frames on the master side — then require the
+training job to finish every iteration anyway, recovering through
+respawn + on-disk checkpoint restore, with the whole fault pipeline
+visible on the engine trace (RecoveryEvent / RetryEvent).
+
+The central invariants:
+
+* **bounded waits** — no transport call blocks past its deadline; dead
+  and hung workers surface as structured failures, never as hangs.
+* **at-most-once** — retried frames reuse their sequence number and the
+  worker replays its cached reply, so a retried ``update`` is never
+  applied twice.
+* **fault transparency** — stalls, drops, and garbles never change the
+  numbers (diff vs the simulator stays exactly 0.0); only a kill that
+  escalates to zero-init is allowed to move the trajectory.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ColumnSGDConfig, ColumnSGDDriver
+from repro.core.recovery import LocalCheckpointStore, RecoveryPolicy
+from repro.datasets import make_classification
+from repro.errors import ConfigurationError, WorkerUnresponsiveError
+from repro.models import LogisticRegression
+from repro.net.message import MessageKind
+from repro.optim import SGD
+from repro.runtime import (
+    LocalChaos,
+    LocalFaultEvent,
+    LocalFaultKind,
+    LocalRuntime,
+    TimeoutPolicy,
+)
+from repro.sim import CLUSTER1, SimulatedCluster
+
+WORKERS = 4
+ITERATIONS = 10
+BATCH = 32
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_classification(200, 80, nnz_per_row=10, seed=5)
+
+
+def make_driver(data, *, iterations=ITERATIONS, backend="local",
+                recovery=None, failures=None, **extra):
+    cluster = SimulatedCluster(CLUSTER1.with_workers(WORKERS))
+    config = ColumnSGDConfig(
+        batch_size=BATCH,
+        iterations=iterations,
+        eval_every=5,
+        seed=3,
+        backend=backend,
+        # one OS process per logical worker, so SIGKILLing a worker
+        # does not take innocent co-tenants down with it
+        local_processes=WORKERS if backend == "local" else 0,
+        check_protocol=True,
+        **extra,
+    )
+    driver = ColumnSGDDriver(
+        LogisticRegression(), SGD(0.5), cluster, config=config,
+        recovery=recovery, failures=failures,
+    )
+    driver.load(data)
+    return driver
+
+
+class CrashyProgram:
+    """Echo program whose 'die' op SIGKILLs its own host process and
+    whose 'inc' op counts invocations (for at-most-once checks)."""
+
+    def __init__(self):
+        self.count = 0
+
+    def handle(self, op, args, payload):
+        if op == "die":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if op == "inc":
+            self.count += 1
+        return {"count": self.count, "pid": os.getpid()}, payload
+
+
+def started_runtime(timeout, workers=3):
+    runtime = LocalRuntime(workers, processes=workers, timeout=timeout)
+    runtime.start({w: CrashyProgram() for w in range(workers)})
+    return runtime
+
+
+FAST = dict(floor_s=0.4, alpha=3.0, backoff=2.0)
+
+
+# ----------------------------------------------------------------------
+# deadline-bounded transport (satellite: worker-death paths)
+# ----------------------------------------------------------------------
+class TestDeadlineTransport:
+    def test_sigkill_mid_exchange_surfaces_worker_died(self):
+        runtime = started_runtime(TimeoutPolicy(max_retries=1, **FAST))
+        try:
+            exchange = runtime.run_all("die", workers=[0], raise_on_fault=False)
+            assert exchange.dead_workers() == [0]
+            assert not exchange.ok()
+            assert 0 in runtime.dead_workers()
+            # survivors keep answering
+            alive = runtime.run_all("echo", workers=[1, 2])
+            assert sorted(alive.replies) == [1, 2]
+        finally:
+            runtime.close()
+
+    def test_hung_handler_hits_the_deadline(self):
+        runtime = started_runtime(TimeoutPolicy(max_retries=1, **FAST))
+        try:
+            exchange = runtime.run_all(
+                "echo",
+                per_worker_args={0: {"__delay__": 5.0}},
+                raise_on_fault=False,
+            )
+            # the process is alive but silent past every deadline
+            assert exchange.silent_workers() == [0]
+            assert exchange.dead_workers() == []
+            assert sorted(exchange.replies) == [1, 2]
+            assert exchange.retries >= 1
+            assert runtime.dead_workers() == []
+        finally:
+            runtime.close()
+
+    def test_stale_reply_from_previous_exchange_is_skipped(self):
+        """After a timeout the worker eventually finishes its nap and
+        writes the old reply; the next exchange must not mistake it for
+        its own answer (sequence numbers disambiguate)."""
+        runtime = started_runtime(TimeoutPolicy(max_retries=0, **FAST))
+        try:
+            first = runtime.run_all(
+                "echo",
+                per_worker_args={0: {"__delay__": 1.2}},
+                raise_on_fault=False,
+            )
+            assert first.silent_workers() == [0]
+            time.sleep(1.4)  # let the stale reply land in the pipe
+            second = runtime.run_all("inc", workers=[0])
+            assert second.replies[0].result["count"] == 1
+        finally:
+            runtime.close()
+
+    def test_run_all_raises_structured_error_on_dead_worker(self):
+        runtime = started_runtime(TimeoutPolicy(max_retries=0, **FAST))
+        try:
+            runtime.kill_worker(1)
+            with pytest.raises(WorkerUnresponsiveError) as err:
+                runtime.run_all("echo")
+            assert err.value.dead == (1,)
+        finally:
+            runtime.close()
+
+    def test_barrier_timeout_raises_instead_of_hanging(self):
+        runtime = started_runtime(TimeoutPolicy(max_retries=0, **FAST))
+        try:
+            runtime.kill_worker(0)
+            with pytest.raises(WorkerUnresponsiveError):
+                runtime.barrier()
+        finally:
+            runtime.close()
+
+    def test_close_returns_with_a_dead_process(self):
+        runtime = started_runtime(TimeoutPolicy(max_retries=0, **FAST))
+        runtime.kill_worker(2)
+        runtime.close()  # must be bounded: no infinite join on the corpse
+        runtime.close()  # and idempotent
+
+    def test_respawn_revives_dead_workers(self):
+        runtime = started_runtime(TimeoutPolicy(max_retries=0, **FAST))
+        try:
+            runtime.kill_worker(0)
+            assert runtime.dead_workers() == [0]
+            seconds = runtime.respawn({0: CrashyProgram()})
+            assert seconds >= 0.0
+            assert runtime.dead_workers() == []
+            exchange = runtime.run_all("echo")
+            assert sorted(exchange.replies) == [0, 1, 2]
+        finally:
+            runtime.close()
+
+
+# ----------------------------------------------------------------------
+# at-most-once delivery under drop/garble faults
+# ----------------------------------------------------------------------
+class TestAtMostOnce:
+    def test_dropped_reply_is_resent_without_reexecution(self):
+        """DROP discards the reply at the master; the deadline expires,
+        the frame is resent with the same seq, and the worker replays
+        its cached reply — 'inc' runs exactly once."""
+        runtime = started_runtime(TimeoutPolicy(max_retries=2, **FAST))
+        try:
+            runtime.inject_faults(
+                [LocalFaultEvent(iteration=0, kind=LocalFaultKind.DROP, worker=0)]
+            )
+            exchange = runtime.run_all("inc", workers=[0], iteration=0)
+            assert exchange.replies[0].result["count"] == 1
+            assert exchange.retries >= 1
+            again = runtime.run_all("inc", workers=[0])
+            assert again.replies[0].result["count"] == 2
+        finally:
+            runtime.close()
+
+    def test_garbled_reply_accounts_wasted_retry_bytes(self):
+        runtime = started_runtime(TimeoutPolicy(max_retries=2, **FAST))
+        try:
+            runtime.inject_faults(
+                [LocalFaultEvent(iteration=0, kind=LocalFaultKind.GARBLE, worker=1)]
+            )
+            exchange = runtime.run_all(
+                "inc", payload=b"x" * 64, workers=[1], iteration=0
+            )
+            assert exchange.replies[1].result["count"] == 1
+            assert exchange.retries >= 1
+            assert runtime.network.bytes_of_kind(MessageKind.RETRY) > 0
+        finally:
+            runtime.close()
+
+    def test_retry_event_lands_on_the_engine_trace(self):
+        from repro.engine import EngineTrace
+
+        runtime = started_runtime(TimeoutPolicy(max_retries=2, **FAST))
+        runtime.engine_trace = EngineTrace(system="test")
+        try:
+            runtime.inject_faults(
+                [LocalFaultEvent(iteration=7, kind=LocalFaultKind.DROP, worker=0)]
+            )
+            runtime.run_all("inc", workers=[0], iteration=7)
+            events = runtime.engine_trace.round_retries(7)
+            assert events
+            assert events[0].suspects == (0,)
+            assert events[0].resolved == "arrived"
+        finally:
+            runtime.close()
+
+
+# ----------------------------------------------------------------------
+# the chaos plan
+# ----------------------------------------------------------------------
+class TestLocalChaos:
+    def test_same_seed_same_schedule(self):
+        def schedule(seed):
+            chaos = LocalChaos(mtbf_rounds=3.0, seed=seed, n_workers=4)
+            return [
+                (e.iteration, e.kind, e.worker)
+                for t in range(30)
+                for e in chaos.events_at(t)
+            ]
+
+        assert schedule(11) == schedule(11)
+        assert schedule(11) != schedule(12)
+
+    def test_mtbf_produces_poisson_arrivals(self):
+        chaos = LocalChaos(mtbf_rounds=2.0, seed=0, n_workers=4)
+        events = [e for t in range(40) for e in chaos.events_at(t)]
+        # 40 rounds at MTBF 2 → ~20 expected; allow wide slack
+        assert 5 <= len(events) <= 40
+        assert all(0 <= e.worker < 4 for e in events)
+
+    def test_scripted_plan_is_exact(self):
+        chaos = LocalChaos.scripted(
+            kills={3: 1},
+            stalls={(4, 0): 0.25},
+            drops=[(5, 2)],
+            garbles=[(6, 3)],
+        )
+        assert chaos.any_scheduled()
+        assert [(e.kind, e.worker) for e in chaos.events_at(3)] == [
+            (LocalFaultKind.KILL, 1)
+        ]
+        stall = chaos.events_at(4)[0]
+        assert (stall.kind, stall.worker, stall.stall_s) == (
+            LocalFaultKind.STALL, 0, 0.25,
+        )
+        assert chaos.events_at(7) == []
+
+    def test_validate_rejects_out_of_range_victims(self):
+        chaos = LocalChaos.scripted(kills={0: 9})
+        with pytest.raises(ConfigurationError):
+            chaos.validate(4)
+
+
+# ----------------------------------------------------------------------
+# the on-disk checkpoint store
+# ----------------------------------------------------------------------
+class TestLocalCheckpointStore:
+    def test_roundtrip(self):
+        with LocalCheckpointStore() as store:
+            store.write(4, 7, (3,), b"params", b"opt")
+            assert store.has_snapshot(7)
+            assert store.snapshot_iteration(7) == 4
+            iteration, shape, params, opt = store.read(7)
+            assert (iteration, shape, params, opt) == (4, (3,), b"params", b"opt")
+
+    def test_overwrite_keeps_newest(self):
+        with LocalCheckpointStore() as store:
+            store.write(2, 0, (2,), b"old", b"o1")
+            store.write(4, 0, (2,), b"new", b"o2")
+            assert store.read(0)[0] == 4
+            assert store.read(0)[2] == b"new"
+            assert store.writes == 2
+            assert store.bytes_written > 0
+
+    def test_missing_partition_raises(self):
+        with LocalCheckpointStore() as store:
+            with pytest.raises(ConfigurationError):
+                store.read(3)
+
+    def test_close_removes_owned_directory(self):
+        store = LocalCheckpointStore()
+        store.write(0, 0, (1,), b"p", b"o")
+        directory = store.directory
+        assert os.path.isdir(directory)
+        store.close()
+        assert not os.path.isdir(directory)
+
+
+# ----------------------------------------------------------------------
+# end-to-end recovery (the acceptance criterion)
+# ----------------------------------------------------------------------
+class TestColumnSGDFaultRecovery:
+    def test_sigkilled_workers_recover_from_checkpoints(self, data):
+        """Two workers SIGKILLed mid-run; training completes all
+        iterations, restoring each from its on-disk snapshot."""
+        driver = make_driver(
+            data,
+            sync_policy="retry",
+            local_timeout_s=1.0,
+            recovery=RecoveryPolicy(checkpoint_every=2),
+            failures=LocalChaos.scripted(kills={3: 1, 6: 2}),
+        )
+        result = driver.fit()
+        trace = driver.cluster.engine_trace
+        recoveries = [(e.round, e.worker, e.mode) for e in trace.recoveries]
+        assert recoveries == [(3, 1, "checkpoint"), (6, 2, "checkpoint")]
+        assert all(e.kind == "worker" for e in trace.recoveries)
+        assert trace.rounds() == list(range(ITERATIONS))
+        assert np.isfinite(result.final_loss())
+        assert driver.local_checkpoints.writes > 0
+
+    def test_kill_without_checkpoint_escalates_to_zero_init(self, data):
+        driver = make_driver(
+            data,
+            sync_policy="retry",
+            local_timeout_s=1.0,
+            failures=LocalChaos.scripted(kills={2: 0}),
+        )
+        result = driver.fit()
+        trace = driver.cluster.engine_trace
+        assert [(e.round, e.worker, e.mode) for e in trace.recoveries] == [
+            (2, 0, "zero-init")
+        ]
+        assert trace.rounds() == list(range(ITERATIONS))
+        assert np.isfinite(result.final_loss())
+
+    def test_nonlethal_faults_do_not_change_the_numbers(self, data):
+        """Stalls, drops, and garbles cost retries and wall-clock time
+        but never move the trajectory: the final model matches the
+        fault-free simulator bit for bit."""
+        reference = make_driver(data, backend="sim").fit()
+        driver = make_driver(
+            data,
+            sync_policy="retry",
+            local_timeout_s=1.0,
+            recovery=RecoveryPolicy(checkpoint_every=3),
+            failures=LocalChaos.scripted(
+                stalls={(2, 0): 0.05},
+                drops=[(4, 3)],
+                garbles=[(7, 1)],
+            ),
+        )
+        faulted = driver.fit()
+        diff = float(
+            np.max(np.abs(faulted.final_params - reference.final_params))
+        )
+        assert diff == 0.0
+        assert driver.cluster.engine_trace.retries  # faults really fired
+
+    def test_chaos_off_is_bit_identical_to_sim(self, data):
+        """The full fault machinery (deadlines, retry policy, real
+        checkpoint spills) must be numerically invisible when no fault
+        fires."""
+        reference = make_driver(data, backend="sim").fit()
+        local = make_driver(
+            data,
+            sync_policy="retry",
+            recovery=RecoveryPolicy(checkpoint_every=2),
+        ).fit()
+        diff = float(
+            np.max(np.abs(local.final_params - reference.final_params))
+        )
+        assert diff == 0.0
+
+    def test_mllib_recovers_by_reload(self, data):
+        from repro.baselines.registry import make_trainer
+
+        def fit(failures=None):
+            cluster = SimulatedCluster(CLUSTER1.with_workers(WORKERS))
+            trainer = make_trainer(
+                "mllib",
+                LogisticRegression(),
+                SGD(0.5),
+                cluster,
+                batch_size=BATCH,
+                iterations=ITERATIONS,
+                eval_every=5,
+                seed=3,
+                backend="local" if failures is not None else "sim",
+                local_processes=WORKERS if failures is not None else 0,
+                local_timeout_s=1.0,
+                check_protocol=True,
+                failures=failures,
+            )
+            trainer.load(data)
+            return trainer, trainer.fit()
+
+        _, reference = fit()
+        trainer, faulted = fit(LocalChaos.scripted(kills={2: 1, 5: 3}))
+        trace = trainer.cluster.engine_trace
+        assert [(e.round, e.worker, e.mode) for e in trace.recoveries] == [
+            (2, 1, "reload"), (5, 3, "reload")
+        ]
+        # the model lives at the master: reload recovery loses nothing
+        diff = float(
+            np.max(np.abs(faulted.final_params - reference.final_params))
+        )
+        assert diff == 0.0

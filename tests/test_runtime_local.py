@@ -174,9 +174,34 @@ class TestConfigValidation:
         with pytest.raises(ValueError, match="backup"):
             ColumnSGDConfig(backend="local", backup=1)
 
-    def test_local_rejects_timeout_sync(self):
-        with pytest.raises(ValueError, match="barrier"):
-            ColumnSGDConfig(backend="local", sync_policy="timeout")
+    def test_local_accepts_timeout_sync_policies(self):
+        """Deadline-bounded transport made the relaxed-barrier policies
+        real on the local backend (they used to be rejected)."""
+        for policy in ("retry", "timeout"):
+            config = ColumnSGDConfig(backend="local", sync_policy=policy)
+            assert config.sync_policy == policy
+
+    def test_local_accepts_checkpointing(self, data):
+        """A RecoveryPolicy with a checkpoint cadence is honoured on the
+        local backend (real spills; see tests/test_local_faults.py)."""
+        from repro.core.recovery import RecoveryPolicy
+
+        cluster = SimulatedCluster(CLUSTER1.with_workers(WORKERS))
+        driver = ColumnSGDDriver(
+            LogisticRegression(),
+            SGD(0.5),
+            cluster,
+            config=ColumnSGDConfig(
+                batch_size=BATCH, iterations=4, seed=3, backend="local"
+            ),
+            recovery=RecoveryPolicy(checkpoint_every=2),
+        )
+        driver.load(data)
+        driver.fit()
+        store = driver.local_checkpoints
+        assert store is not None
+        assert store.writes > 0
+        assert store.bytes_written > 0
 
     def test_local_rejects_engine_audits(self):
         with pytest.raises(ValueError, match="check_effects"):
@@ -198,7 +223,10 @@ class TestConfigValidation:
             failures=FailureInjector.worker_failure(iteration=2, worker_id=1),
         )
         driver.load(data)
-        with pytest.raises(ConfigurationError, match="failure injection"):
+        # Simulated fault plans cannot reach real processes; the error
+        # points at the real-fault alternative (repro.runtime.LocalChaos,
+        # exercised in tests/test_local_faults.py).
+        with pytest.raises(ConfigurationError, match="LocalChaos"):
             driver.fit()
 
     def test_only_mllib_baseline_supports_local(self, data):
@@ -268,6 +296,48 @@ class TestLocalRuntimeMechanics:
                 runtime.run_all("boom")
         finally:
             runtime.close()
+
+    def test_error_exchange_drains_inflight_replies(self):
+        """Regression: a remote error must not abandon the other
+        workers' replies in their pipes — the next exchange would read
+        them as its own answers.  The raise happens only after the
+        exchange fully drains."""
+        runtime = started_runtime()
+        try:
+            with pytest.raises(SimulationError, match="kaboom"):
+                runtime.run_all("boom", payload=b"stale")
+            exchange = runtime.run_all("echo", args={"x": 11}, payload=b"fresh")
+            assert sorted(exchange.replies) == [0, 1, 2]
+            assert all(
+                r.result["echo"] == 11 for r in exchange.replies.values()
+            )
+            assert exchange.payloads() == {w: b"fresh" for w in range(3)}
+        finally:
+            runtime.close()
+
+    def test_error_message_names_every_failing_worker(self):
+        runtime = started_runtime()
+        try:
+            with pytest.raises(SimulationError) as err:
+                runtime.run_all("boom")
+            for worker in range(3):
+                assert "worker {}".format(worker) in str(err.value)
+        finally:
+            runtime.close()
+
+    def test_allreduce_accounts_exact_byte_total(self):
+        """The ring split must cover every byte: uneven sizes hand the
+        remainder to the last shard (2(n-1)·(size//n) + size%n total)."""
+        for workers, size in ((3, 1000), (4, 1001), (5, 7), (2, 0)):
+            runtime = LocalRuntime(workers)
+            runtime.allreduce(MessageKind.MODEL_AVG, size)
+            expected = 2 * (workers - 1) * (size // workers) + size % workers
+            assert runtime.network.total_bytes() == expected, (workers, size)
+
+    def test_allreduce_single_worker_sends_nothing(self):
+        runtime = LocalRuntime(1)
+        assert runtime.allreduce(MessageKind.MODEL_AVG, 512) == 0.0
+        assert runtime.network.total_bytes() == 0
 
     def test_transport_methods_account_without_advancing_time(self):
         runtime = LocalRuntime(3)
