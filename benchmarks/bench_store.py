@@ -1,0 +1,186 @@
+"""Out-of-core store: shuffle cost, scan throughput, and cache behavior.
+
+Measures the three costs the store trades against memory: (1) the
+one-time out-of-core shuffle (rows → column shards on disk) against the
+in-memory dispatcher's working set, (2) cold vs warm full-shard scan
+throughput (mmap page-ins vs LRU cache hits), and (3) an end-to-end
+training run from the store on the local multiprocess backend, checked
+bit-identical against the in-memory simulator run and reporting the
+per-worker cache hit ratio and bytes actually fetched from disk.
+
+Writes ``BENCH_store.json`` into the current working directory; CI's
+store job uploads it.  Wall-clock numbers are this machine's, not the
+paper cluster's — the point is the *shape* (warm scans orders of
+magnitude over cold, training hit ratios near 1 once shards are hot)
+and the exactness columns (param diff 0.0, budget respected).
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core import ColumnSGDConfig, ColumnSGDDriver
+from repro.datasets import make_classification
+from repro.models import LogisticRegression
+from repro.optim import SGD
+from repro.runtime.local import max_rss_bytes
+from repro.sim import CLUSTER1, SimulatedCluster
+from repro.storage.serialization import csr_matrix_bytes
+from repro.store import STORE_LEDGER, ColumnShardStore, ShuffleWriter
+from repro.utils import ascii_table
+
+WORKERS = 4
+LOCAL_PROCESSES = 2
+ITERATIONS = 12
+BATCH = 100
+BLOCK = 128
+SEED = 5
+ROWS = 4000
+FEATURES = 600
+NNZ_PER_ROW = 12
+
+
+def make_data():
+    return make_classification(ROWS, FEATURES, nnz_per_row=NNZ_PER_ROW, seed=SEED)
+
+
+def make_driver(backend, store_dir="", budget=0):
+    cluster = SimulatedCluster(CLUSTER1.with_workers(WORKERS))
+    return ColumnSGDDriver(
+        LogisticRegression(),
+        SGD(0.5),
+        cluster,
+        config=ColumnSGDConfig(
+            batch_size=BATCH,
+            iterations=ITERATIONS,
+            eval_every=ITERATIONS,
+            seed=SEED,
+            block_size=BLOCK,
+            backend=backend,
+            local_processes=LOCAL_PROCESSES if backend == "local" else 0,
+            store_dir=str(store_dir) if store_dir else "",
+            memory_budget_bytes=budget,
+        ),
+    )
+
+
+def scan_all(store, budget):
+    """Full pass over every worker's every workset; seconds + stats."""
+    stores = [store.worker_store(w, cache_budget_bytes=budget) for w in range(WORKERS)]
+    start = time.perf_counter()
+    for ws in stores:
+        for b in ws.block_ids():
+            ws.get(b)
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for ws in stores:
+        for b in ws.block_ids():
+            ws.get(b)
+    warm_s = time.perf_counter() - start
+    stats = [ws.cache_stats() for ws in stores]
+    for ws in stores:
+        ws.clear()
+    return cold_s, warm_s, stats
+
+
+def test_store_out_of_core(emit, tmp_path):
+    data = make_data()
+    dataset_bytes = csr_matrix_bytes(data.n_rows, data.nnz, with_labels=True)
+    budget = dataset_bytes // 4
+
+    # -- shuffle: out-of-core write under a tracked budget ---------------
+    writer = ShuffleWriter(
+        tmp_path / "store",
+        n_features=data.n_features,
+        n_workers=WORKERS,
+        block_size=BLOCK,
+        memory_budget_bytes=budget,
+    )
+    start = time.perf_counter()
+    for i in range(data.n_rows):
+        row = data.features.row(i)
+        writer.add_row(data.labels[i], row.indices, row.values)
+    store = ColumnShardStore.finish(writer)
+    shuffle_s = time.perf_counter() - start
+    assert writer.meter.peak <= budget
+
+    # -- scans: cold (disk) vs warm (cache) ------------------------------
+    STORE_LEDGER.reset()
+    cold_s, warm_s, scan_stats = scan_all(store, budget)
+    scan_bytes = sum(s["bytes_read"] for s in scan_stats)
+    assert scan_bytes == STORE_LEDGER.bytes_read
+
+    # -- training: store-backed local run vs in-memory simulator --------
+    ref = make_driver("sim")
+    ref.load(data)
+    ref.fit()
+    trained = make_driver("local", store_dir=tmp_path / "store", budget=budget)
+    trained.load(data)
+    start = time.perf_counter()
+    result = trained.fit()
+    train_s = time.perf_counter() - start
+    diff = float(np.max(np.abs(ref.current_params() - trained.current_params())))
+    assert diff == 0.0
+
+    hits = misses = fetched = 0
+    for per_pid in trained.store_read_stats.values():
+        for stats in per_pid.values():
+            hits += stats["hits"]
+            misses += stats["misses"]
+            fetched += stats["bytes_read"]
+    hit_ratio = hits / max(1, hits + misses)
+
+    report = {
+        "rows": ROWS,
+        "features": FEATURES,
+        "nnz_per_row": NNZ_PER_ROW,
+        "workers": WORKERS,
+        "block_size": BLOCK,
+        "dataset_bytes": dataset_bytes,
+        "memory_budget_bytes": budget,
+        "stored_bytes": store.total_stored_bytes(),
+        "shuffle": {
+            "seconds": shuffle_s,
+            "tracked_peak_bytes": writer.meter.peak,
+            "blocks": store.manifest.n_blocks,
+        },
+        "scan": {
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "bytes_read": scan_bytes,
+            "cold_mb_per_s": scan_bytes / 1e6 / max(cold_s, 1e-9),
+        },
+        "training": {
+            "backend": "local",
+            "seconds": train_s,
+            "iterations": ITERATIONS,
+            "final_loss": result.final_loss(),
+            "max_abs_param_diff_vs_sim": diff,
+            "cache_hit_ratio": hit_ratio,
+            "bytes_fetched": fetched,
+        },
+        "max_rss_bytes": max_rss_bytes(),
+    }
+    pathlib.Path("BENCH_store.json").write_text(json.dumps(report, indent=2) + "\n")
+    emit(
+        "store_out_of_core",
+        ascii_table(
+            ["metric", "value"],
+            [
+                ("dataset bytes (model)", "{:,}".format(dataset_bytes)),
+                ("memory budget bytes", "{:,}".format(budget)),
+                ("shuffle s", "{:.3f}".format(shuffle_s)),
+                ("shuffle tracked peak", "{:,}".format(writer.meter.peak)),
+                ("stored bytes on disk", "{:,}".format(store.total_stored_bytes())),
+                ("cold scan s", "{:.4f}".format(cold_s)),
+                ("warm scan s", "{:.4f}".format(warm_s)),
+                ("cold scan MB/s", "{:.1f}".format(report["scan"]["cold_mb_per_s"])),
+                ("train s (local, store)", "{:.2f}".format(train_s)),
+                ("train cache hit ratio", "{:.3f}".format(hit_ratio)),
+                ("max |param diff| vs sim", "{:.1e}".format(diff)),
+                ("max RSS bytes", "{:,}".format(max_rss_bytes())),
+            ],
+        ),
+    )

@@ -126,6 +126,12 @@ def run_local_rowsgd(
             "backend='local' is implemented for the MLlib baseline only; "
             "{} is simulator-only".format(type(trainer).__name__)
         )
+    if getattr(trainer.config, "store_dir", ""):
+        raise ConfigurationError(
+            "store_dir holds a *column*-shard store; the row-oriented "
+            "MLlib baseline cannot read it — use the ColumnSGD driver "
+            "or drop store_dir"
+        )
     chaos = trainer.failures if isinstance(trainer.failures, LocalChaos) else None
     if chaos is None and trainer.failures.any_scheduled():
         raise ConfigurationError(

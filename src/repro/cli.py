@@ -115,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="statistics wire format (columnsgd only)")
     train.add_argument("--early-stop-patience", type=int, default=0,
                        help="stop after N stagnant evaluations (columnsgd only)")
+    train.add_argument("--store-dir", default=None,
+                       help="shuffle the data into (or reuse) an on-disk "
+                            "column-shard store here and train out-of-core "
+                            "(columnsgd only; see docs/storage.md)")
+    train.add_argument("--memory-budget-mb", type=float, default=0.0,
+                       help="bound the store shuffle buffers and each "
+                            "worker's block cache to this many MiB "
+                            "(0 = unbounded; needs --store-dir)")
     train.add_argument("--save", default=None, help="checkpoint path (.npz)")
 
     compare = sub.add_parser("compare", help="run all five systems")
@@ -243,6 +251,11 @@ def cmd_info(args, out) -> int:
 
 def _columnsgd_extras(args, system: str) -> dict:
     if system != "columnsgd":
+        if getattr(args, "store_dir", None):
+            raise SystemExit(
+                "--store-dir holds a column-shard store; it applies to "
+                "--system columnsgd only"
+            )
         return {}
     extras = {}
     if getattr(args, "backup", 0):
@@ -253,6 +266,12 @@ def _columnsgd_extras(args, system: str) -> dict:
         extras["wire_precision"] = args.wire_precision
     if getattr(args, "early_stop_patience", 0):
         extras["early_stop_patience"] = args.early_stop_patience
+    if getattr(args, "store_dir", None):
+        extras["store_dir"] = args.store_dir
+    if getattr(args, "memory_budget_mb", 0.0):
+        if not getattr(args, "store_dir", None):
+            raise SystemExit("--memory-budget-mb needs --store-dir")
+        extras["memory_budget_bytes"] = int(args.memory_budget_mb * 2**20)
     return extras
 
 

@@ -110,6 +110,14 @@ class ColumnSGDConfig:
                                    # measured exchange seconds), backed
                                    # off by sync_backoff per retry (see
                                    # repro.runtime.deadline)
+    store_dir: str = ""           # when set, load() shuffles the data
+                                  # into (or reopens) an on-disk
+                                  # column-shard store there and workers
+                                  # read their shards out-of-core (see
+                                  # repro.store and docs/storage.md)
+    memory_budget_bytes: int = 0  # bounds the shuffle writer's tracked
+                                  # buffers and each worker's decoded-
+                                  # block LRU cache (0 = unbounded)
 
     def __post_init__(self):
         check_positive(self.batch_size, "batch_size")
@@ -130,6 +138,12 @@ class ColumnSGDConfig:
         check_in(self.backend, BACKENDS, "backend")
         check_non_negative(self.local_processes, "local_processes")
         check_positive(self.local_timeout_s, "local_timeout_s")
+        check_non_negative(self.memory_budget_bytes, "memory_budget_bytes")
+        if self.store_dir and self.loader != "block":
+            raise ValueError(
+                "store_dir requires loader='block'; the shard store is "
+                "laid out block by block"
+            )
         if self.early_stop_patience and not self.eval_every:
             raise ValueError("early stopping requires eval_every > 0")
         if self.backend == "local":
@@ -192,6 +206,15 @@ class ColumnSGDDriver:
         self._workers: List[ColumnWorker] = []
         self._index: Optional[TwoPhaseIndex] = None
         self._engine: Optional[RoundEngine] = None
+        #: the ColumnShardStore behind a store-backed load (else None)
+        self._store = None
+        self._n_features: int = 0
+        self._dataset_name: str = ""
+        self._data_rows: int = 0
+        self._data_nnz: int = 0
+        #: per-worker shard cache counters of the most recent
+        #: backend='local' fit() (worker id -> partition id -> stats)
+        self.store_read_stats: Dict[int, Dict[int, Dict[str, int]]] = {}
         #: the LocalRuntime of the most recent backend='local' fit()
         self.local_runtime = None
         self.load_report: Optional[LoadReport] = None
@@ -209,20 +232,89 @@ class ColumnSGDDriver:
     # loading (Algorithm 3 lines 2-3 + Section IV transformation)
     # ------------------------------------------------------------------
     def load(self, dataset: Dataset) -> LoadReport:
-        """Transform row-stored data to column partitions and init models."""
+        """Transform row-stored data to column partitions and init models.
+
+        With ``config.store_dir`` set, the row→column transformation
+        runs as an out-of-core disk shuffle into a column-shard store
+        (reused if the directory already holds a matching one) and the
+        workers read their shards lazily through mmap — same block
+        layout, same simulated load cost, bit-identical training.
+        """
         K = self.cluster.n_workers
         self._dataset = dataset
+        self._n_features = dataset.n_features
+        self._dataset_name = dataset.name
+        self._data_rows = dataset.n_rows
+        self._data_nnz = dataset.nnz
         self._assignment = make_assignment(self.config.scheme, dataset.n_features, K)
-        dispatch = dispatch_block_based if self.config.loader == "block" else dispatch_naive
-        stores, block_sizes, report = dispatch(
-            dataset, self._assignment, self.cluster, block_size=self.config.block_size
+        if self.config.store_dir:
+            from repro.store import store_backed_dispatch
+
+            self._store, stores, block_sizes, report = store_backed_dispatch(
+                dataset,
+                self.cluster,
+                self.config.store_dir,
+                scheme=self.config.scheme,
+                block_size=self.config.block_size,
+                memory_budget_bytes=self.config.memory_budget_bytes,
+            )
+        else:
+            dispatch = (
+                dispatch_block_based if self.config.loader == "block" else dispatch_naive
+            )
+            stores, block_sizes, report = dispatch(
+                dataset, self._assignment, self.cluster, block_size=self.config.block_size
+            )
+        self.load_report = report
+        self._init_partitions(stores, block_sizes)
+        return report
+
+    def load_from_store(self, store_dir: Optional[str] = None) -> LoadReport:
+        """Load straight from an existing column-shard store, no dataset.
+
+        The store's manifest supplies the shapes; the simulated load
+        cost replays from shard footers (:class:`~repro.store.StoreModel`),
+        so the run is indistinguishable from :meth:`load` on the original
+        dataset.  Full-loss evaluation (``eval_every``) reassembles the
+        dataset lazily on first use.
+        """
+        from repro.store import store_backed_dispatch
+
+        target = store_dir if store_dir is not None else self.config.store_dir
+        if not target:
+            raise ConfigurationError(
+                "load_from_store() needs a store directory (argument or "
+                "config.store_dir)"
+            )
+        self._store, stores, block_sizes, report = store_backed_dispatch(
+            None,
+            self.cluster,
+            target,
+            scheme=self.config.scheme,
+            block_size=self.config.block_size,
+            memory_budget_bytes=self.config.memory_budget_bytes,
+        )
+        manifest = self._store.manifest
+        self._dataset = None
+        self._n_features = manifest.n_features
+        self._dataset_name = manifest.name
+        self._data_rows = manifest.n_rows
+        self._data_nnz = manifest.nnz
+        self._assignment = make_assignment(
+            self.config.scheme, manifest.n_features, self.cluster.n_workers
         )
         self.load_report = report
+        self._init_partitions(stores, block_sizes)
+        return report
+
+    def _init_partitions(self, stores, block_sizes) -> None:
+        """Shared load tail: index, initModel, workers, memory, recovery."""
+        K = self.cluster.n_workers
         self._index = TwoPhaseIndex(block_sizes, base_seed=self.config.seed)
 
         # initModel: one global init, sliced per partition so distributed
         # initialisation matches a single-machine init exactly.
-        full_init = self.model.init_params(dataset.n_features, seed=self.config.seed)
+        full_init = self.model.init_params(self._n_features, seed=self.config.seed)
         self._partitions = []
         for p in range(K):
             columns = self._assignment.columns_of(p)
@@ -252,7 +344,6 @@ class ColumnSGDDriver:
             self._partitions,
             replay_fn=self._replay_iteration,
         )
-        return report
 
     def _charge_setup_memory(self) -> None:
         """Table I memory shape: master holds B-sized buffers, workers
@@ -284,10 +375,12 @@ class ColumnSGDDriver:
         that dataset (``TrainingResult.eval_losses()``), without
         charging simulated time.
         """
-        if dataset is not None and self._dataset is None:
+        if dataset is not None and self._index is None:
             self.load(dataset)
-        if self._dataset is None:
-            raise TrainingError("call load() or pass a dataset to fit()")
+        if self._index is None:
+            raise TrainingError(
+                "call load()/load_from_store() or pass a dataset to fit()"
+            )
         self._eval_dataset = eval_dataset
         iterations = iterations if iterations is not None else self.config.iterations
         check_positive(iterations, "iterations")
@@ -296,7 +389,7 @@ class ColumnSGDDriver:
             system="ColumnSGD" if self.config.backup == 0 else
             "ColumnSGD-backup{}".format(self.config.backup),
             model=self.model.name,
-            dataset=self._dataset.name,
+            dataset=self._dataset_name,
             batch_size=self.config.batch_size,
             n_workers=self.cluster.n_workers,
         )
@@ -426,7 +519,8 @@ class ColumnSGDDriver:
                     after=(),
                     reads=(
                         "ctx.slowdowns",
-                        "self._dataset",
+                        "self._data_nnz",
+                        "self._data_rows",
                         "self.cluster",
                         "self.config",
                     ),
@@ -532,8 +626,7 @@ class ColumnSGDDriver:
         average density, split across the column partitions.
         """
         B = self.config.batch_size
-        dataset = self._dataset
-        expected_nnz = B * dataset.nnz / (dataset.n_rows * self.cluster.n_workers)
+        expected_nnz = B * self._data_nnz / (self._data_rows * self.cluster.n_workers)
         ctx.scratch["prefetch_nnz"] = expected_nnz
         work = self.cluster.cost.sparse_work(expected_nnz, passes=1)
         return {
@@ -736,10 +829,10 @@ class ColumnSGDDriver:
     # ------------------------------------------------------------------
     def current_params(self) -> np.ndarray:
         """Assemble the full model from the column partitions."""
-        if self._dataset is None:
+        if self._index is None:
             raise TrainingError("no model yet; call load() first")
         full = np.zeros(
-            self.model.param_shape(self._dataset.n_features), dtype=np.float64
+            self.model.param_shape(self._n_features), dtype=np.float64
         )
         for state in self._partitions:
             full[state.columns] = state.params
@@ -752,10 +845,10 @@ class ColumnSGDDriver:
         Optimizer state (momenta, accumulators) is reset, matching what
         restarting a job from a saved model does in practice.
         """
-        if self._dataset is None:
+        if self._index is None:
             raise TrainingError("call load() before set_params()")
         full_params = np.asarray(full_params, dtype=np.float64)
-        expected = self.model.param_shape(self._dataset.n_features)
+        expected = self.model.param_shape(self._n_features)
         if full_params.shape != tuple(expected):
             raise TrainingError(
                 "params shape {} does not match model shape {}".format(
@@ -767,8 +860,16 @@ class ColumnSGDDriver:
             state.optimizer.reset()
 
     def evaluate_loss(self, dataset: Optional[Dataset] = None) -> float:
-        """Full objective on the (training) dataset — not charged to time."""
+        """Full objective on the (training) dataset — not charged to time.
+
+        After a dataset-less :meth:`load_from_store`, the training data
+        is reassembled from the shards once, on first evaluation.
+        """
         data = dataset if dataset is not None else self._dataset
+        if data is None:
+            if self._store is None:
+                raise TrainingError("no dataset to evaluate; call load() first")
+            self._dataset = data = self._store.materialize_dataset()
         return self.model.loss(data.features, data.labels, self.current_params())
 
     def _record(

@@ -160,6 +160,17 @@ class ColumnWorkerProgram:
         if op == "draws":
             draws = self.index.sample(int(args["t"]), self.batch_size)
             return {"draws": [tuple(map(int, d)) for d in draws]}, None
+        if op == "store_stats":
+            # Shard cache counters of each owned partition (zeros for
+            # in-memory stores).  Out-of-band like "params": the store
+            # readers live in *this* process, so the master can only
+            # learn their hit/miss/bytes tallies through a reply.
+            return {
+                "stats": {
+                    pid: state.store.cache_stats()
+                    for pid, state in self.worker.partitions.items()
+                }
+            }, None
         if op == "params":
             # Out-of-band state fetch for evaluation/final assembly —
             # not message-accounted, matching the simulator's convention
@@ -491,6 +502,7 @@ def run_local_columnsgd(
         if stopped_at is not None:
             result.notes = "early stop at iteration {}".format(stopped_at)
         sync_params(runtime, driver)
+        driver.store_read_stats = collect_store_stats(runtime)
     finally:
         if owns_runtime:
             runtime.close()
@@ -511,6 +523,19 @@ def sync_params(runtime: LocalRuntime, driver) -> None:
     for reply in exchange.replies.values():
         for pid, params in reply.result["params"].items():
             driver._partitions[pid].params[...] = params
+
+
+def collect_store_stats(runtime: LocalRuntime) -> Dict[int, Dict[int, Dict[str, int]]]:
+    """Pull per-partition shard cache counters out of the workers.
+
+    Returns ``worker id -> partition id -> counters``; in-memory stores
+    report zeros, shard-backed ones the real hit/miss/bytes tallies
+    charged in their own process.
+    """
+    exchange = runtime.run_all("store_stats")
+    return {
+        w: reply.result["stats"] for w, reply in exchange.replies.items()
+    }
 
 
 def _trace_round(

@@ -6,10 +6,16 @@ The format the paper's public datasets ship in: one example per line,
 
 with 1-based or 0-based indices (auto-detected on read; LIBSVM upstream is
 1-based).  Comments after ``#`` are ignored, as in the reference tools.
+
+Paths ending in ``.gz`` are read and written through gzip transparently —
+the public datasets distribute compressed, and streaming consumers
+(:func:`iter_libsvm`, the store's out-of-core shuffle) decompress on the
+fly without an intermediate plain-text copy.
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 from pathlib import Path
 from typing import Iterator, Optional, Tuple, Union
@@ -23,6 +29,13 @@ from repro.linalg import CSRMatrix, SparseVector
 PathOrStream = Union[str, Path, io.TextIOBase]
 
 
+def _open_text(path: Union[str, Path], mode: str):
+    """Open a LIBSVM path for text I/O, decompressing ``.gz`` on the fly."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
 def iter_libsvm(source: PathOrStream) -> Iterator[Tuple[float, np.ndarray, np.ndarray]]:
     """Yield ``(label, indices, values)`` per line, indices as given in the file.
 
@@ -31,7 +44,7 @@ def iter_libsvm(source: PathOrStream) -> Iterator[Tuple[float, np.ndarray, np.nd
     """
     close = False
     if isinstance(source, (str, Path)):
-        stream = open(source, "r", encoding="utf-8")
+        stream = _open_text(source, "r")
         close = True
     else:
         stream = source
@@ -118,7 +131,7 @@ def write_libsvm(dataset: Dataset, target: PathOrStream, zero_based: bool = Fals
     """Write a dataset in LIBSVM text format (1-based indices by default)."""
     close = False
     if isinstance(target, (str, Path)):
-        stream = open(target, "w", encoding="utf-8")
+        stream = _open_text(target, "w")
         close = True
     else:
         stream = target

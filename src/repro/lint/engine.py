@@ -24,7 +24,7 @@ from repro.lint.findings import Finding
 #: Directories treated as the simulator's protocol paths: rules about
 #: simulated-time purity and swallowed errors apply here (and to any
 #: file outside the ``repro`` package, so rule fixtures self-apply).
-PROTOCOL_DIRS = ("sim", "core", "net", "baselines", "partition", "storage")
+PROTOCOL_DIRS = ("sim", "core", "net", "baselines", "partition", "storage", "store")
 
 #: Directory names discovery never recurses into.  ``lint_fixtures``
 #: trees deliberately violate the rules, so they are linted only when

@@ -82,9 +82,14 @@ MAX_NAME_CANDIDATES = 8
 #: Recursion budget for the interprocedural provenance trace (R009).
 PROVENANCE_DEPTH = 4
 
-#: Scheduling chatter the runtime checker ignores; the static extractor
-#: (R010) excludes it from the comparison for the same reason.
-UNCHECKED_KINDS = ("CONTROL",)
+#: Kinds the runtime checker ignores (mirrors
+#: ``repro.net.protocol.UNCHECKED_KINDS``); the static extractor (R010)
+#: excludes them from the comparison for the same reason — scheduling
+#: chatter (CONTROL), failure detection (HEARTBEAT), and recovery
+#: traffic (CHECKPOINT) are accounted by the RecoveryPolicy, not the
+#: trainer's Table-I declarations.  ``tests/test_lint_program.py`` pins
+#: the two tuples equal so they cannot drift apart.
+UNCHECKED_KINDS = ("CONTROL", "HEARTBEAT", "CHECKPOINT")
 
 
 def _shallow_walk(scope: ast.AST) -> Iterator[ast.AST]:

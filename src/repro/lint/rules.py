@@ -1,4 +1,4 @@
-"""The project-specific per-file rules (R001-R006, R018).
+"""The project-specific per-file rules (R001-R006, R018, R019).
 
 Each rule enforces one invariant the reproduction's correctness
 arguments rest on; ``docs/linting.md`` explains the why of each.  Rules
@@ -525,3 +525,77 @@ class BlockingWaitRule(Rule):
         if len(chain) == 1:
             return True
         return chain[-2] in ("connection", "multiprocessing")
+
+
+@register
+class StoreZeroCopyRule(Rule):
+    """R019: ``repro.store`` must stay zero-copy and out-of-core.
+
+    The store's contract (docs/storage.md) is that shard reads cost one
+    page-cache-backed mmap slice plus the codec's documented index
+    widenings — nothing else.  Two classes of call silently break that:
+
+    * densification/copy helpers (``.toarray()``, ``.todense()``,
+      ``np.asarray``, ``np.ascontiguousarray``) turn a zero-copy view
+      into a resident copy, unbounding the memory the block cache
+      budgets; and
+    * whole-file reads (``.read()`` / ``.readlines()`` with no size)
+      pull an entire shard into memory, defeating out-of-core loading.
+
+    Record access must slice the mmap view; byte-bounded ``read(n)``
+    calls (headers, footers) are sanctioned.
+    """
+
+    rule_id = "R019"
+    title = "copy or whole-file read in the zero-copy store"
+    severity = "error"
+    fix_hint = (
+        "slice the mmap view (ShardReader.record) and decode with "
+        "np.frombuffer; bound file reads with an explicit size"
+    )
+
+    #: attribute calls that materialize a dense or contiguous copy
+    DENSIFY = {"toarray", "todense", "to_dense"}
+    #: numpy module-level helpers that copy their argument
+    NUMPY_COPY = {"asarray", "ascontiguousarray"}
+    #: file reads that slurp everything when called without a size
+    WHOLE_FILE = {"read", "readlines"}
+
+    def applies(self) -> bool:
+        if "lint_fixtures" in _Path(self.ctx.path).parts:
+            return True
+        parts = self.ctx.package_parts
+        return len(parts) >= 1 and parts[0] == "store"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_name(node.func)
+        if not chain:
+            return
+        name = chain[-1]
+        if len(chain) >= 2 and name in self.DENSIFY:
+            self.report(
+                node,
+                ".{}() densifies a shard payload — the store must stay "
+                "sparse and zero-copy".format(name),
+            )
+        elif (
+            len(chain) >= 2
+            and name in self.NUMPY_COPY
+            and chain[-2] in ("np", "numpy")
+        ):
+            self.report(
+                node,
+                "{}.{}() copies its argument; decode shard records with "
+                "np.frombuffer views instead".format(chain[-2], name),
+            )
+        elif (
+            len(chain) >= 2
+            and name in self.WHOLE_FILE
+            and not node.args
+            and not node.keywords
+        ):
+            self.report(
+                node,
+                ".{}() with no size reads the whole file into memory — "
+                "pass an explicit byte count".format(name),
+            )

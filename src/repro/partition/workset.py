@@ -105,6 +105,22 @@ class WorksetStore:
         """Memory footprint of the shard (CSR + labels)."""
         return sum(ws.serialized_bytes() for ws in self._worksets.values())
 
+    def cache_stats(self) -> Dict[str, int]:
+        """Block-cache counters; an in-memory store never misses.
+
+        The shard-backed store (:class:`repro.store.ShardWorksetStore`)
+        overrides this with real hit/miss/eviction/bytes-read tallies —
+        the shared shape lets accounting code treat both uniformly.
+        """
+        return {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "bytes_read": 0,
+            "bytes_evicted": 0,
+            "resident_bytes": self.stored_bytes(),
+        }
+
     def assemble_batch(
         self, draws: Iterable[Tuple[int, int]]
     ) -> Tuple[CSRMatrix, np.ndarray]:

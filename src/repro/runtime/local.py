@@ -752,3 +752,19 @@ class LocalRuntime(Runtime):
         start = time.perf_counter()
         result = fn()
         return result, time.perf_counter() - start
+
+
+def max_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    Measurement lives here because wall-clock and resource probes are
+    confined to this module (lint rule R001); the store benchmark uses
+    it to demonstrate that out-of-core loading keeps the peak footprint
+    below the in-memory shuffle's.  ``ru_maxrss`` is kilobytes on Linux
+    and bytes on macOS.
+    """
+    import resource
+    import sys
+
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(rss if sys.platform == "darwin" else rss * 1024)

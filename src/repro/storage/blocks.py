@@ -36,9 +36,15 @@ class Block:
         return dataset.slice(self.start, self.stop)
 
     def stored_bytes(self, dataset: Dataset) -> int:
-        """On-disk footprint of the block (CSR with labels)."""
-        rows = self.materialize(dataset)
-        return csr_matrix_bytes(rows.n_rows, rows.nnz, with_labels=True)
+        """On-disk footprint of the block (CSR with labels).
+
+        The block's nnz is an indptr difference — no row copies are
+        materialized to answer a size query (the simulated HDFS asks
+        this for every block of every dispatch).
+        """
+        indptr = dataset.features.indptr
+        nnz = int(indptr[self.stop] - indptr[self.start])
+        return csr_matrix_bytes(self.n_rows, nnz, with_labels=True)
 
 
 def split_into_blocks(n_rows: int, block_size: int) -> List[Block]:

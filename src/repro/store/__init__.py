@@ -1,0 +1,69 @@
+"""``repro.store`` — on-disk column-shard store for out-of-core ColumnSGD.
+
+The paper's row→column transformation (Fig 5 / Algorithm 4) normally
+runs in memory; this package runs it as a disk shuffle.  A store
+directory holds one shard file per worker (that worker's column
+sub-vectors, block by block) plus a shared label sidecar, all encoded
+with the :mod:`repro.storage.serialization` wire codec so on-disk
+record lengths equal the simulator's byte model by construction.
+
+Pieces
+------
+:class:`ShuffleWriter`
+    streams labelled rows through the transformation under a memory
+    budget, producing the shard files out-of-core.
+:class:`ShardReader` / :class:`ShardWorksetStore`
+    mmap-backed zero-copy readers; the workset store is the lazy,
+    LRU-cached drop-in the training loop reads from.
+:class:`StoreModel`
+    replays the block-dispatch load cost from footer metadata so
+    store-backed sim runs stay bit-identical.
+:class:`ColumnShardStore` / :func:`store_backed_dispatch`
+    the facade the driver calls when ``config.store_dir`` is set.
+"""
+
+from repro.store.cache import CacheCounters, LRUBlockCache, STORE_LEDGER, StoreLedger
+from repro.store.format import (
+    HEADER_BYTES,
+    KIND_SHARD,
+    KIND_SIDECAR,
+    MANIFEST_FILENAME,
+    SIDECAR_FILENAME,
+    StoreHeader,
+    shard_filename,
+    shard_record_bytes,
+    sidecar_record_bytes,
+)
+from repro.store.model import StoreModel
+from repro.store.reader import ShardIndex, ShardReader, ShardWorksetStore
+from repro.store.store import (
+    ColumnShardStore,
+    StoreManifest,
+    store_backed_dispatch,
+)
+from repro.store.writer import MemoryMeter, ShuffleWriter
+
+__all__ = [
+    "CacheCounters",
+    "ColumnShardStore",
+    "HEADER_BYTES",
+    "KIND_SHARD",
+    "KIND_SIDECAR",
+    "LRUBlockCache",
+    "MANIFEST_FILENAME",
+    "MemoryMeter",
+    "STORE_LEDGER",
+    "SIDECAR_FILENAME",
+    "ShardIndex",
+    "ShardReader",
+    "ShardWorksetStore",
+    "ShuffleWriter",
+    "StoreHeader",
+    "StoreLedger",
+    "StoreManifest",
+    "StoreModel",
+    "shard_filename",
+    "shard_record_bytes",
+    "sidecar_record_bytes",
+    "store_backed_dispatch",
+]

@@ -1,0 +1,279 @@
+"""Out-of-core shuffle writer: streaming row→column transformation.
+
+:class:`ShuffleWriter` consumes one labelled sparse row at a time and
+produces the K shard files plus the label sidecar, never holding more
+than one block (plus one in-flight projection) in memory.  That is the
+paper's Fig 5 pipeline run as a disk shuffle: rows buffer up to
+``block_size``, the buffered block is CSR-compressed, projected onto
+each worker's columns with
+:meth:`~repro.linalg.CSRMatrix.select_columns`, and each projection is
+codec-encoded and appended to that worker's shard before the next one
+is built.
+
+Memory is bounded by ``memory_budget_bytes``: buffered rows are tracked
+through the same byte model the simulator charges
+(:func:`~repro.storage.serialization.sparse_row_bytes` per row), and
+when the buffer crosses a third of the budget the block is flushed
+early.  An early flush produces a shorter block — still a valid store,
+but a *different block layout* than the in-memory dispatcher, so runs
+that must stay bit-identical with the simulator should grant a budget
+of at least ``3 x`` the largest block's buffered bytes (the writer
+never needs more than roughly two block footprints at once, so such a
+budget also keeps the tracked peak under the knob).
+
+:class:`MemoryMeter` is the tracked-bytes instrument: every buffered
+row, assembled block, and in-flight projection is charged and released,
+and ``meter.peak`` is what the out-of-core acceptance test asserts
+against the budget.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.linalg import CSRMatrix, SparseVector
+from repro.partition.column import make_assignment
+from repro.store.format import (
+    HEADER_BYTES,
+    KIND_SHARD,
+    KIND_SIDECAR,
+    SIDECAR_FILENAME,
+    StoreHeader,
+    shard_filename,
+    shard_record_bytes,
+    sidecar_record_bytes,
+)
+from repro.storage.serialization import (
+    CSRBlockPayload,
+    DenseVectorPayload,
+    IntVectorPayload,
+    csr_matrix_bytes,
+    encode_payload,
+    sparse_row_bytes,
+)
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class MemoryMeter:
+    """Tracked buffer bytes: charge/release with a running peak.
+
+    Tracks *model* bytes (the serialization size functions), the same
+    currency :meth:`~repro.sim.cluster.SimulatedCluster.charge_memory`
+    uses — so "peak under budget" means the same thing out-of-core as
+    it does in the simulator's Table-I memory shape.
+    """
+
+    __slots__ = ("current", "peak")
+
+    def __init__(self):
+        self.current = 0
+        self.peak = 0
+
+    def charge(self, n_bytes: int) -> None:
+        check_non_negative(n_bytes, "n_bytes")
+        self.current += int(n_bytes)
+        if self.current > self.peak:
+            self.peak = self.current
+
+    def release(self, n_bytes: int) -> None:
+        check_non_negative(n_bytes, "n_bytes")
+        if n_bytes > self.current:
+            raise DataError(
+                "releasing {} byte(s) but only {} charged".format(
+                    n_bytes, self.current
+                )
+            )
+        self.current -= int(n_bytes)
+
+
+class ShuffleWriter:
+    """Stream rows into a column-shard store, one block at a time."""
+
+    def __init__(
+        self,
+        store_dir: Union[str, Path],
+        n_features: int,
+        n_workers: int,
+        scheme: str = "round_robin",
+        block_size: int = 2048,
+        memory_budget_bytes: int = 0,
+        name: str = "dataset",
+    ):
+        check_positive(n_features, "n_features")
+        check_positive(n_workers, "n_workers")
+        check_positive(block_size, "block_size")
+        check_non_negative(memory_budget_bytes, "memory_budget_bytes")
+        self.store_dir = Path(store_dir)
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        self.n_features = int(n_features)
+        self.n_workers = int(n_workers)
+        self.scheme = scheme
+        self.block_size = int(block_size)
+        self.memory_budget_bytes = int(memory_budget_bytes)
+        self.name = name
+        self.meter = MemoryMeter()
+
+        assignment = make_assignment(scheme, self.n_features, self.n_workers)
+        self._columns = [assignment.columns_of(k) for k in range(self.n_workers)]
+
+        self._shard_handles: List[IO[bytes]] = []
+        self._shard_footers: List[List[int]] = [[] for _ in range(self.n_workers)]
+        self._shard_offsets = [HEADER_BYTES] * self.n_workers
+        for w in range(self.n_workers):
+            handle = open(self._tmp_path(shard_filename(w)), "wb")
+            handle.write(b"\x00" * HEADER_BYTES)
+            self._shard_handles.append(handle)
+        self._sidecar_handle: Optional[IO[bytes]] = open(
+            self._tmp_path(SIDECAR_FILENAME), "wb"
+        )
+        self._sidecar_handle.write(b"\x00" * HEADER_BYTES)
+        self._sidecar_footer: List[int] = []
+        self._sidecar_offset = HEADER_BYTES
+
+        self._rows: List[SparseVector] = []
+        self._labels: List[float] = []
+        self._buffered_bytes = 0
+        # flush when the row buffer alone reaches a third of the budget:
+        # the flush transiently holds buffer + assembled block + one
+        # projection, each bounded by the buffer's footprint.
+        self._flush_threshold = (
+            self.memory_budget_bytes // 3 if self.memory_budget_bytes else 0
+        )
+        self.n_rows = 0
+        self.total_nnz = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _tmp_path(self, filename: str) -> Path:
+        return self.store_dir / (filename + ".tmp")
+
+    @property
+    def n_blocks(self) -> int:
+        """Blocks flushed so far."""
+        return len(self._sidecar_footer) // 3
+
+    def add_row(self, label: float, indices, values) -> None:
+        """Buffer one labelled sparse row, flushing a block when full."""
+        if self._closed:
+            raise DataError("writer is closed")
+        vector = SparseVector(indices, values, self.n_features)
+        row_bytes = sparse_row_bytes(vector.nnz)
+        self.meter.charge(row_bytes)
+        self._buffered_bytes += row_bytes
+        self._rows.append(vector)
+        self._labels.append(float(label))
+        self.n_rows += 1
+        self.total_nnz += vector.nnz
+        if len(self._rows) >= self.block_size or (
+            self._flush_threshold
+            and self._buffered_bytes >= self._flush_threshold
+        ):
+            self._flush_block()
+
+    def _flush_block(self) -> None:
+        """Compress the buffered rows and append one record per shard."""
+        if not self._rows:
+            return
+        block = CSRMatrix.from_rows(self._rows, n_cols=self.n_features)
+        labels = np.array(self._labels, dtype=np.float64)
+        block_bytes = csr_matrix_bytes(block.n_rows, block.nnz, with_labels=True)
+        self.meter.charge(block_bytes)
+        # the CSR block owns copies of the row data now; drop the buffer
+        # before projecting so the flush peak stays ~2 block footprints.
+        self._rows = []
+        self._labels = []
+        self.meter.release(self._buffered_bytes)
+        self._buffered_bytes = 0
+
+        record = encode_payload(DenseVectorPayload(labels, precision="fp64"))
+        if len(record) != sidecar_record_bytes(block.n_rows):
+            raise DataError("sidecar record does not match the byte model")
+        self._sidecar_handle.write(record)
+        self._sidecar_footer.extend(
+            (self._sidecar_offset, len(record), block.n_rows)
+        )
+        self._sidecar_offset += len(record)
+
+        for dest in range(self.n_workers):
+            shard = block.select_columns(self._columns[dest])
+            payload = CSRBlockPayload(
+                indptr=shard.indptr, indices=shard.indices, data=shard.data
+            )
+            encoded = encode_payload(payload)
+            if len(encoded) != shard_record_bytes(shard.n_rows, shard.nnz):
+                raise DataError("shard record does not match the byte model")
+            self.meter.charge(len(encoded))
+            self._shard_handles[dest].write(encoded)
+            self._shard_footers[dest].extend(
+                (self._shard_offsets[dest], len(encoded), shard.n_rows, shard.nnz)
+            )
+            self._shard_offsets[dest] += len(encoded)
+            self.meter.release(len(encoded))
+        self.meter.release(block_bytes)
+
+    # ------------------------------------------------------------------
+    def _finalize_file(
+        self,
+        handle: IO[bytes],
+        filename: str,
+        kind: int,
+        worker_id: int,
+        footer: List[int],
+        data_end: int,
+    ) -> None:
+        """Append the footer, rewrite the real header, publish atomically."""
+        encoded_footer = encode_payload(
+            IntVectorPayload(np.array(footer, dtype=np.int64))
+        )
+        handle.write(encoded_footer)
+        fields = 4 if kind == KIND_SHARD else 3
+        header = StoreHeader(
+            kind=kind,
+            worker_id=worker_id,
+            n_blocks=len(footer) // fields,
+            footer_offset=data_end,
+            footer_length=len(encoded_footer),
+            data_bytes=data_end - HEADER_BYTES,
+        )
+        handle.seek(0)
+        handle.write(header.pack())
+        handle.close()
+        os.replace(self._tmp_path(filename), self.store_dir / filename)
+
+    def close(self) -> None:
+        """Flush the tail block and publish every file atomically."""
+        if self._closed:
+            return
+        self._flush_block()
+        for w, handle in enumerate(self._shard_handles):
+            self._finalize_file(
+                handle,
+                shard_filename(w),
+                KIND_SHARD,
+                w,
+                self._shard_footers[w],
+                self._shard_offsets[w],
+            )
+        self._finalize_file(
+            self._sidecar_handle,
+            SIDECAR_FILENAME,
+            KIND_SIDECAR,
+            0,
+            self._sidecar_footer,
+            self._sidecar_offset,
+        )
+        self._sidecar_handle = None
+        self._shard_handles = []
+        self._closed = True
+
+    def __enter__(self) -> "ShuffleWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()

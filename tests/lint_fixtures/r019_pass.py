@@ -1,0 +1,24 @@
+"""R019 pass: zero-copy reads — mmap slices, frombuffer, bounded I/O."""
+
+import numpy as np
+
+HEADER_BYTES = 64
+
+
+def load_index(path):
+    with open(path, "rb") as handle:
+        header = handle.read(HEADER_BYTES)  # byte-bounded: sanctioned
+        footer = handle.read(int(np.frombuffer(header[-8:], dtype="<u8")[0]))
+    return header, footer
+
+
+def decode_record(view, offset, length):
+    # slicing a memoryview and viewing it through frombuffer never copies
+    record = view[offset:offset + length]
+    return np.frombuffer(record, dtype=np.float64)
+
+
+def widen_indices(record):
+    # the codec's documented index widening is an astype on a view, not
+    # an asarray copy of an arbitrary object
+    return np.frombuffer(record, dtype="<i4").astype(np.int64)

@@ -1,0 +1,23 @@
+"""R019 trigger: copies and whole-file reads inside the store."""
+
+import numpy as np
+
+
+def densify_shard(shard, block):
+    dense = shard.toarray()                     # densifies the payload
+    matrix = block.todense()                    # ditto, matrix flavour
+    return dense, matrix
+
+
+def copy_payload(payload):
+    values = np.asarray(payload.data)           # silent copy
+    packed = np.ascontiguousarray(payload.indices)  # silent copy
+    return values, packed
+
+
+def slurp(path):
+    with open(path, "rb") as handle:
+        everything = handle.read()              # whole file in memory
+    with open(path, "r") as handle:
+        lines = handle.readlines()              # ditto, line flavour
+    return everything, lines

@@ -97,3 +97,39 @@ class TestRoundTrip:
         path = str(tmp_path / "x.txt")
         write_libsvm(data, path)
         assert read_libsvm(path, n_features=8).n_rows == 10
+
+
+class TestGzipTransparency:
+    """Paths ending in .gz read and write through gzip automatically."""
+
+    def test_round_trip(self, tmp_path):
+        data = make_classification(25, 12, seed=21)
+        path = str(tmp_path / "data.libsvm.gz")
+        write_libsvm(data, path)
+        loaded = read_libsvm(path, n_features=12)
+        assert loaded.features == data.features
+        np.testing.assert_array_equal(loaded.labels, data.labels)
+
+    def test_file_really_is_gzip(self, tmp_path):
+        data = make_classification(5, 6, seed=22)
+        path = tmp_path / "data.gz"
+        write_libsvm(data, str(path))
+        with open(path, "rb") as handle:
+            magic = handle.read(2)
+        assert magic == b"\x1f\x8b"
+
+    def test_iter_streams_compressed(self, tmp_path):
+        data = make_classification(8, 5, seed=23)
+        path = str(tmp_path / "rows.gz")
+        write_libsvm(data, path)
+        rows = list(iter_libsvm(path))
+        assert len(rows) == 8
+        label, indices, values = rows[0]
+        assert indices.size == values.size
+
+    def test_plain_path_still_plain(self, tmp_path):
+        data = make_classification(5, 6, seed=24)
+        path = tmp_path / "plain.txt"
+        write_libsvm(data, str(path))
+        with open(path, "rb") as handle:
+            assert handle.read(2) != b"\x1f\x8b"

@@ -1,4 +1,4 @@
-"""Tests for the repro.lint static-analysis framework (R001-R006, R018).
+"""Tests for the repro.lint static-analysis framework (R001-R006, R018, R019).
 
 The whole-program rules (R007-R011) are covered in
 ``tests/test_lint_program.py``; this file owns the per-file rules, the
@@ -22,7 +22,7 @@ from repro.lint.findings import Finding
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
-ALL_RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006", "R018")
+ALL_RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006", "R018", "R019")
 PROGRAM_RULE_IDS = (
     "R007", "R008", "R009", "R010", "R011", "R012", "R013", "R014",
 )
@@ -55,7 +55,7 @@ def test_trigger_counts():
     """Pin the exact number of violations each trigger fixture encodes."""
     expected = {
         "R001": 4, "R002": 2, "R003": 4, "R004": 3, "R005": 2, "R006": 2,
-        "R018": 7,
+        "R018": 7, "R019": 6,
     }
     for rule_id, count in expected.items():
         name = "{}_trigger.py".format(rule_id.lower())

@@ -15,7 +15,11 @@ from repro.baselines.ssp import StaleSyncPSTrainer
 from repro.core.driver import ColumnSGDConfig, ColumnSGDDriver
 from repro.lint import LintEngine, discover_sources, registered_program_rules
 from repro.lint.cli import main as lint_main
-from repro.lint.program import ProgramAnalyzer, extract_round_protocol
+from repro.lint.program import (
+    UNCHECKED_KINDS,
+    ProgramAnalyzer,
+    extract_round_protocol,
+)
 from repro.models.linear import LogisticRegression
 from repro.optim.sgd import SGD
 
@@ -298,6 +302,15 @@ def test_extraction_is_internally_consistent(src_protocols):
         # With the engine, only the CommPhase declarations emit traffic;
         # any kind found inside an executor body must also be declared.
         assert record["emitted"] <= record["declared"], qualname
+
+
+def test_unchecked_kinds_mirror_runtime_checker():
+    """The static extractor must skip exactly the kinds the runtime
+    ProtocolChecker skips (scheduling, heartbeat, recovery traffic) —
+    neither list may drift without the other."""
+    from repro.net import protocol
+
+    assert set(UNCHECKED_KINDS) == {k.name for k in protocol.UNCHECKED_KINDS}
 
 
 @pytest.mark.parametrize("trainer_cls,qualname", BSP_BASELINES)

@@ -223,3 +223,68 @@ class TestErrors:
     def test_unencodable_type_rejected(self):
         with pytest.raises(TypeError, match="cannot encode"):
             encode_payload(object())
+
+
+class TestDegenerateShapes:
+    """Length invariants on zero-nnz and zero-row payloads.
+
+    The shard store writes one record per (block, worker) pair even when
+    a worker owns no non-zeros of a block, so the byte model must hold
+    exactly at nnz == 0 and n_rows == 0 — otherwise footer offsets drift.
+    """
+
+    def test_zero_nnz_sparse_vector(self):
+        payload = SparseVectorPayload(
+            np.zeros(0, dtype=np.int32), np.zeros(0, dtype=np.float64)
+        )
+        encoded = encode_payload(payload)
+        assert len(encoded) == payload.encoded_bytes() == sparse_vector_bytes(0)
+        out = decode_payload(encoded)
+        assert out.indices.size == 0 and out.values.size == 0
+
+    def test_zero_nnz_csr_block_keeps_rows(self):
+        # 4 rows, none of which store a value: indptr is all zeros
+        payload = CSRBlockPayload(
+            indptr=np.zeros(5, dtype=np.int32),
+            indices=np.zeros(0, dtype=np.int32),
+            data=np.zeros(0, dtype=np.float64),
+        )
+        encoded = encode_payload(payload)
+        assert len(encoded) == payload.encoded_bytes()
+        assert len(encoded) == csr_matrix_bytes(4, 0, with_labels=False)
+        out = decode_payload(encoded)
+        assert out.n_rows == 4
+        assert out.indices.size == 0
+
+    def test_empty_csr_block(self):
+        payload = CSRBlockPayload(
+            indptr=np.zeros(1, dtype=np.int32),
+            indices=np.zeros(0, dtype=np.int32),
+            data=np.zeros(0, dtype=np.float64),
+        )
+        encoded = encode_payload(payload)
+        assert len(encoded) == payload.encoded_bytes()
+        assert len(encoded) == csr_matrix_bytes(0, 0, with_labels=False)
+        assert decode_payload(encoded).n_rows == 0
+
+    def test_zero_nnz_csr_with_labels(self):
+        payload = CSRBlockPayload(
+            indptr=np.zeros(3, dtype=np.int32),
+            indices=np.zeros(0, dtype=np.int32),
+            data=np.zeros(0, dtype=np.float64),
+            labels=np.array([1.0, -1.0]),
+        )
+        encoded = encode_payload(payload)
+        assert len(encoded) == payload.encoded_bytes()
+        assert len(encoded) == csr_matrix_bytes(2, 0, with_labels=True)
+        out = decode_payload(encoded)
+        np.testing.assert_array_equal(out.labels, [1.0, -1.0])
+
+    def test_decode_from_memoryview(self):
+        # the mmap reader hands decode_payload memoryview slices; the
+        # codec must accept them without an intermediate bytes copy
+        payload = make_csr(n_rows=3, nnz=5, seed=41)
+        encoded = encode_payload(payload)
+        out = decode_payload(memoryview(encoded))
+        np.testing.assert_array_equal(out.indptr, payload.indptr.astype(np.int64))
+        np.testing.assert_array_equal(out.data, payload.data)

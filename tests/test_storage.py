@@ -125,3 +125,33 @@ class TestSimulatedHDFS:
     def test_bad_block_id(self, hdfs):
         with pytest.raises(DataError):
             hdfs.block(99)
+
+
+class TestBlockStoredBytes:
+    """Block.stored_bytes answers from indptr arithmetic, not row copies."""
+
+    def test_matches_materialized_rows(self):
+        data = make_classification(60, 20, seed=7)
+        for block in split_into_blocks(data.n_rows, 13):
+            rows = block.materialize(data)
+            expected = csr_matrix_bytes(rows.n_rows, rows.nnz, with_labels=True)
+            assert block.stored_bytes(data) == expected
+
+    def test_empty_tail_rows(self):
+        # rows past the last non-zero have equal indptr entries; the
+        # difference is 0 nnz and the size is header + labels only
+        data = make_classification(10, 8, seed=9)
+        block = Block(0, data.n_rows, data.n_rows)
+        assert block.stored_bytes(data) == csr_matrix_bytes(0, 0, with_labels=True)
+
+    def test_no_row_materialization(self, monkeypatch):
+        data = make_classification(30, 12, seed=11)
+        block = Block(0, 0, 30)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("stored_bytes materialized rows")
+
+        monkeypatch.setattr(Block, "materialize", boom)
+        assert block.stored_bytes(data) == csr_matrix_bytes(
+            30, data.nnz, with_labels=True
+        )
